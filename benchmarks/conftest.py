@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Every module here regenerates one of the paper's tables or figures (or
+an ablation of a design choice) under ``pytest-benchmark``; run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Shape assertions (who wins, by roughly what factor, where crossovers
+fall) are checked; absolute numbers are expected to differ from the
+paper — the substrate is a simulator, not the authors' Xeon testbed.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """``once(fn, *args)`` — benchmark one execution of ``fn``."""
+
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

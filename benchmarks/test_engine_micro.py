@@ -1,0 +1,67 @@
+"""Wall-clock micro-benchmarks of the core components (real timings,
+not simulated).  These are throughput regressions guards for the
+engine, Andersen solver, scheduler, and PAG construction."""
+
+from repro.andersen import AndersenSolver
+from repro.benchgen import SynthesisParams, synthesize_program
+from repro.benchgen.suites import load_benchmark, spec_of
+from repro.core import CFLEngine, JumpMap
+from repro.core.scheduling import schedule_queries
+from repro.pag import build_pag
+
+BENCH = "_205_raytrace"
+
+
+def test_bench_build_pag(benchmark):
+    program = synthesize_program(SynthesisParams(seed=7, n_app_classes=6))
+    result = benchmark(build_pag, program)
+    assert result.pag.n_nodes > 100
+
+
+def test_bench_single_query(benchmark):
+    spec = spec_of(BENCH)
+    build = load_benchmark(BENCH)
+    engine = CFLEngine(build.pag, spec.engine_config())
+    queries = spec.workload()
+    heavy = max(queries, key=lambda q: engine.run_query(q).costs.work)
+    result = benchmark(engine.run_query, heavy)
+    assert result.costs.work > 0
+
+
+def test_bench_query_batch_seq(benchmark):
+    spec = spec_of(BENCH)
+    build = load_benchmark(BENCH)
+    queries = spec.workload()[:100]
+
+    def run():
+        engine = CFLEngine(build.pag, spec.engine_config())
+        return engine.run_batch(queries)
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(results) == 100
+
+
+def test_bench_query_batch_shared(benchmark):
+    spec = spec_of(BENCH)
+    build = load_benchmark(BENCH)
+    queries = spec.workload()[:100]
+
+    def run():
+        engine = CFLEngine(build.pag, spec.engine_config(), jumps=JumpMap())
+        return engine.run_batch(queries)
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(results) == 100
+
+
+def test_bench_andersen(benchmark):
+    build = load_benchmark(BENCH)
+    result = benchmark(lambda: AndersenSolver(build.pag).solve())
+    assert result.iterations > 0
+
+
+def test_bench_scheduler(benchmark):
+    build = load_benchmark(BENCH)
+    queries = spec_of(BENCH).workload()
+    groups = benchmark(schedule_queries, build.pag, queries, build.program.types)
+    assert sum(len(g) for g in groups) == len(queries)

@@ -1,0 +1,47 @@
+"""Regenerates Fig. 6 (speedups of the parallel configurations) over
+the full suite and checks the paper's shape claims:
+
+* one-thread naive == SeqCFL (lock overhead negligible);
+* 16-thread naive well below linear (paper avg 7.3x);
+* data sharing beats naive (paper avg 13.4x);
+* adding query scheduling beats sharing alone (paper avg 16.2x);
+* several benchmarks go superlinear under sharing.
+"""
+
+from repro.harness import fig6
+
+
+def test_fig6_full_suite(once):
+    rows = once(fig6.run)
+    print()
+    print(fig6.render(rows))
+
+    assert len(rows) == 20
+    avg = fig6.averages(rows)
+
+    # PARCFL-1-naive is as efficient as SeqCFL (Section IV-D1).
+    assert 0.8 <= avg.naive1 <= 1.1
+
+    # naive-16: parallel but far below linear.
+    assert 5.0 <= avg.naive_t <= 9.5
+
+    # data sharing lifts the average substantially...
+    assert avg.d_t > avg.naive_t * 1.3
+
+    # ...and query scheduling lifts it further.
+    assert avg.dq_t > avg.d_t
+
+    # The headline claim's ballpark: DQ lands around 2x naive
+    # (paper: 16.2 vs 7.3).
+    assert avg.dq_t > 1.6 * avg.naive_t
+
+    # Superlinear speedups on several benchmarks (paper: six under D,
+    # two more under DQ).
+    superlinear_d = [r.name for r in rows if r.d_t > 16]
+    superlinear_dq = [r.name for r in rows if r.dq_t > 16]
+    assert len(superlinear_dq) >= 3
+    assert len(superlinear_dq) >= len(superlinear_d)
+
+    # DQ wins or ties D on a clear majority of benchmarks.
+    wins = sum(1 for r in rows if r.dq_t >= r.d_t * 0.97)
+    assert wins >= 15

@@ -1,0 +1,42 @@
+"""Regenerates Fig. 7 (histograms of jmp edges by steps saved) plus the
+Section IV-D2 claim that selective insertion is worth it.
+
+Run on the heavier half of the suite, where jump traffic is dense
+enough for the histogram contrast the paper plots."""
+
+from repro.harness import fig7
+
+HEAVY = [
+    "_202_jess", "_213_javac", "_222_mpegaudio", "batik", "fop",
+    "h2", "pmd", "sunflow", "tomcat", "xalan",
+]
+
+
+def test_fig7_histograms(once):
+    result = once(fig7.run, HEAVY)
+    print()
+    print(fig7.render(result))
+
+    total_plain = sum(result.finished) + sum(result.unfinished)
+    total_opt = sum(result.finished_opt) + sum(result.unfinished_opt)
+    assert total_plain > 0 and total_opt > 0
+
+    # Without thresholds, many *small* jmp edges are recorded; the
+    # selective optimisation suppresses the low buckets (the paper's
+    # Finished_opt curve losing its sub-2^7 mass).
+    low_plain = sum(result.finished[:3])
+    low_opt = sum(result.finished_opt[:3])
+    assert low_plain > 0
+    assert low_opt < low_plain * 0.2
+
+    # Unfinished edges sit in the high buckets (they certify near-budget
+    # costs), finished edges spread lower — as in the paper's figure.
+    def mean_bucket(hist):
+        total = sum(hist)
+        return sum(i * c for i, c in enumerate(hist)) / total if total else 0.0
+
+    assert mean_bucket(result.unfinished_opt) > mean_bucket(result.finished_opt)
+
+    # Section IV-D2: disabling the optimisation costs throughput
+    # (paper: 16.2x -> 12.4x).
+    assert result.avg_speedup_opt > result.avg_speedup_noopt

@@ -1,0 +1,35 @@
+"""Regenerates Fig. 8 (thread-count scaling of PARCFL-DQ) and checks
+the paper's scaling claims: near-monotone growth to 8 threads, a small
+average step from 8 to 16 (cross-socket knee), and per-benchmark
+regressions at 16 threads."""
+
+from repro.harness import fig8
+
+
+def test_fig8_scaling(once):
+    rows = once(fig8.run)
+    print()
+    print(fig8.render(rows))
+
+    assert len(rows) == 20
+    avg = fig8.averages(rows).speedups
+
+    # One DQ thread already beats SeqCFL thanks to sharing+scheduling
+    # (paper: 8.1x; our sharing saves less sequential time, but > 1.5x).
+    assert avg[1] > 1.5
+
+    # Scaling is monotone on average up to 8 threads.
+    assert avg[1] < avg[2] < avg[4] < avg[8]
+
+    # The 8 -> 16 step is small: between a mild drop and a modest gain
+    # (paper: 15.8 -> 16.2).
+    assert 0.9 <= avg[16] / avg[8] <= 1.25
+
+    # "PARCFL-16-DQ suffers some performance drops over PARCFL-8-DQ in
+    # some benchmarks" — but scales fine for most.
+    drops = [r for r in rows if r.drops_8_to_16]
+    assert 1 <= len(drops) <= 12
+
+    # Most benchmarks scale well to 8 threads individually.
+    well_scaled = sum(1 for r in rows if r.speedups[8] > r.speedups[2] * 1.5)
+    assert well_scaled >= 15

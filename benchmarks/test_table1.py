@@ -1,0 +1,47 @@
+"""Regenerates Table I (benchmark information and statistics) over the
+full 20-benchmark suite and checks its shape against the paper."""
+
+from repro.benchgen.suites import spec_of
+from repro.harness import table1
+
+
+def test_table1_full_suite(once):
+    rows = once(table1.run)
+    print()
+    print(table1.render(rows))
+
+    assert len(rows) == 20
+    avg = table1.averages(rows)
+
+    # Structural columns are all populated.
+    for row in rows:
+        assert row.n_classes > 5
+        assert row.n_methods > row.n_classes
+        assert row.n_nodes > 100
+        assert row.n_edges > row.n_nodes * 0.8
+        assert row.n_queries > 50
+        assert row.t_seq > 0
+        assert row.total_steps > 0
+
+    # Data sharing adds jmp edges on every benchmark and saves steps on
+    # average (paper: 22k jumps, R_S 28.6 — scaled down here).
+    assert all(row.n_jumps > 0 for row in rows)
+    assert avg.rs > 0.3
+
+    # Scheduled group sizes land in Table I's S_g range (3.8 - 18.6).
+    assert 2.0 <= avg.sg <= 20.0
+
+    # Query scheduling increases early terminations on average
+    # (paper: R_ET = 1.35; ratio > 1 is the reproduced claim).
+    assert avg.ret > 1.0
+
+    # Early terminations occur on most benchmarks (paper: 19 of 20).
+    assert sum(1 for row in rows if row.n_ets > 0) >= 14
+
+    # Family shape: DaCapo entries issue more queries on average even
+    # with smaller library layers (Table I's _2xx vs DaCapo contrast).
+    jvm98 = [r for r in rows if spec_of(r.name).family == "jvm98"]
+    dacapo = [r for r in rows if spec_of(r.name).family == "dacapo"]
+    q_jvm = sum(r.n_queries for r in jvm98) / len(jvm98)
+    q_dc = sum(r.n_queries for r in dacapo) / len(dacapo)
+    assert q_dc > q_jvm

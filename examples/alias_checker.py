@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Alias disambiguation client (the compiler use-case of Section I).
+
+An optimiser asking "may p and q refer to the same object?" only needs
+the points-to sets of *those two variables* — the motivating case for
+demand-driven analysis.  This example runs pairwise may-alias queries
+over a small program and cross-checks every verdict against the
+whole-program Andersen baseline (demand answers must never be *less*
+conservative than the context-insensitive whole-program ones are
+precise: every demand "no-alias" must also hold under Andersen's
+over-approximation being disjoint or be a context-sensitivity win).
+
+Run:  python examples/alias_checker.py
+"""
+
+from itertools import combinations
+
+from repro import AndersenSolver, CFLEngine, build_pag, parse_program
+
+SRC = """
+class Buffer {
+  field data: Object
+  method fill(v: Object) { this.data = v }
+  method drain(): Object {
+    var r: Object
+    r = this.data
+    return r
+  }
+}
+class Pipeline {
+  static method run() {
+    var in1: Buffer
+    var in2: Buffer
+    var shared: Buffer
+    var a: Object
+    var b: Object
+    var x: Object
+    var y: Object
+    var z: Object
+    in1 = new Buffer
+    in2 = new Buffer
+    shared = in1
+    a = new Object
+    b = new Object
+    in1.fill(a)
+    in2.fill(b)
+    x = in1.drain()
+    y = in2.drain()
+    z = shared.drain()
+  }
+}
+"""
+
+
+def main() -> None:
+    build = build_pag(parse_program(SRC))
+    pag = build.pag
+    engine = CFLEngine(pag)
+    andersen = AndersenSolver(pag).solve()
+
+    names = ["in1", "in2", "shared", "x", "y", "z"]
+    vars_ = {n: build.var(n, "Pipeline.run") for n in names}
+
+    print(f"{'pair':16s} {'demand CFL':>12s} {'Andersen':>10s}")
+    print("-" * 42)
+    disagreements = 0
+    for a, b in combinations(names, 2):
+        demand = engine.may_alias(vars_[a], vars_[b])
+        whole = andersen.may_alias(vars_[a], vars_[b])
+        mark = ""
+        if demand and not whole:
+            mark = "  <-- unsound!"   # must never happen
+            disagreements += 1
+        elif whole and not demand:
+            mark = "  <-- precision win"
+        print(f"{a+'/'+b:16s} {str(demand):>12s} {str(whole):>10s}{mark}")
+
+    assert disagreements == 0, "demand analysis reported aliases Andersen rules out"
+    print(
+        "\nin1/shared alias (copied reference); x/z read the same buffer; "
+        "x/y stay apart.\nEvery demand verdict is within the whole-program "
+        "over-approximation — the\nsoundness relationship the test suite "
+        "property-checks on random programs."
+    )
+
+
+if __name__ == "__main__":
+    main()

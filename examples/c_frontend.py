@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The C front-end — Section V's "expected to generalise to C as well".
+
+The same CFL engine answers demand queries over a C-shaped program with
+address-of, pointer dereferences and malloc, lowered onto the identical
+PAG representation (storage cells with a single ``*`` pointee field).
+
+Run:  python examples/c_frontend.py
+"""
+
+from repro.cfront import lower_c, parse_c
+from repro.core import CFLEngine, EngineConfig
+
+SRC = """
+// A little linked-list builder with an aliasing bug to find.
+func cons(head) {
+  var node
+  node = alloc()        // heap:cons:0 — the list node
+  *node = head          // node->next = head
+  return node
+}
+
+func main() {
+  var list, tmp, p, q, first
+  list = alloc()        // heap:main:0 — sentinel
+  tmp = cons(list)
+  list = tmp
+  tmp = cons(list)
+  list = tmp
+  p = &list             // somebody keeps a pointer to the head slot...
+  q = *p                // ...and reads it back
+  first = *q            // first = list->next
+}
+"""
+
+
+def main() -> None:
+    build = lower_c(parse_c(SRC))
+    print(f"PAG: {build.pag}\n")
+    engine = CFLEngine(build.pag, EngineConfig(budget=10**9))
+
+    for name in ("list", "q", "first"):
+        node = build.value_node(name, "main")
+        result = engine.points_to(node)
+        objs = sorted(build.pag.name(o) for o in result.objects)
+        print(f"  pts({name:6s}) = {objs}")
+
+    q = build.value_node("q", "main")
+    lst = build.value_node("list", "main")
+    print(
+        f"\nmay_alias(q, list) = {engine.may_alias(q, lst)}  "
+        "(q reads the very slot 'list' lives in)"
+    )
+
+    first = engine.points_to(build.value_node("first", "main")).objects
+    names = sorted(build.pag.name(o) for o in first)
+    print(f"first (= list->next) may be: {names}")
+    assert "heap:main:0" in names and "heap:cons:0" in names
+    print(
+        "\nSame engine, same PAG, same jmp-edge machinery — only the "
+        "front-end changed."
+    )
+
+
+if __name__ == "__main__":
+    main()

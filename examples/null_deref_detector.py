@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Null-dereference detection client (the debugging use-case of
+Section I; the paper notes the *non-refinement* configuration exists
+exactly because "the refinement-based configuration is not well-suited
+to certain clients such as null-pointer detection").
+
+A field access ``x = p.f`` or ``p.f = v`` may crash when ``p`` can be
+null.  Demand strategy: issue a points-to query for every dereferenced
+*base* variable only; an empty points-to set means no allocation ever
+reaches the base — a definite null dereference (in this closed world),
+and the cheapest of all answers to compute.
+
+Run:  python examples/null_deref_detector.py
+"""
+
+from repro import CFLEngine, build_pag, parse_program
+from repro.ir.statements import Load, Store
+
+SRC = """
+class Node {
+  field next: Node
+  field item: Object
+}
+class ListOps {
+  static method build(): Node {
+    var head: Node
+    var payload: Object
+    head = new Node
+    payload = new Object
+    head.item = payload
+    return head
+  }
+  static method safe_use() {
+    var n: Node
+    var got: Object
+    n = ListOps::build()
+    got = n.item
+  }
+  static method buggy_use() {
+    var dangling: Node
+    var got: Object
+    got = dangling.item          // dangling never assigned: null deref!
+  }
+  static method chained_bug() {
+    var n: Node
+    var nxt: Node
+    var got: Object
+    n = ListOps::build()
+    nxt = n.next                 // next never stored: nxt is null...
+    got = nxt.item               // ...so this dereference crashes
+  }
+}
+"""
+
+
+def main() -> None:
+    program = parse_program(SRC)
+    build = build_pag(program)
+    engine = CFLEngine(build.pag)
+
+    print("scanning dereference sites (demand queries on base variables only):\n")
+    findings = []
+    queried = 0
+    for method in program.methods():
+        for stmt in method.body:
+            if isinstance(stmt, (Load, Store)):
+                base_name = stmt.base
+                base_var = method.locals.get(base_name)
+                if base_var is None or base_name == "this":
+                    continue
+                node = build.var(base_name, method.qualified_name)
+                result = engine.points_to(node)
+                queried += 1
+                status = "ok"
+                if result.exhausted:
+                    status = "unknown (budget)"
+                elif not result.objects:
+                    status = "NULL DEREFERENCE"
+                    findings.append((method.qualified_name, stmt))
+                print(
+                    f"  {method.qualified_name:22s} {str(stmt):22s} "
+                    f"base={base_name:10s} |pts|={len(result.objects)}  {status}"
+                )
+
+    print(f"\n{queried} demand queries issued; {len(findings)} definite bug(s):")
+    for where, stmt in findings:
+        print(f"  - {where}: `{stmt}` dereferences a never-assigned base")
+
+    expected = {("ListOps.buggy_use"), ("ListOps.chained_bug")}
+    found = {w for w, _ in findings}
+    assert found == expected, (found, expected)
+    print("\nBoth seeded bugs found, the safe uses pass — with zero")
+    print("whole-program propagation.")
+
+
+if __name__ == "__main__":
+    main()

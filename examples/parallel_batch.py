@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Batch-parallel analysis on a suite benchmark — a miniature Fig. 6.
+
+Loads one of the 20 synthetic suite benchmarks, issues the standard
+batch workload (all application locals) and runs the paper's four
+configurations on the simulated 16-core executor, printing the speedup
+ladder and the data-sharing / scheduling statistics of Table I.
+
+Run:  python examples/parallel_batch.py [benchmark-name]
+"""
+
+import sys
+
+from repro import ParallelCFL
+from repro.benchgen import load_benchmark
+from repro.benchgen.suites import spec_of, suite_names
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "_202_jess"
+    if name not in suite_names():
+        raise SystemExit(f"unknown benchmark {name!r}; choose from: {suite_names()}")
+
+    spec = spec_of(name)
+    build = load_benchmark(name)
+    queries = spec.workload()
+    cfg = spec.engine_config()
+    print(f"benchmark  : {name} ({spec.family})")
+    print(f"PAG        : {build.pag}")
+    print(f"queries    : {len(queries)} (all application locals)")
+    print(f"budget     : {cfg.budget} steps/query   tau_F={cfg.tau_f} tau_U={cfg.tau_u}\n")
+
+    seq = ParallelCFL(build, mode="seq", engine_config=cfg).run(queries)
+    print(f"{'config':12s} {'speedup':>8s} {'work':>9s} {'saved':>8s} "
+          f"{'jumps':>6s} {'ETs':>5s} {'unanswered':>10s}")
+    print("-" * 64)
+    print(f"{'SeqCFL':12s} {'1.0x':>8s} {seq.total_work:9d} {0:8d} "
+          f"{0:6d} {0:5d} {seq.n_exhausted:10d}")
+
+    for mode, threads in (("naive", 1), ("naive", 16), ("D", 16), ("DQ", 16)):
+        batch = ParallelCFL(
+            build, mode=mode, n_threads=threads, engine_config=cfg
+        ).run(queries)
+        label = f"{mode} x{threads}"
+        print(
+            f"{label:12s} {batch.speedup_over(seq):7.1f}x {batch.total_work:9d} "
+            f"{batch.total_saved:8d} {batch.n_jumps:6d} "
+            f"{batch.n_early_terminations:5d} {batch.n_exhausted:10d}"
+        )
+
+    print(
+        "\nReading the ladder: the naive parallelisation only buys the "
+        "thread-count\n(minus contention); data sharing (D) removes the "
+        "redundant re-traversals via\njmp shortcuts; query scheduling (DQ) "
+        "orders dependent queries so doomed\ntraversals terminate early "
+        "(Section III of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Quickstart: demand-driven points-to queries on the paper's Fig. 2.
+
+Builds the running example of the paper (a tiny ``Vector`` class used
+with two element types), lowers it to a pointer assignment graph and
+asks the demand-driven CFL-reachability engine where ``s1`` and ``s2``
+may point — demonstrating the context-sensitivity that separates the
+two vectors.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CFLEngine, EngineConfig, build_pag, parse_program
+
+FIG2 = """
+// The paper's Fig. 2, in the mini-Java IR's concrete syntax.
+class Vector {
+  field elems: Object[]
+  method <init>() {
+    var t: Object[]
+    t = new Object[]
+    this.elems = t
+  }
+  method add(e: Object) {
+    var t: Object[]
+    t = this.elems
+    t.arr = e                       // W t.arr
+  }
+  method get(): Object {
+    var t: Object[]
+    var r: Object
+    t = this.elems
+    r = t.arr                       // R t.arr
+    return r
+  }
+}
+class Main {
+  static method main() {
+    var v1: Vector
+    var v2: Vector
+    var n1: Object
+    var n2: Object
+    var s1: Object
+    var s2: Object
+    v1 = new Vector
+    v1.<init>()
+    n1 = new Object                 // the "String" of the paper (o16)
+    v1.add(n1)
+    s1 = v1.get()
+    v2 = new Vector
+    v2.<init>()
+    n2 = new Object                 // the "Integer" of the paper (o20)
+    v2.add(n2)
+    s2 = v2.get()
+  }
+}
+"""
+
+
+def main() -> None:
+    program = parse_program(FIG2)
+    build = build_pag(program)
+    print(f"program: {program}")
+    print(f"PAG:     {build.pag}")
+
+    engine = CFLEngine(build.pag)  # context- and field-sensitive
+
+    def show(name: str) -> None:
+        var = build.var(name, "Main.main")
+        result = engine.points_to(var)
+        objs = sorted(build.pag.name(o) for o in result.objects)
+        print(
+            f"  pts({name}) = {objs}   "
+            f"({result.costs.work} steps, exhausted={result.exhausted})"
+        )
+
+    print("\ncontext-SENSITIVE answers (the paper's headline example):")
+    for name in ("v1", "v2", "s1", "s2"):
+        show(name)
+
+    print("\nthe same queries, context-INSENSITIVELY:")
+    ci = CFLEngine(build.pag, EngineConfig(context_sensitive=False))
+    for name in ("s1", "s2"):
+        var = build.var(name, "Main.main")
+        objs = sorted(build.pag.name(o) for o in ci.points_to(var).objects)
+        print(f"  pts({name}) = {objs}")
+
+    print(
+        "\nNote how the context-sensitive analysis keeps v1's and v2's "
+        "elements apart\n(s1 -> n1's object only), while the insensitive "
+        "one conflates them — exactly\nthe o16/o20 example of Section II-B."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Witness explanation: *why* does a variable point to an object?
+
+For debugging clients (the paper's Section I motivation), an answer is
+only actionable with its provenance.  The :class:`TracingEngine`
+records how each points-to fact was derived and reconstructs the full
+``flowsTo`` witness in the paper's grammar (2) — nested alias
+sub-derivations included — and certifies it against the executable
+grammar definitions (CYK) plus the realisability condition of
+grammar (3).
+
+Run:  python examples/witness_explainer.py
+"""
+
+from repro import TracingEngine, build_pag, parse_program
+
+SRC = """
+class Box {
+  field val: Object
+  method set(v: Object) { this.val = v }
+  method get(): Object { var r: Object \n r = this.val \n return r }
+}
+class Chain {
+  static method wrap(x: Object): Object { return x }
+  static method main() {
+    var b: Box
+    var secret: Object
+    var wrapped: Object
+    var leaked: Object
+    b = new Box
+    secret = new Object
+    wrapped = Chain::wrap(secret)
+    b.set(wrapped)
+    leaked = b.get()
+  }
+}
+"""
+
+
+def main() -> None:
+    build = build_pag(parse_program(SRC))
+    engine = TracingEngine(build.pag)
+
+    leaked = build.var("leaked", "Chain.main")
+    result = engine.points_to(leaked)
+    print(f"pts(leaked) = {sorted(build.pag.name(o) for o in result.objects)}\n")
+
+    for obj, ctx in sorted(result.points_to):
+        witness = engine.explain(leaked, (), obj, ctx)
+        print("witness tree (alias derivations in brackets):")
+        print(f"  {witness.pretty()}\n")
+        print(f"flat terminal string ({len(witness.terminals())} terminals):")
+        print(f"  {' '.join(witness.terminals())}\n")
+        ok = witness.certify()
+        print(f"certified against grammar (2) + realisability (3): {ok}")
+        assert ok
+
+    print(
+        "\nReading the witness: the object reaches `leaked` by entering "
+        "wrap() (param),\nreturning (ret), entering set() where st:val "
+        "writes the heap, and coming back\nout through get()'s ld:val — "
+        "with the alias bracket proving that set's and\nget's receivers "
+        "are the same Box."
+    )
+
+
+if __name__ == "__main__":
+    main()

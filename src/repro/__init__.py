@@ -1,0 +1,110 @@
+"""repro — parallel demand-driven pointer analysis with CFL-reachability.
+
+Reproduction of Su, Ye & Xue, *Parallel Pointer Analysis with
+CFL-Reachability*, ICPP 2014.  See README.md for a tour and DESIGN.md
+for the paper-to-module map.
+
+Quick start::
+
+    from repro import parse_program, build_pag, CFLEngine
+
+    program = parse_program(SRC)
+    build = build_pag(program)
+    engine = CFLEngine(build.pag)
+    result = engine.points_to(build.var("x", "Main.main"))
+    print(result.objects)
+
+Batch-parallel (simulated multicore)::
+
+    from repro import ParallelCFL
+
+    batch = ParallelCFL(build, mode="DQ", n_threads=16).run()
+"""
+
+from repro._version import __version__
+from repro.andersen import AndersenResult, AndersenSolver, MustNotAlias, SteensgaardSolver
+from repro.core import (
+    CFLEngine,
+    IncrementalAnalysis,
+    RefinementDriver,
+    TracingEngine,
+    Witness,
+    EMPTY_CTX,
+    EngineConfig,
+    JumpMap,
+    LayeredJumpMap,
+    Query,
+    QueryGroup,
+    QueryResult,
+    ScheduleConfig,
+    schedule_queries,
+)
+from repro.errors import (
+    AnalysisError,
+    BudgetExhausted,
+    IRError,
+    PAGError,
+    ParseError,
+    ReproError,
+    RuntimeConfigError,
+    SchedulingError,
+    ValidationError,
+)
+from repro.ir import Program, ProgramBuilder, parse_program, validate_program
+from repro.pag import PAG, build_pag
+from repro.runtime import (
+    BatchResult,
+    CostModel,
+    ParallelCFL,
+    SimulatedExecutor,
+    ThreadedExecutor,
+)
+
+__all__ = [
+    "__version__",
+    # front-end
+    "Program",
+    "ProgramBuilder",
+    "parse_program",
+    "validate_program",
+    # graph
+    "PAG",
+    "build_pag",
+    # analysis
+    "CFLEngine",
+    "EngineConfig",
+    "EMPTY_CTX",
+    "Query",
+    "QueryResult",
+    "JumpMap",
+    "LayeredJumpMap",
+    "TracingEngine",
+    "Witness",
+    "QueryGroup",
+    "ScheduleConfig",
+    "schedule_queries",
+    # runtime
+    "BatchResult",
+    "CostModel",
+    "ParallelCFL",
+    "SimulatedExecutor",
+    "ThreadedExecutor",
+    # baseline / pre-analysis
+    "AndersenResult",
+    "AndersenSolver",
+    "MustNotAlias",
+    "SteensgaardSolver",
+    # extensions
+    "IncrementalAnalysis",
+    "RefinementDriver",
+    # errors
+    "ReproError",
+    "IRError",
+    "ParseError",
+    "ValidationError",
+    "PAGError",
+    "AnalysisError",
+    "BudgetExhausted",
+    "SchedulingError",
+    "RuntimeConfigError",
+]

@@ -1,0 +1,28 @@
+"""Synthetic benchmark programs — stand-in for SPEC JVM98 + DaCapo.
+
+The paper's evaluation needs Java programs whose PAGs exhibit long,
+heap-heavy, *shared* access paths (the prey of data sharing) and batch
+query workloads over application locals.  :mod:`repro.benchgen.synthesis`
+generates seeded mini-Java programs with controllable library/app split,
+container usage, wrapper-call depth, virtual-dispatch fan-out and
+store-hub fan-in; :mod:`repro.benchgen.suites` instantiates the 20 named
+benchmarks of Table I with parameter recipes following the paper's
+shape (JVM98 entries share a big library core; DaCapo entries have
+smaller PAGs but many more application queries).
+"""
+
+from repro.benchgen.synthesis import SynthesisParams, synthesize_program
+from repro.benchgen.suites import SUITE, BenchmarkSpec, load_benchmark, suite_names
+from repro.benchgen.workload import queries_for_class, queries_for_method, standard_workload
+
+__all__ = [
+    "BenchmarkSpec",
+    "SUITE",
+    "SynthesisParams",
+    "load_benchmark",
+    "queries_for_class",
+    "queries_for_method",
+    "standard_workload",
+    "suite_names",
+    "synthesize_program",
+]

@@ -1,0 +1,175 @@
+"""The 20-benchmark suite of Table I, scaled to the Python substrate.
+
+Names follow the paper (10 SPEC JVM98 + 10 DaCapo 2009).  The recipes
+keep the paper's *shape*:
+
+* JVM98 entries (``_2xx_*``, ``_999_checkit``) share a **large library
+  layer** (more containers, deeper wrapper chains) and have relatively
+  few application classes — as in the paper, where JVM98 programs pull
+  in more library code and issue fewer queries;
+* DaCapo entries have **smaller libraries but many more application
+  methods** — smaller PAGs, more queries (compare Table I's ``batik``
+  vs ``_200_check``);
+* the heavyweights of Table I (``_202_jess``, ``_213_javac``,
+  ``tomcat``, ``fop``) get more hub traffic and deeper chains — they
+  are the long-running, early-termination-prone entries.
+
+Absolute sizes are scaled down ~50× (Python-vs-JVM constant factors);
+every Table I column is still *measured*, not asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.benchgen.synthesis import SynthesisParams, synthesize_program
+from repro.errors import ReproError
+from repro.pag.build import BuildResult, build_pag
+
+__all__ = ["BenchmarkSpec", "SUITE", "suite_names", "load_benchmark", "spec_of"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One named suite entry."""
+
+    name: str
+    params: SynthesisParams
+    #: Per-query step budget for this benchmark (the paper uses a global
+    #: 75,000; scaled with our smaller graphs).
+    budget: int
+    family: str  # "jvm98" | "dacapo"
+
+    @property
+    def tau_f(self) -> int:
+        """Finished-jump threshold, scaled like the paper's tau_F = 100
+        (about 0.13% of the 75,000 budget)."""
+        return max(2, self.budget // 100)
+
+    @property
+    def tau_u(self) -> int:
+        """Unfinished-jump threshold, scaled like the paper's
+        tau_U = 10,000 (about 13% of the budget)."""
+        return max(10, self.budget // 10)
+
+    def engine_config(self, **overrides):
+        """The benchmark's standard :class:`~repro.core.EngineConfig`."""
+        from repro.core.engine import EngineConfig
+
+        kw = dict(budget=self.budget, tau_f=self.tau_f, tau_u=self.tau_u)
+        kw.update(overrides)
+        return EngineConfig(**kw)
+
+    def workload(self):
+        """The benchmark's standard shuffled batch workload."""
+        from repro.benchgen.workload import standard_workload
+
+        return standard_workload(
+            load_benchmark(self.name).pag, shuffle_seed=self.params.seed
+        )
+
+
+def _jvm98(name: str, seed: int, apps: int, actions: int, budget: int,
+           wrapper: int = 6, hubs: int = 1, hub_writers: int = 6,
+           boxes: int = 3, vecs: int = 2) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name,
+        params=SynthesisParams(
+            seed=seed,
+            n_data_classes=4,
+            containment_depth=4,
+            n_boxes=boxes,
+            n_vecs=vecs,
+            n_box_subclasses=2,
+            n_util_chains=2,
+            wrapper_chain_len=wrapper,
+            n_app_classes=apps,
+            methods_per_app_class=3,
+            actions_per_method=actions,
+            n_globals=3,
+            n_hub_containers=hubs,
+            hub_writers=hub_writers,
+            read_fanout=3,
+        ),
+        budget=budget,
+        family="jvm98",
+    )
+
+
+def _dacapo(name: str, seed: int, apps: int, actions: int, budget: int,
+            wrapper: int = 4, hubs: int = 2, hub_writers: int = 8,
+            boxes: int = 2, vecs: int = 1) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name,
+        params=SynthesisParams(
+            seed=seed,
+            n_data_classes=3,
+            containment_depth=3,
+            n_boxes=boxes,
+            n_vecs=vecs,
+            n_box_subclasses=1,
+            n_util_chains=1,
+            wrapper_chain_len=wrapper,
+            n_app_classes=apps,
+            methods_per_app_class=4,
+            actions_per_method=actions,
+            n_globals=2,
+            n_hub_containers=hubs,
+            hub_writers=hub_writers,
+            read_fanout=3,
+        ),
+        budget=budget,
+        family="dacapo",
+    )
+
+
+#: The 20 suite entries, in Table I order.
+SUITE: Tuple[BenchmarkSpec, ...] = (
+    _jvm98("_200_check", seed=200, apps=5, actions=5, budget=150),
+    _jvm98("_201_compress", seed=201, apps=5, actions=6, budget=340),
+    _jvm98("_202_jess", seed=202, apps=8, actions=10, budget=1150, hubs=2, hub_writers=10),
+    _jvm98("_205_raytrace", seed=205, apps=6, actions=7, budget=450),
+    _jvm98("_209_db", seed=209, apps=5, actions=6, budget=300, hubs=2),
+    _jvm98("_213_javac", seed=213, apps=9, actions=10, budget=1990, wrapper=8, hubs=2, hub_writers=10),
+    _jvm98("_222_mpegaudio", seed=222, apps=7, actions=8, budget=920),
+    _jvm98("_227_mtrt", seed=227, apps=6, actions=7, budget=340),
+    _jvm98("_228_jack", seed=228, apps=7, actions=8, budget=300, hubs=2),
+    _jvm98("_999_checkit", seed=999, apps=5, actions=6, budget=220),
+    _dacapo("avrora", seed=301, apps=10, actions=6, budget=500),
+    _dacapo("batik", seed=302, apps=14, actions=7, budget=1430),
+    _dacapo("fop", seed=303, apps=15, actions=8, budget=920, hubs=3, hub_writers=10),
+    _dacapo("h2", seed=304, apps=12, actions=7, budget=660, hubs=3),
+    _dacapo("luindex", seed=305, apps=10, actions=6, budget=650),
+    _dacapo("lusearch", seed=306, apps=10, actions=7, budget=520, hubs=3),
+    _dacapo("pmd", seed=307, apps=13, actions=7, budget=790, hubs=3),
+    _dacapo("sunflow", seed=308, apps=11, actions=6, budget=790),
+    _dacapo("tomcat", seed=309, apps=16, actions=9, budget=1910, hubs=3, hub_writers=12),
+    _dacapo("xalan", seed=310, apps=13, actions=7, budget=820),
+)
+
+_BY_NAME: Dict[str, BenchmarkSpec] = {spec.name: spec for spec in SUITE}
+
+
+def suite_names() -> List[str]:
+    """Benchmark names in Table I order."""
+    return [spec.name for spec in SUITE]
+
+
+@lru_cache(maxsize=None)
+def load_benchmark(name: str) -> BuildResult:
+    """Generate and lower the named benchmark (cached per process)."""
+    spec = _BY_NAME.get(name)
+    if spec is None:
+        raise ReproError(f"unknown benchmark {name!r}; see suite_names()")
+    program = synthesize_program(spec.params)
+    return build_pag(program)
+
+
+def spec_of(name: str) -> BenchmarkSpec:
+    """The :class:`BenchmarkSpec` for ``name``."""
+    spec = _BY_NAME.get(name)
+    if spec is None:
+        raise ReproError(f"unknown benchmark {name!r}; see suite_names()")
+    return spec

@@ -1,0 +1,13 @@
+"""Call-graph construction and recursion-cycle collapsing.
+
+The paper's evaluation (Section IV-A) states that "recursion cycles of
+the call graph are collapsed": ``param_i``/``ret_i`` edges between
+methods that are mutually recursive are treated context-insensitively,
+which keeps call-string contexts finite along every realisable path.
+This package builds the call graph with class-hierarchy analysis and
+computes the set of call sites whose edges must be demoted.
+"""
+
+from repro.callgraph.graph import CallGraph, build_call_graph
+
+__all__ = ["CallGraph", "build_call_graph"]

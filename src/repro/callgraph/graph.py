@@ -1,0 +1,161 @@
+"""Call graph over mini-Java methods.
+
+Nodes are methods (by qualified name); there is one edge per
+(call site, resolved callee) pair.  Virtual sites are resolved with
+class-hierarchy analysis via
+:meth:`repro.ir.program.Program.lookup_virtual`.
+
+The key export for the analysis is :meth:`CallGraph.recursive_sites`:
+call sites that connect two methods inside one strongly connected
+component.  Lowering treats their ``param``/``ret`` edges as plain
+``assign`` edges (context-insensitive), implementing the paper's
+"recursion cycles of the call graph are collapsed" (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Set, Tuple
+
+from repro.ir.program import Method, Program
+from repro.ir.statements import Call
+from repro.ir.types import _tarjan_scc
+
+__all__ = ["CallEdge", "CallGraph", "build_call_graph"]
+
+
+class CallEdge(NamedTuple):
+    """One resolved call: ``caller`` invokes ``callee`` at ``site_id``."""
+
+    caller: str
+    callee: str
+    site_id: int
+
+
+class CallGraph:
+    """Immutable resolved call graph."""
+
+    def __init__(self, program: Program, edges: Iterable[CallEdge]) -> None:
+        self._program = program
+        self._edges: Tuple[CallEdge, ...] = tuple(edges)
+        self._succ: Dict[str, List[CallEdge]] = {}
+        self._pred: Dict[str, List[CallEdge]] = {}
+        self._by_site: Dict[int, List[CallEdge]] = {}
+        for e in self._edges:
+            self._succ.setdefault(e.caller, []).append(e)
+            self._pred.setdefault(e.callee, []).append(e)
+            self._by_site.setdefault(e.site_id, []).append(e)
+        self._scc_of: Dict[str, int] | None = None
+        self._sccs: List[List[str]] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> Tuple[CallEdge, ...]:
+        return self._edges
+
+    def methods(self) -> List[str]:
+        """All method names, in deterministic program order."""
+        return [m.qualified_name for m in self._program.methods()]
+
+    def callees_of(self, method: str) -> List[CallEdge]:
+        return self._succ.get(method, [])
+
+    def callers_of(self, method: str) -> List[CallEdge]:
+        return self._pred.get(method, [])
+
+    def callees_at_site(self, site_id: int) -> List[CallEdge]:
+        return self._by_site.get(site_id, [])
+
+    # ------------------------------------------------------------------
+    # SCCs / recursion
+    # ------------------------------------------------------------------
+    def _ensure_sccs(self) -> None:
+        if self._scc_of is not None:
+            return
+        nodes = self.methods()
+        succ = {m: sorted({e.callee for e in self._succ.get(m, [])}) for m in nodes}
+        # Methods reachable only through edges may not be listed (should
+        # not happen — all callees are program methods) but be safe:
+        for e in self._edges:
+            succ.setdefault(e.caller, [])
+            succ.setdefault(e.callee, [])
+            if e.caller not in nodes:
+                nodes.append(e.caller)
+            if e.callee not in nodes:
+                nodes.append(e.callee)
+        self._scc_of, self._sccs = _tarjan_scc(nodes, succ)
+
+    def scc_of(self, method: str) -> int:
+        """Strongly-connected-component id of ``method``."""
+        self._ensure_sccs()
+        assert self._scc_of is not None
+        return self._scc_of[method]
+
+    def sccs(self) -> List[List[str]]:
+        """All components (singletons included), reverse-topological order."""
+        self._ensure_sccs()
+        assert self._sccs is not None
+        return self._sccs
+
+    def recursive_methods(self) -> Set[str]:
+        """Methods on some cycle: members of non-trivial SCCs plus
+        direct self-recursion."""
+        self._ensure_sccs()
+        assert self._sccs is not None
+        out: Set[str] = set()
+        for comp in self._sccs:
+            if len(comp) > 1:
+                out.update(comp)
+        for e in self._edges:
+            if e.caller == e.callee:
+                out.add(e.caller)
+        return out
+
+    def recursive_sites(self) -> FrozenSet[int]:
+        """Call sites whose caller and some callee share an SCC.
+
+        ``param``/``ret`` edges of these sites are lowered as plain
+        ``assign`` edges, collapsing recursion cycles so that call-string
+        contexts stay finite.
+        """
+        self._ensure_sccs()
+        assert self._scc_of is not None
+        sites: Set[int] = set()
+        for e in self._edges:
+            if e.caller == e.callee or self._scc_of[e.caller] == self._scc_of[e.callee]:
+                sites.add(e.site_id)
+        return frozenset(sites)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __repr__(self) -> str:
+        return f"CallGraph({len(self.methods())} methods, {len(self._edges)} edges)"
+
+
+def build_call_graph(program: Program) -> CallGraph:
+    """Resolve every call site of a sealed program into a :class:`CallGraph`."""
+    edges: List[CallEdge] = []
+    for method in program.methods():
+        for stmt in method.body:
+            if not isinstance(stmt, Call):
+                continue
+            assert stmt.site_id is not None, "program must be sealed"
+            edges.extend(
+                CallEdge(method.qualified_name, callee.qualified_name, stmt.site_id)
+                for callee in _resolve(program, method, stmt)
+            )
+    return CallGraph(program, edges)
+
+
+def _resolve(program: Program, caller: Method, stmt: Call) -> List[Method]:
+    if stmt.is_static:
+        return [program.lookup_static(stmt.class_name, stmt.method_name)]
+    recv = caller.locals.get(stmt.receiver or "")
+    if recv is None:
+        recv_global = program.globals.get(stmt.receiver or "")
+        if recv_global is None:
+            return []
+        recv_type = recv_global.type_name
+    else:
+        recv_type = recv.type_name
+    return program.lookup_virtual(recv_type, stmt.method_name)

@@ -1,0 +1,249 @@
+"""AST and builder for the mini-C front-end.
+
+Statements (all operands are variable names; every variable is a
+pointer-sized cell, as in the classic C points-to formulations):
+
+=====================  ==========================================
+``Copy(p, q)``         ``p = q``
+``AddrOf(p, x)``       ``p = &x``
+``Alloc(p)``           ``p = alloc()`` (malloc site)
+``LoadDeref(p, q)``    ``p = *q``
+``StoreDeref(p, q)``   ``*p = q``
+``CallStmt(r, f, a)``  ``r = f(a...)`` (direct call; ``r`` optional)
+``Ret(x)``             ``return x``
+=====================  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import IRError, ValidationError
+
+__all__ = [
+    "Copy", "AddrOf", "Alloc", "LoadDeref", "StoreDeref", "CallStmt", "Ret",
+    "CFunc", "CProgram", "CProgramBuilder", "FuncBuilder",
+]
+
+
+@dataclass(frozen=True)
+class Copy:
+    target: str
+    source: str
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.source}"
+
+
+@dataclass(frozen=True)
+class AddrOf:
+    target: str
+    var: str
+
+    def __str__(self) -> str:
+        return f"{self.target} = &{self.var}"
+
+
+@dataclass(frozen=True)
+class Alloc:
+    target: str
+
+    def __str__(self) -> str:
+        return f"{self.target} = alloc()"
+
+
+@dataclass(frozen=True)
+class LoadDeref:
+    target: str
+    pointer: str
+
+    def __str__(self) -> str:
+        return f"{self.target} = *{self.pointer}"
+
+
+@dataclass(frozen=True)
+class StoreDeref:
+    pointer: str
+    source: str
+
+    def __str__(self) -> str:
+        return f"*{self.pointer} = {self.source}"
+
+
+@dataclass
+class CallStmt:
+    result: Optional[str]
+    callee: str
+    args: Tuple[str, ...]
+    #: assigned by CProgram.seal()
+    site_id: Optional[int] = None
+
+    def __str__(self) -> str:
+        call = f"{self.callee}({', '.join(self.args)})"
+        return f"{self.result} = {call}" if self.result else call
+
+
+@dataclass(frozen=True)
+class Ret:
+    value: str
+
+    def __str__(self) -> str:
+        return f"return {self.value}"
+
+
+CStmt = object  # documentation alias
+
+
+@dataclass
+class CFunc:
+    """One C function: named params, declared locals, statement list."""
+
+    name: str
+    params: List[str] = field(default_factory=list)
+    locals: List[str] = field(default_factory=list)
+    body: List[object] = field(default_factory=list)
+
+    def all_vars(self) -> List[str]:
+        return list(self.params) + list(self.locals)
+
+
+class CProgram:
+    """A whole mini-C program."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, CFunc] = {}
+        self.globals: List[str] = []
+        self._sealed = False
+        self.n_call_sites = 0
+
+    def add_function(self, func: CFunc) -> CFunc:
+        if func.name in self.functions:
+            raise IRError(f"duplicate function {func.name!r}")
+        self.functions[func.name] = func
+        return func
+
+    def add_global(self, name: str) -> None:
+        if name in self.globals:
+            raise IRError(f"duplicate global {name!r}")
+        self.globals.append(name)
+
+    def seal(self) -> "CProgram":
+        if self._sealed:
+            return self
+        site = 0
+        for func in self.functions.values():
+            for stmt in func.body:
+                if isinstance(stmt, CallStmt):
+                    stmt.site_id = site
+                    site += 1
+        self.n_call_sites = site
+        self._sealed = True
+        return self
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        problems: List[str] = []
+        globs = set(self.globals)
+        for func in self.functions.values():
+            names = set(func.all_vars())
+            dupes = [v for v in func.all_vars() if func.all_vars().count(v) > 1]
+            if dupes:
+                problems.append(f"{func.name}: duplicate variable(s) {sorted(set(dupes))}")
+
+            def check(name: str, role: str) -> None:
+                if name not in names and name not in globs:
+                    problems.append(f"{func.name}: {role} {name!r} undeclared")
+
+            for stmt in func.body:
+                if isinstance(stmt, Copy):
+                    check(stmt.target, "target"); check(stmt.source, "source")
+                elif isinstance(stmt, AddrOf):
+                    check(stmt.target, "target"); check(stmt.var, "addressed var")
+                elif isinstance(stmt, Alloc):
+                    check(stmt.target, "target")
+                elif isinstance(stmt, LoadDeref):
+                    check(stmt.target, "target"); check(stmt.pointer, "pointer")
+                elif isinstance(stmt, StoreDeref):
+                    check(stmt.pointer, "pointer"); check(stmt.source, "source")
+                elif isinstance(stmt, Ret):
+                    check(stmt.value, "return value")
+                elif isinstance(stmt, CallStmt):
+                    callee = self.functions.get(stmt.callee)
+                    if callee is None:
+                        problems.append(f"{func.name}: unknown function {stmt.callee!r}")
+                    elif len(callee.params) != len(stmt.args):
+                        problems.append(
+                            f"{func.name}: call to {stmt.callee} with "
+                            f"{len(stmt.args)} args, expected {len(callee.params)}"
+                        )
+                    for a in stmt.args:
+                        check(a, "argument")
+                    if stmt.result is not None:
+                        check(stmt.result, "result")
+        if problems:
+            raise ValidationError(
+                f"{len(problems)} validation error(s):\n  " + "\n  ".join(problems)
+            )
+
+
+class FuncBuilder:
+    """Fluent builder for one function."""
+
+    def __init__(self, func: CFunc) -> None:
+        self._func = func
+
+    def local(self, *names: str) -> "FuncBuilder":
+        self._func.locals.extend(names)
+        return self
+
+    def copy(self, target: str, source: str) -> "FuncBuilder":
+        self._func.body.append(Copy(target, source))
+        return self
+
+    def addr_of(self, target: str, var: str) -> "FuncBuilder":
+        self._func.body.append(AddrOf(target, var))
+        return self
+
+    def alloc(self, target: str) -> "FuncBuilder":
+        self._func.body.append(Alloc(target))
+        return self
+
+    def load(self, target: str, pointer: str) -> "FuncBuilder":
+        self._func.body.append(LoadDeref(target, pointer))
+        return self
+
+    def store(self, pointer: str, source: str) -> "FuncBuilder":
+        self._func.body.append(StoreDeref(pointer, source))
+        return self
+
+    def call(self, callee: str, args: Sequence[str] = (), result: Optional[str] = None) -> "FuncBuilder":
+        self._func.body.append(CallStmt(result, callee, tuple(args)))
+        return self
+
+    def ret(self, value: str) -> "FuncBuilder":
+        self._func.body.append(Ret(value))
+        return self
+
+
+class CProgramBuilder:
+    """Fluent builder for :class:`CProgram`."""
+
+    def __init__(self) -> None:
+        self._program = CProgram()
+
+    def global_var(self, *names: str) -> "CProgramBuilder":
+        for name in names:
+            self._program.add_global(name)
+        return self
+
+    def func(self, name: str, params: Sequence[str] = ()) -> FuncBuilder:
+        func = CFunc(name, params=list(params))
+        self._program.add_function(func)
+        return FuncBuilder(func)
+
+    def build(self, validate: bool = True) -> CProgram:
+        self._program.seal()
+        if validate:
+            self._program.validate()
+        return self._program

@@ -1,0 +1,214 @@
+"""Concrete syntax for the mini-C front-end.
+
+Grammar::
+
+    program  := (globaldecl | funcdecl)*
+    globaldecl := "global" NAME
+    funcdecl := "func" NAME "(" [NAME ("," NAME)*] ")" "{" stmt* "}"
+    stmt     := "var" NAME ("," NAME)*
+              | NAME "=" "alloc" "(" ")"
+              | NAME "=" "&" NAME
+              | NAME "=" "*" NAME
+              | NAME "=" NAME "(" args ")"
+              | NAME "=" NAME
+              | "*" NAME "=" NAME
+              | NAME "(" args ")"
+              | "return" NAME
+
+``//`` and ``#`` comments run to end of line.  Example::
+
+    func id(x) { return x }
+    func main() {
+      var p, q, v
+      v = alloc()
+      p = &v
+      *p = v
+      q = id(p)
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from repro.cfront.ast import CProgram, CProgramBuilder, FuncBuilder
+from repro.errors import ParseError
+
+__all__ = ["parse_c"]
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>(//|\#)[^\n]*)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[{}(),=*&])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = frozenset({"func", "global", "var", "return", "alloc"})
+
+
+def _tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    pos, line = 0, 1
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", line)
+        chunk = m.group(0)
+        if m.lastgroup == "name":
+            tokens.append(Token("NAME", chunk, line))
+        elif m.lastgroup == "punct":
+            tokens.append(Token("PUNCT", chunk, line))
+        line += chunk.count("\n")
+        pos = m.end()
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._i = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._i >= len(self._tokens)
+
+    @property
+    def line(self) -> int:
+        if self._i < len(self._tokens):
+            return self._tokens[self._i].line
+        return self._tokens[-1].line if self._tokens else 1
+
+    def peek(self) -> Optional[Token]:
+        return self._tokens[self._i] if self._i < len(self._tokens) else None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input", self.line)
+        self._i += 1
+        return tok
+
+    def expect(self, text: str) -> Token:
+        tok = self.next()
+        if tok.text != text:
+            raise ParseError(f"expected {text!r}, got {tok.text!r}", tok.line)
+        return tok
+
+    def expect_name(self, what: str = "identifier") -> str:
+        tok = self.next()
+        if tok.kind != "NAME" or tok.text in _KEYWORDS:
+            raise ParseError(f"expected {what}, got {tok.text!r}", tok.line)
+        return tok.text
+
+    def accept(self, text: str) -> bool:
+        tok = self.peek()
+        if tok is not None and tok.text == text:
+            self._i += 1
+            return True
+        return False
+
+
+def parse_c(text: str, validate: bool = True) -> CProgram:
+    """Parse mini-C source into a sealed (validated) :class:`CProgram`."""
+    cur = _Cursor(_tokenize(text))
+    builder = CProgramBuilder()
+    while not cur.exhausted:
+        tok = cur.peek()
+        assert tok is not None
+        if tok.text == "global":
+            cur.next()
+            builder.global_var(cur.expect_name("global name"))
+        elif tok.text == "func":
+            _parse_func(cur, builder)
+        else:
+            raise ParseError(
+                f"expected 'func' or 'global', got {tok.text!r}", tok.line
+            )
+    return builder.build(validate=validate)
+
+
+def _parse_func(cur: _Cursor, builder: CProgramBuilder) -> None:
+    cur.expect("func")
+    name = cur.expect_name("function name")
+    cur.expect("(")
+    params: List[str] = []
+    if not cur.accept(")"):
+        while True:
+            params.append(cur.expect_name("parameter"))
+            if cur.accept(")"):
+                break
+            cur.expect(",")
+    fb = builder.func(name, params)
+    cur.expect("{")
+    while not cur.accept("}"):
+        _parse_stmt(cur, fb)
+
+
+def _parse_args(cur: _Cursor) -> List[str]:
+    args: List[str] = []
+    if cur.accept(")"):
+        return args
+    while True:
+        args.append(cur.expect_name("argument"))
+        if cur.accept(")"):
+            return args
+        cur.expect(",")
+
+
+def _parse_stmt(cur: _Cursor, fb: FuncBuilder) -> None:
+    tok = cur.peek()
+    if tok is None:
+        raise ParseError("unterminated function body", cur.line)
+    if tok.text == "var":
+        cur.next()
+        fb.local(cur.expect_name("local name"))
+        while cur.accept(","):
+            fb.local(cur.expect_name("local name"))
+        return
+    if tok.text == "return":
+        cur.next()
+        fb.ret(cur.expect_name("return value"))
+        return
+    if tok.text == "*":
+        cur.next()
+        ptr = cur.expect_name("pointer")
+        cur.expect("=")
+        fb.store(ptr, cur.expect_name("stored value"))
+        return
+
+    first = cur.expect_name()
+    sep = cur.next()
+    if sep.text == "(":
+        fb.call(first, _parse_args(cur))
+        return
+    if sep.text != "=":
+        raise ParseError(f"expected '=' or '(', got {sep.text!r}", sep.line)
+    if cur.accept("&"):
+        fb.addr_of(first, cur.expect_name("addressed variable"))
+        return
+    if cur.accept("*"):
+        fb.load(first, cur.expect_name("pointer"))
+        return
+    rhs_tok = cur.peek()
+    if rhs_tok is not None and rhs_tok.text == "alloc":
+        cur.next()
+        cur.expect("(")
+        cur.expect(")")
+        fb.alloc(first)
+        return
+    rhs = cur.expect_name("source")
+    if cur.accept("("):
+        fb.call(rhs, _parse_args(cur), result=first)
+    else:
+        fb.copy(first, rhs)

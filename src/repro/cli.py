@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``analyze FILE``
+    Parse a mini-Java (``.mj``, default) or mini-C (``.c``) program and
+    answer points-to queries.
+
+    * ``--query var@Class.method`` (repeatable) — specific queries;
+      default: every application local.
+    * ``--ctx "1,2"`` — call-string context for the queries.
+    * ``--context-insensitive`` / ``--field-based`` — precision knobs.
+    * ``--budget N`` — per-query step budget.
+    * ``--explain`` — print a certified flowsTo witness per answer.
+    * ``--alias a@M.m b@M.m`` — a may-alias query instead.
+
+``batch FILE``
+    Run the batch-parallel analysis over all application locals and
+    print the mode ladder (seq / naive / D / DQ).
+
+``graph FILE``
+    Emit the program's PAG in Graphviz DOT form.
+
+``bench``
+    Shortcut for ``python -m repro.harness`` (tables and figures).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["main"]
+
+
+def _load(path: Path, language: Optional[str]):
+    """Parse+lower a program file; returns (build, kind) where kind is
+    'java' or 'c'."""
+    text = path.read_text()
+    lang = language or ("c" if path.suffix == ".c" else "java")
+    if lang == "c":
+        from repro.cfront import lower_c, parse_c
+
+        return lower_c(parse_c(text)), "c"
+    from repro.ir import parse_program
+    from repro.pag import build_pag
+
+    return build_pag(parse_program(text)), "java"
+
+
+def _resolve_query(build, kind: str, spec: str) -> int:
+    """``var@Class.method`` (or bare global name) -> node id."""
+    name, _, scope = spec.partition("@")
+    if kind == "c":
+        return build.value_node(name, scope or None)
+    return build.var(name, scope or None)
+
+
+def _parse_ctx(text: Optional[str]) -> Tuple[int, ...]:
+    if not text:
+        return ()
+    try:
+        return tuple(int(p) for p in text.split(",") if p.strip())
+    except ValueError:
+        raise ReproError(f"bad context {text!r}: expected comma-separated site ids")
+
+
+def _cmd_analyze(args) -> int:
+    from repro.core import CFLEngine, EngineConfig
+    from repro.core.tracing import TracingEngine
+
+    build, kind = _load(args.file, args.language)
+    pag = build.pag
+    cfg = EngineConfig(
+        budget=args.budget,
+        context_sensitive=not args.context_insensitive,
+        field_mode="match" if args.field_based else None,
+    )
+    ctx = _parse_ctx(args.ctx)
+
+    if args.alias:
+        engine = CFLEngine(pag, cfg)
+        a = _resolve_query(build, kind, args.alias[0])
+        b = _resolve_query(build, kind, args.alias[1])
+        verdict = engine.may_alias(a, b, ctx)
+        print(f"may_alias({args.alias[0]}, {args.alias[1]}) = {verdict}")
+        return 0
+
+    engine = TracingEngine(pag, cfg) if args.explain else CFLEngine(pag, cfg)
+    if args.query:
+        targets = [(spec, _resolve_query(build, kind, spec)) for spec in args.query]
+    else:
+        targets = [(pag.name(v), v) for v in pag.app_locals()]
+
+    for label, node in targets:
+        result = engine.points_to(node, ctx)
+        objs = sorted(pag.name(o) for o in result.objects)
+        flag = "  [budget exhausted]" if result.exhausted else ""
+        print(f"pts({label}) = {objs}{flag}")
+        if args.explain and not result.exhausted:
+            for obj, obj_ctx in sorted(result.points_to):
+                witness = engine.explain(pag.rep(node), ctx, obj, obj_ctx)
+                certified = "certified" if witness.certify() else "NOT CERTIFIED"
+                print(f"    {witness.pretty()}   [{certified}]")
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    from repro.core import EngineConfig
+    from repro.runtime import ParallelCFL
+
+    build, _kind = _load(args.file, args.language)
+    cfg = EngineConfig(budget=args.budget)
+    seq = ParallelCFL(build.pag, mode="seq", engine_config=cfg).run()
+    print(f"{build.pag}: {seq.n_queries} queries")
+    print(f"{'config':12s} {'speedup':>8s} {'work':>10s} {'jumps':>7s} {'ETs':>5s}")
+    print(f"{'SeqCFL':12s} {'1.0x':>8s} {seq.total_work:10d} {0:7d} {0:5d}")
+    for mode in ("naive", "D", "DQ"):
+        batch = ParallelCFL(
+            build.pag, mode=mode, n_threads=args.threads, engine_config=cfg
+        ).run()
+        print(
+            f"{mode + ' x' + str(args.threads):12s} "
+            f"{batch.speedup_over(seq):7.1f}x {batch.total_work:10d} "
+            f"{batch.n_jumps:7d} {batch.n_early_terminations:5d}"
+        )
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.harness.run_all import main as harness_main
+
+    return harness_main(args.harness_args or ["table2"])
+
+
+def _cmd_graph(args) -> int:
+    from repro.pag.dot import to_dot
+
+    build, _kind = _load(args.file, args.language)
+    print(to_dot(build.pag))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Demand-driven CFL-reachability pointer analysis.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("file", type=Path, help="program source (.mj or .c)")
+        p.add_argument(
+            "--language", choices=("java", "c"), default=None,
+            help="front-end override (default: by file suffix)",
+        )
+        p.add_argument("--budget", type=int, default=75_000)
+
+    analyze = sub.add_parser("analyze", help="answer points-to queries")
+    add_common(analyze)
+    analyze.add_argument("--query", action="append", metavar="VAR@Class.method")
+    analyze.add_argument("--ctx", default=None, help="call-string, e.g. '2,5'")
+    analyze.add_argument("--context-insensitive", action="store_true")
+    analyze.add_argument("--field-based", action="store_true",
+                         help="cheap field-based over-approximation")
+    analyze.add_argument("--explain", action="store_true",
+                         help="print certified flowsTo witnesses")
+    analyze.add_argument("--alias", nargs=2, metavar=("A", "B"),
+                         help="may-alias query instead of points-to")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    batch = sub.add_parser("batch", help="run the parallel batch modes")
+    add_common(batch)
+    batch.add_argument("--threads", type=int, default=16)
+    batch.set_defaults(func=_cmd_batch)
+
+    graph = sub.add_parser("graph", help="emit the PAG as Graphviz DOT")
+    add_common(graph)
+    graph.set_defaults(func=_cmd_graph)
+
+    bench = sub.add_parser(
+        "bench", help="regenerate the paper's tables/figures (repro.harness)"
+    )
+    bench.add_argument("harness_args", nargs=argparse.REMAINDER,
+                       help="arguments passed to repro.harness")
+    bench.set_defaults(func=_cmd_bench)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Core CFL-reachability pointer analysis.
+
+* :mod:`repro.core.context` — call-string contexts (the ``c`` in
+  queries ``(l, c)``).
+* :mod:`repro.core.query` — query/result records and per-query state.
+* :mod:`repro.core.jumpmap` — the jump-edge store (the paper's
+  ``ConcurrentHashMap``), plus the layered view used by the simulated
+  parallel runtime.
+* :mod:`repro.core.engine` — Algorithms 1 and 2: ``POINTSTO`` /
+  ``FLOWSTO`` / ``REACHABLENODES`` with optional data sharing.
+* :mod:`repro.core.scheduling` — the query-scheduling scheme
+  (grouping, connection distances, dependence depths).
+* :mod:`repro.core.cfl` — executable definitions of the paper's
+  grammars (1)-(4), used by tests to certify witness paths.
+"""
+
+from repro.core.context import EMPTY_CTX, ctx_pop, ctx_push, ctx_top
+from repro.core.engine import CFLEngine, EngineConfig
+from repro.core.jumpmap import JumpMap, LayeredJumpMap
+from repro.core.query import Query, QueryResult
+from repro.core.incremental import IncrementalAnalysis
+from repro.core.refinement import RefinedAnswer, RefinementDriver
+from repro.core.tracing import TracingEngine, Witness
+from repro.core.scheduling import (
+    QueryGroup,
+    ScheduleConfig,
+    connection_distances,
+    schedule_queries,
+)
+
+__all__ = [
+    "IncrementalAnalysis",
+    "RefinedAnswer",
+    "RefinementDriver",
+    "TracingEngine",
+    "Witness",
+    "QueryGroup",
+    "ScheduleConfig",
+    "connection_distances",
+    "schedule_queries",
+    "CFLEngine",
+    "EMPTY_CTX",
+    "EngineConfig",
+    "JumpMap",
+    "LayeredJumpMap",
+    "Query",
+    "QueryResult",
+    "ctx_pop",
+    "ctx_push",
+    "ctx_top",
+]

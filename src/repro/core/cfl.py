@@ -1,0 +1,285 @@
+"""Executable definitions of the paper's grammars (1)-(4).
+
+The engine never interprets a grammar at runtime (its traversal rules
+*are* the grammar, compiled by hand); this module exists so the test
+suite can certify concrete witness paths against the formal language
+definitions:
+
+* :func:`lft_grammar` — grammar (1), ``flowsTo -> new assign*``;
+* :func:`lfs_grammar` — grammar (2), field-sensitive matching with the
+  ``alias`` nonterminal and barred inverse edges;
+* :func:`is_realizable` — the regular condition R_CS of grammar (3),
+  checked by stack simulation with partially balanced parentheses;
+* :func:`lfs_with_jumps` — grammar (4), (2) extended with ``jmp``
+  terminals.
+
+Membership is decided by a generic CYK recognizer over an arbitrary
+context-free grammar (converted to Chomsky normal form internally), so
+the test assertions are independent of the engine's traversal code.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple, Union
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "CFG",
+    "lft_grammar",
+    "lfs_grammar",
+    "lfs_with_jumps",
+    "is_realizable",
+    "bar",
+]
+
+#: Grammar symbols are strings; terminals and nonterminals share the
+#: namespace and are distinguished by which strings have productions.
+Symbol = str
+Production = Tuple[Symbol, ...]
+
+
+def bar(terminal: str) -> str:
+    """The inverse-edge terminal (``x̄``), written ``~x``."""
+    return terminal[1:] if terminal.startswith("~") else "~" + terminal
+
+
+class CFG:
+    """A context-free grammar with a CYK membership test.
+
+    Build with :meth:`add`; ``recognizes`` converts to CNF lazily (with
+    ε- and unit-production elimination) and caches the result.
+    """
+
+    def __init__(self, start: Symbol) -> None:
+        self.start = start
+        self.productions: Dict[Symbol, List[Production]] = {}
+        self._cnf: "_CNF | None" = None
+
+    def add(self, head: Symbol, *rhs: Symbol) -> "CFG":
+        """Add the production ``head -> rhs`` (empty ``rhs`` = ε)."""
+        self.productions.setdefault(head, []).append(tuple(rhs))
+        self._cnf = None
+        return self
+
+    @property
+    def nonterminals(self) -> FrozenSet[Symbol]:
+        return frozenset(self.productions)
+
+    def terminals(self) -> FrozenSet[Symbol]:
+        out: Set[Symbol] = set()
+        for prods in self.productions.values():
+            for rhs in prods:
+                out.update(s for s in rhs if s not in self.productions)
+        return frozenset(out)
+
+    def recognizes(self, string: Sequence[Symbol], start: Symbol | None = None) -> bool:
+        """Is ``string`` in the language of ``start`` (default: the
+        grammar's start symbol)?"""
+        if self._cnf is None:
+            self._cnf = _CNF(self)
+        return self._cnf.recognizes(tuple(string), start or self.start)
+
+
+class _CNF:
+    """Chomsky-normal-form compilation + CYK."""
+
+    def __init__(self, grammar: CFG) -> None:
+        self.grammar = grammar
+        fresh = itertools.count()
+
+        # 1. binarise and lift terminals into fresh nonterminals
+        self.unit: Dict[Symbol, Set[Symbol]] = {}       # A -> B
+        self.term: Dict[Symbol, Set[Symbol]] = {}       # A -> a
+        self.pair: Dict[Tuple[Symbol, Symbol], Set[Symbol]] = {}  # A -> B C
+        self.nullable: Set[Symbol] = set()
+        nts = set(grammar.productions)
+
+        def lift(symbol: Symbol) -> Symbol:
+            if symbol in nts:
+                return symbol
+            proxy = f"<t{symbol}>"
+            if proxy not in self.term_index:
+                self.term_index[proxy] = symbol
+                self.term.setdefault(symbol, set()).add(proxy)
+            return proxy
+
+        self.term_index: Dict[Symbol, Symbol] = {}
+        binary: List[Tuple[Symbol, Symbol, Symbol]] = []
+        units: List[Tuple[Symbol, Symbol]] = []
+        epsilons: Set[Symbol] = set()
+
+        for head, prods in grammar.productions.items():
+            for rhs in prods:
+                if len(rhs) == 0:
+                    epsilons.add(head)
+                elif len(rhs) == 1:
+                    sym = rhs[0]
+                    if sym in nts:
+                        units.append((head, sym))
+                    else:
+                        self.term.setdefault(sym, set()).add(head)
+                else:
+                    # binarise left-to-right through fresh nonterminals
+                    syms = [lift(s) for s in rhs]
+                    prev = syms[0]
+                    for i, nxt in enumerate(syms[1:], start=1):
+                        if i == len(syms) - 1:
+                            binary.append((head, prev, nxt))
+                        else:
+                            mid = f"<b{next(fresh)}>"
+                            binary.append((mid, prev, nxt))
+                            prev = mid
+
+        # 2. nullable closure (over unit edges and binary rules)
+        nullable = set(epsilons)
+        changed = True
+        while changed:
+            changed = False
+            for head, a in units:
+                if a in nullable and head not in nullable:
+                    nullable.add(head)
+                    changed = True
+            for head, b, c in binary:
+                if b in nullable and c in nullable and head not in nullable:
+                    nullable.add(head)
+                    changed = True
+        self.nullable = nullable
+
+        # 3. nullable elimination: A -> B C with nullable parts becomes
+        # unit productions
+        for head, b, c in binary:
+            self.pair.setdefault((b, c), set()).add(head)
+            if b in nullable:
+                units.append((head, c))
+            if c in nullable:
+                units.append((head, b))
+
+        # 4. unit closure
+        unit_sets: Dict[Symbol, Set[Symbol]] = {}
+        for head, a in units:
+            unit_sets.setdefault(a, set()).add(head)
+        # transitive closure
+        changed = True
+        while changed:
+            changed = False
+            for a, heads in list(unit_sets.items()):
+                for h in list(heads):
+                    for h2 in unit_sets.get(h, ()):
+                        if h2 not in heads:
+                            heads.add(h2)
+                            changed = True
+        self.unit = unit_sets
+
+    def _close(self, symbols: Set[Symbol]) -> Set[Symbol]:
+        out = set(symbols)
+        for s in symbols:
+            out.update(self.unit.get(s, ()))
+        # unit sets are transitively closed already
+        return out
+
+    def recognizes(self, string: Tuple[Symbol, ...], start: Symbol) -> bool:
+        n = len(string)
+        if n == 0:
+            return start in self.nullable
+        # CYK table: table[i][l] = set of symbols deriving string[i:i+l]
+        table: List[List[Set[Symbol]]] = [
+            [set() for _ in range(n + 1)] for _ in range(n)
+        ]
+        for i, sym in enumerate(string):
+            cell = set(self.term.get(sym, ()))
+            proxy = self.term_index  # proxies map proxy->terminal
+            for p, t in proxy.items():
+                if t == sym:
+                    cell.add(p)
+            table[i][1] = self._close(cell)
+        for length in range(2, n + 1):
+            for i in range(0, n - length + 1):
+                cell: Set[Symbol] = set()
+                for split in range(1, length):
+                    left = table[i][split]
+                    right = table[i + split][length - split]
+                    for b in left:
+                        for c in right:
+                            cell.update(self.pair.get((b, c), ()))
+                table[i][length] = self._close(cell)
+        return start in table[0][n]
+
+
+# ----------------------------------------------------------------------
+# the paper's grammars
+# ----------------------------------------------------------------------
+def lft_grammar() -> CFG:
+    """Grammar (1): ``flowsTo -> new assign*`` (field-insensitive)."""
+    g = CFG("flowsTo")
+    g.add("flowsTo", "new", "assigns")
+    g.add("assigns")
+    g.add("assigns", "assign", "assigns")
+    return g
+
+
+def lfs_grammar(fields: Iterable[str] = ("f",)) -> CFG:
+    """Grammar (2): field-sensitive ``flowsTo``/``flowsToBar``/``alias``.
+
+    Terminals per field ``f``: ``st:f``, ``ld:f`` and their bars
+    (``~st:f``, ``~ld:f``), plus ``new``/``assign`` and bars.
+    """
+    g = CFG("flowsTo")
+    g.add("flowsTo", "new", "steps")
+    g.add("steps")
+    g.add("steps", "step", "steps")
+    g.add("step", "assign")
+    g.add("alias", "flowsToBar", "flowsTo")
+    g.add("flowsToBar", "stepsBar", bar("new"))
+    g.add("stepsBar")
+    g.add("stepsBar", "stepBar", "stepsBar")
+    g.add("stepBar", bar("assign"))
+    for f in fields:
+        g.add("step", f"st:{f}", "alias", f"ld:{f}")
+        g.add("stepBar", bar(f"ld:{f}"), "alias", bar(f"st:{f}"))
+    return g
+
+
+def lfs_with_jumps(fields: Iterable[str] = ("f",)) -> CFG:
+    """Grammar (4): grammar (2) extended with ``jmp`` shortcut
+    terminals in both directions."""
+    g = lfs_grammar(fields)
+    g.add("step", "jmp")
+    g.add("stepBar", bar("jmp"))
+    return g
+
+
+def is_realizable(string: Sequence[Symbol]) -> bool:
+    """The context condition R_CS of grammar (3), on ``param:i`` /
+    ``ret:i`` terminals (bars included), by stack simulation.
+
+    Backwards-traversal convention (Algorithm 1): ``ret:i`` *enters* a
+    callee (push ``i``); ``param:i`` *exits* to call site ``i`` (pop,
+    which must match — or the stack may be empty: realisable paths are
+    only partially balanced).  Barred terminals swap the roles.  All
+    other terminals are ignored.
+    """
+    stack: List[int] = []
+    for sym in string:
+        barred = sym.startswith("~")
+        body = sym[1:] if barred else sym
+        if ":" not in body:
+            continue
+        kind, _, site_s = body.partition(":")
+        if kind not in ("param", "ret"):
+            continue
+        try:
+            site = int(site_s)
+        except ValueError:
+            raise AnalysisError(f"malformed call-site terminal {sym!r}")
+        entering = (kind == "ret") != barred
+        if entering:
+            stack.append(site)
+        else:
+            if stack:
+                if stack[-1] != site:
+                    return False
+                stack.pop()
+            # empty stack: allowed (partially balanced)
+    return True

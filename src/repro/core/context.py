@@ -1,0 +1,48 @@
+"""Call-string contexts.
+
+A context ``c`` is the stack of call sites the traversal has virtually
+"returned into": traversing a ``ret_i`` edge backwards (entering the
+callee from its return) pushes ``i``; traversing a ``param_i`` edge
+backwards (exiting to the call site) requires ``c`` to be empty or have
+``i`` on top, and pops (Algorithm 1 lines 12-15).  Realisable paths may
+be *partially balanced* — they need not start and end in the same
+method — hence the ``c = ∅`` escape.
+
+Contexts are plain tuples with the **top at the end**.  Tuples hash and
+compare structurally, are immutable (safe as dict keys in the memo and
+jump map), and stay tiny because recursion cycles are collapsed before
+lowering, bounding every realisable call string by the call-graph
+depth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+__all__ = ["Context", "EMPTY_CTX", "ctx_push", "ctx_pop", "ctx_top", "ctx_depth"]
+
+Context = Tuple[int, ...]
+
+#: The empty context ``∅`` — also the context of every global variable.
+EMPTY_CTX: Context = ()
+
+
+def ctx_push(c: Context, site: int) -> Context:
+    """Push call site ``site`` onto ``c``."""
+    return c + (site,)
+
+
+def ctx_pop(c: Context) -> Context:
+    """Pop the top site; popping the empty context is the identity
+    (the paper's ``∅.pop() ≡ ∅``, Algorithm 1 line 14)."""
+    return c[:-1] if c else c
+
+
+def ctx_top(c: Context) -> Optional[int]:
+    """Top call site, or ``None`` for the empty context."""
+    return c[-1] if c else None
+
+
+def ctx_depth(c: Context) -> int:
+    """Stack depth of ``c``."""
+    return len(c)

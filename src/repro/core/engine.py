@@ -1,0 +1,539 @@
+"""The CFL-reachability pointer-analysis engine (Algorithms 1 and 2).
+
+``POINTSTO`` and ``FLOWSTO`` are the two directions of one traversal:
+
+* **backwards** (``POINTSTO``): from a variable toward objects, along
+  *incoming* value-flow edges — the ``flowsTo-bar`` direction;
+* **forwards** (``FLOWSTO``): from an object toward the variables it
+  flows to, along *outgoing* edges — the ``flowsTo`` direction.
+
+Field-sensitivity (grammar (2)) is the ``st(f) alias ld(f)`` matching
+done by ``REACHABLENODES``; context-sensitivity (grammar (3)) is the
+call-site stack matched at ``param_i``/``ret_i`` edges with partially
+balanced parentheses.  Data sharing (Algorithm 2) consults and extends
+a :class:`~repro.core.jumpmap.JumpMap` around every alias-matching
+round.
+
+Deviations from the paper's pseudo-code, made for termination and
+exact-answer guarantees (documented in DESIGN.md §4):
+
+* Algorithm 1 terminates only via its budget.  This engine adds
+  per-query memoisation of ``POINTSTO``/``FLOWSTO`` results with an
+  outer chaotic-iteration loop, so that queries terminate and reach the
+  full CFL fixpoint even with an unlimited budget (property-tested
+  against the Andersen oracle).
+* Finished ``jmp`` sets are published only for alias rounds whose
+  results are provably final (no dependence on an in-progress
+  computation), and the τ_F threshold gates the whole round rather
+  than individual edges — publishing a truncated shortcut set would
+  make later queries silently incomplete.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.context import Context, EMPTY_CTX
+from repro.core.jumpmap import JumpMap, LayeredJumpMap
+from repro.core.query import Query, QueryResult, QueryState
+from repro.errors import AnalysisError, BudgetExhausted
+from repro.pag.extended import FinishedJump
+from repro.pag.graph import PAG
+
+__all__ = ["EngineConfig", "CFLEngine", "POINTS_TO", "FLOWS_TO"]
+
+#: Direction tags (the ``direction`` component of jump-map keys).
+POINTS_TO = False
+FLOWS_TO = True
+
+# The alias rounds recurse POINTSTO -> REACHABLENODES -> POINTSTO; give
+# CPython room for realistically deep access-path chains.
+if sys.getrecursionlimit() < 100_000:
+    sys.setrecursionlimit(100_000)
+
+
+@dataclass
+class EngineConfig:
+    """Tunable knobs of the analysis.
+
+    Defaults reproduce the paper's configuration (Section IV-A):
+    budget 75,000 steps, context- and field-sensitive, τ_F = 100,
+    τ_U = 10,000.
+    """
+
+    budget: int = 75_000
+    context_sensitive: bool = True
+    field_sensitive: bool = True
+    #: Heap-matching precision: ``"sensitive"`` (full alias tests,
+    #: grammar (2)), ``"match"`` (field-based: every store of field f
+    #: matches every load of f without an alias test — the sound,
+    #: cheap over-approximation that refinement-based schemes [18]
+    #: start from), or ``None`` to derive from ``field_sensitive``.
+    field_mode: Optional[str] = None
+
+    @property
+    def effective_field_mode(self) -> str:
+        if self.field_mode is not None:
+            if self.field_mode not in ("sensitive", "match", "none"):
+                raise AnalysisError(
+                    f"field_mode must be sensitive/match/none, got {self.field_mode!r}"
+                )
+            return self.field_mode
+        return "sensitive" if self.field_sensitive else "none"
+    #: Honour unfinished-jump early termination (Algorithm 2 line 3).
+    early_termination: bool = True
+    #: Minimum round cost for publishing finished jmp edges (τ_F).
+    tau_f: int = 100
+    #: Minimum certified cost for publishing unfinished jmp edges (τ_U).
+    tau_u: int = 10_000
+    #: Also publish rounds that found nothing (ablation; the paper does
+    #: not record empty rounds — see benchmarks/test_ablation_tau.py).
+    record_empty_rounds: bool = False
+    #: Safety valve for the chaotic-iteration loop.
+    max_passes: int = 64
+
+
+class CFLEngine:
+    """Demand-driven context- and field-sensitive points-to analysis.
+
+    One engine per PAG; queries are independent.  Pass a shared
+    :class:`JumpMap` (or a :class:`LayeredJumpMap` view) to enable the
+    data-sharing scheme; ``jumps=None`` is the share-nothing baseline
+    (the paper's ``SeqCFL`` / naive-parallel configuration).
+    """
+
+    def __init__(
+        self,
+        pag: PAG,
+        config: Optional[EngineConfig] = None,
+        jumps: Optional[JumpMap | LayeredJumpMap] = None,
+        prefilter=None,
+    ) -> None:
+        self.pag = pag
+        self.cfg = config or EngineConfig()
+        self._field_mode = self.cfg.effective_field_mode
+        self.jumps = jumps
+        #: Optional must-not-alias pre-analysis (Section V-A / [25]):
+        #: an object with ``may_alias(a, b) -> bool`` whose False
+        #: answers are *proofs* of non-aliasing (e.g.
+        #: :class:`repro.andersen.steensgaard.MustNotAlias`).  Used to
+        #: skip provably fruitless store/load matches in alias rounds.
+        self.prefilter = prefilter
+        #: Optional witness recorder (see repro.core.tracing); set by
+        #: TracingEngine.  Adds provenance bookkeeping to every sweep.
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def points_to(self, var: int, ctx: Context = EMPTY_CTX) -> QueryResult:
+        """Answer ``POINTSTO(var, ctx)``: context-tagged objects ``var``
+        may point to.  Partial results carry ``exhausted=True``."""
+        if not self.pag.is_variable(self.pag.rep(var)):
+            raise AnalysisError(f"points_to target {var} is not a variable node")
+        return self._query(POINTS_TO, var, ctx)
+
+    def flows_to(self, obj: int, ctx: Context = EMPTY_CTX) -> QueryResult:
+        """Answer ``FLOWSTO(obj, ctx)``: context-tagged variables that
+        ``obj`` flows to.  ``QueryResult.points_to`` holds the
+        ``(variable, ctx)`` pairs for this direction."""
+        if not self.pag.is_object(obj):
+            raise AnalysisError(f"flows_to source {obj} is not an object node")
+        return self._query(FLOWS_TO, obj, ctx)
+
+    def run_query(self, query: Query) -> QueryResult:
+        """Execute a points-to :class:`Query`."""
+        return self.points_to(query.var, query.ctx)
+
+    def run_batch(self, queries: Sequence[Query]) -> List[QueryResult]:
+        """Execute queries in order against this engine (shared jump map
+        if sharing is enabled) — the sequential batch mode."""
+        return [self.run_query(q) for q in queries]
+
+    def may_alias(self, a: int, b: int, ctx: Context = EMPTY_CTX) -> bool:
+        """Client helper: may variables ``a`` and ``b`` alias?  True when
+        their points-to object sets intersect (either query exhausting
+        its budget conservatively answers True)."""
+        ra = self.points_to(a, ctx)
+        rb = self.points_to(b, ctx)
+        if ra.exhausted or rb.exhausted:
+            return True
+        return bool(ra.objects & rb.objects)
+
+    # ------------------------------------------------------------------
+    # query driver: chaotic iteration to the CFL fixpoint
+    # ------------------------------------------------------------------
+    def _query(self, direction: bool, node: int, ctx: Context) -> QueryResult:
+        node = self.pag.rep(node)
+        if self.pag.is_global(node):
+            ctx = EMPTY_CTX
+        q = QueryState(self.cfg.budget)
+        key = (direction, node, ctx)
+        exhausted = False
+        try:
+            passes = 0
+            while True:
+                q.changed = False
+                q.pass_done.clear()
+                result = self._traverse(direction, node, ctx, q)
+                passes += 1
+                if key in q.complete or not q.changed:
+                    break
+                if passes >= self.cfg.max_passes:
+                    raise AnalysisError(
+                        f"fixpoint not reached after {passes} passes for {key}"
+                    )
+        except BudgetExhausted:
+            exhausted = True
+            result = q.memo.get(key, set())
+        return QueryResult(
+            query=Query(node, ctx),
+            points_to=frozenset(result),
+            exhausted=exhausted,
+            costs=q.costs(),
+        )
+
+    # ------------------------------------------------------------------
+    # memoised traversal
+    # ------------------------------------------------------------------
+    def _traverse(
+        self, direction: bool, node: int, ctx: Context, q: QueryState
+    ) -> Set[Tuple[int, Context]]:
+        if self.pag.is_global(node):
+            ctx = EMPTY_CTX
+        key = (direction, node, ctx)
+        result = q.memo.get(key)
+        if result is None:
+            result = set()
+            q.memo[key] = result
+            q.note_live(1)
+        if key in q.complete:
+            return result
+        if key in q.onstack:
+            # Reading an in-progress computation: the caller's result is
+            # provisional; the outer fixpoint loop will re-run it.
+            q.partial_reads += 1
+            return result
+        pass_done = q.pass_done
+        if key in pass_done:
+            return result
+        pass_done.add(key)
+
+        q.onstack.add(key)
+        reads_at_entry = q.partial_reads
+        size_before = len(result)
+        try:
+            self._run_worklist(direction, node, ctx, q, result, key)
+        finally:
+            q.onstack.discard(key)
+        if q.partial_reads == reads_at_entry:
+            q.complete.add(key)
+        if len(result) != size_before:
+            q.changed = True
+        return result
+
+    def _run_worklist(
+        self,
+        direction: bool,
+        start: int,
+        ctx0: Context,
+        q: QueryState,
+        result: Set[Tuple[int, Context]],
+        key: Tuple[bool, int, Context],
+    ) -> None:
+        """One worklist sweep of Algorithm 1, in the given direction."""
+        pag = self.pag
+        cfg = self.cfg
+        cs = cfg.context_sensitive
+        is_global = pag.is_global
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin_run(key)
+        visited: Set[Tuple[int, Context]] = set()
+        worklist: List[Tuple[int, Context]] = []
+
+        def push(n: int, c: Context, src=None, label=None, site=None) -> None:
+            if is_global(n):
+                c = EMPTY_CTX
+            item = (n, c)
+            if item not in visited:
+                visited.add(item)
+                q.note_live(1)
+                worklist.append(item)
+                if tracer is not None:
+                    tracer.parent(key, item, src, label, site)
+
+        push(start, ctx0)
+        try:
+            if direction == POINTS_TO:
+                self._sweep_backwards(worklist, push, q, result, key)
+            else:
+                self._sweep_forwards(worklist, push, q, result, key)
+        finally:
+            q.note_live(-len(visited))
+
+    def _step(self, q: QueryState) -> None:
+        """Algorithm 1 lines 5-6: count a node traversal, enforce budget."""
+        q.steps += 1
+        q.work += 1
+        if q.steps > q.budget:
+            self._out_of_budget(q, 0)
+
+    def _sweep_backwards(self, worklist, push, q: QueryState, result, key) -> None:
+        """``POINTSTO`` direction: incoming edges (Algorithm 1 lines 3-15)."""
+        pag = self.pag
+        cfg = self.cfg
+        cs = cfg.context_sensitive
+        tracer = self.tracer
+        while worklist:
+            q.frontier_sum += len(worklist)
+            x, c = worklist.pop()
+            cur = (x, c)
+            self._step(q)
+            for o in pag.new_in.get(x, ()):
+                if tracer is not None:
+                    tracer.obj_event(key, (o, c), cur)
+                result.add((o, c))
+            for y in pag.assign_in.get(x, ()):
+                push(y, c, cur, "assign")
+            for y in pag.gassign_in.get(x, ()):
+                push(y, EMPTY_CTX, cur, "gassign")
+            if self._field_mode != "none":
+                for y, cy in self._reachable_nodes(POINTS_TO, x, c, q):
+                    push(y, cy, cur, "heap")
+            if cs:
+                for y, i in pag.param_in.get(x, ()):
+                    # exit the callee back to call site i
+                    if not c:
+                        push(y, c, cur, "param", i)
+                    elif c[-1] == i:
+                        push(y, c[:-1], cur, "param", i)
+                for y, i in pag.ret_in.get(x, ()):
+                    # enter the callee through its return
+                    push(y, c + (i,), cur, "ret", i)
+            else:
+                for y, i in pag.param_in.get(x, ()):
+                    push(y, c, cur, "param", i)
+                for y, i in pag.ret_in.get(x, ()):
+                    push(y, c, cur, "ret", i)
+
+    def _sweep_forwards(self, worklist, push, q: QueryState, result, key) -> None:
+        """``FLOWSTO`` direction: outgoing edges (mirror of the above)."""
+        pag = self.pag
+        cfg = self.cfg
+        cs = cfg.context_sensitive
+        while worklist:
+            q.frontier_sum += len(worklist)
+            x, c = worklist.pop()
+            cur = (x, c)
+            self._step(q)
+            if pag.is_object(x):
+                for v in pag.new_out.get(x, ()):
+                    push(v, c, cur, "new")
+                continue
+            result.add((x, c))
+            for y in pag.assign_out.get(x, ()):
+                push(y, c, cur, "assign")
+            for y in pag.gassign_out.get(x, ()):
+                push(y, EMPTY_CTX, cur, "gassign")
+            if self._field_mode != "none":
+                for y, cy in self._reachable_nodes(FLOWS_TO, x, c, q):
+                    push(y, cy, cur, "heap")
+            if cs:
+                for y, i in pag.param_out.get(x, ()):
+                    # enter the callee through its formal
+                    push(y, c + (i,), cur, "param", i)
+                for y, i in pag.ret_out.get(x, ()):
+                    # exit to call site i through the return value
+                    if not c:
+                        push(y, c, cur, "ret", i)
+                    elif c[-1] == i:
+                        push(y, c[:-1], cur, "ret", i)
+            else:
+                for y, i in pag.param_out.get(x, ()):
+                    push(y, c, cur, "param", i)
+                for y, i in pag.ret_out.get(x, ()):
+                    push(y, c, cur, "ret", i)
+
+    # ------------------------------------------------------------------
+    # REACHABLENODES — Algorithm 2 (Algorithm 1's version is the
+    # jumps=None special case)
+    # ------------------------------------------------------------------
+    def _reachable_nodes(
+        self, direction: bool, x: int, c: Context, q: QueryState
+    ) -> List[Tuple[int, Context]]:
+        pag = self.pag
+        if direction == POINTS_TO:
+            heap_edges = pag.load_in.get(x)
+        else:
+            heap_edges = pag.store_out.get(x)
+        if not heap_edges:
+            return []
+
+        if self._field_mode == "match":
+            # Field-based matching: skip the alias test entirely and
+            # return every store/load of the field, context-free — the
+            # cheap over-approximation refinement starts from.  (The
+            # empty context is maximally permissive downstream, so this
+            # over-approximates the sensitive answer.)
+            out: List[Tuple[int, Context]] = []
+            if direction == POINTS_TO:
+                for _p, f in heap_edges:
+                    for _q_base, y in pag.stores_by_field.get(f, ()):
+                        out.append((y, EMPTY_CTX))
+            else:
+                for _q_base, f in heap_edges:
+                    for _p, t in pag.loads_by_field.get(f, ()):
+                        out.append((t, EMPTY_CTX))
+            return out
+
+        jumps = self.jumps
+        key = (x, c, direction)
+        if jumps is not None:
+            q.jmp_lookups += 1
+            s_unf = jumps.unfinished(key)
+            if s_unf is not None:
+                # Fig. 3(b): a prior query certified that s_unf steps are
+                # needed from here; terminate early if we cannot afford them.
+                if self.cfg.early_termination and q.budget - q.steps < s_unf:
+                    q.early_terminations += 1
+                    self._out_of_budget(q, s_unf)
+                # enough budget: recompute in full (paper Section III-B2)
+            else:
+                fin = jumps.finished(key)
+                if fin is not None:
+                    # Fig. 3(a): take the shortcuts; charge the recorded
+                    # cost so budget behaviour matches a full traversal.
+                    s_max = max((e.steps for e in fin), default=0)
+                    q.steps += s_max
+                    q.saved += s_max
+                    q.jmp_taken += 1
+                    if q.steps > q.budget:
+                        # Deferred check (Section III-B2): the charge may
+                        # itself exhaust the budget.
+                        self._out_of_budget(q, 0)
+                    return [(e.target, e.target_ctx) for e in fin]
+
+        # ---- full alias-matching round (Algorithm 1 lines 17-25) ----
+        s0 = q.steps
+        q.frames.append((x, c, s0, direction))
+        reads_at_entry = q.partial_reads
+        tracer = self.tracer
+        rch: List[Tuple[Tuple[int, Context], int]] = []
+        seen: Set[Tuple[int, Context]] = set()
+        try:
+            prefilter = self.prefilter
+            if direction == POINTS_TO:
+                # x = p.f matched against every q.f = y
+                for p, f in heap_edges:
+                    stores = pag.stores_by_field.get(f)
+                    if not stores:
+                        continue
+                    classes = None
+                    if prefilter is not None:
+                        stores = [
+                            (qb, y) for qb, y in stores
+                            if prefilter.may_alias(p, qb)
+                        ]
+                        if not stores:
+                            continue  # all matches provably non-aliasing
+                        classes = {prefilter.class_id(qb) for qb, _y in stores}
+                    alias = self._alias_map(p, c, q, classes)
+                    for q_base, y in stores:
+                        for cv, witness_obj in alias.get(q_base, {}).items():
+                            item = (y, cv)
+                            if item not in seen:
+                                seen.add(item)
+                                rch.append((item, q.steps - s0))
+                                if tracer is not None:
+                                    tracer.heap(
+                                        direction, x, c, item,
+                                        f, p, q_base, witness_obj,
+                                    )
+            else:
+                # q.f = x matched against every t = p.f
+                for q_base, f in heap_edges:
+                    loads = pag.loads_by_field.get(f)
+                    if not loads:
+                        continue
+                    classes = None
+                    if prefilter is not None:
+                        loads = [
+                            (p, t) for p, t in loads
+                            if prefilter.may_alias(q_base, p)
+                        ]
+                        if not loads:
+                            continue
+                        classes = {prefilter.class_id(p) for p, _t in loads}
+                    alias = self._alias_map(q_base, c, q, classes)
+                    for p, t in loads:
+                        for cv, witness_obj in alias.get(p, {}).items():
+                            item = (t, cv)
+                            if item not in seen:
+                                seen.add(item)
+                                rch.append((item, q.steps - s0))
+                                if tracer is not None:
+                                    tracer.heap(
+                                        direction, x, c, item,
+                                        f, q_base, p, witness_obj,
+                                    )
+        finally:
+            q.frames.pop()
+
+        round_cost = q.steps - s0
+        if (
+            jumps is not None
+            and q.partial_reads == reads_at_entry
+            and (rch or self.cfg.record_empty_rounds)
+            and round_cost >= self.cfg.tau_f
+        ):
+            edges = tuple(FinishedJump(t, tc, s) for ((t, tc), s) in rch)
+            if jumps.insert_finished(key, edges):
+                q.jmp_inserts += max(1, len(edges))
+        return [item for item, _s in rch]
+
+    def _alias_map(
+        self,
+        base: int,
+        c: Context,
+        q: QueryState,
+        target_classes: Optional[set] = None,
+    ) -> Dict[int, Dict[Context, Tuple[int, Context]]]:
+        """Aliases of ``(base, c)``: variable -> {context: witness
+        object}, computed as ``FLOWSTO(o, c0)`` for every ``(o, c0)`` in
+        ``POINTSTO(base, c)`` (Algorithm 1 lines 20-22).  The witness
+        object ``(o, c0)`` establishing each alias pair is retained for
+        the tracing facility (first witness wins).
+
+        With ``target_classes`` (the must-not-alias pre-filter, [25]),
+        the forward ``FLOWSTO`` sweep is skipped for objects whose
+        unification class matches none of the matched bases — the
+        pre-analysis proves such objects cannot reach them, so the
+        sweep's results would all be discarded.
+        """
+        prefilter = self.prefilter
+        alias: Dict[int, Dict[Context, Tuple[int, Context]]] = {}
+        for o, c0 in list(self._traverse(POINTS_TO, base, c, q)):
+            if (
+                target_classes is not None
+                and prefilter is not None
+                and prefilter.class_id(o) not in target_classes
+            ):
+                continue
+            for v, cv in list(self._traverse(FLOWS_TO, o, c0, q)):
+                alias.setdefault(v, {}).setdefault(cv, (o, c0))
+        return alias
+
+    # ------------------------------------------------------------------
+    def _out_of_budget(self, q: QueryState, bdg: int) -> None:
+        """Algorithm 2's ``OUTOFBUDGET``: certify every in-flight round
+        as unfinished, then abort the query."""
+        if self.jumps is not None:
+            for x, c, s0, direction in q.frames:
+                s_unf = min(q.budget, bdg + q.steps - s0)
+                if s_unf >= self.cfg.tau_u:
+                    if self.jumps.insert_unfinished((x, c, direction), s_unf):
+                        q.jmp_inserts += 1
+        raise BudgetExhausted(bdg)

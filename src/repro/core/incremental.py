@@ -1,0 +1,110 @@
+"""Incremental (add-only) analysis sessions.
+
+Section V-A cites incremental CFL-reachability techniques [6], [16]
+"tailored for scenarios where code changes are small", which "take
+advantage of previously computed CFL-reachable paths to avoid
+unnecessary reanalysis".  This module provides the add-only variant on
+top of the data-sharing machinery:
+
+* an :class:`IncrementalAnalysis` session owns a PAG and a shared
+  :class:`~repro.core.jumpmap.JumpMap`, so answers computed before an
+  edit keep accelerating queries after it — as far as soundly possible;
+* **edits** (new nodes and edges, e.g. a newly loaded class) invalidate
+  the map's *finished* entries — an added edge can extend a completed
+  round, so its recorded shortcut set may now be incomplete — while
+  **unfinished markers survive**: added edges only increase traversal
+  costs, so an out-of-budget certificate stays valid;
+* per-query results are never cached across edits (queries are
+  demand-driven anyway), so correctness never depends on invalidation
+  finesse — the property tests compare every post-edit answer against a
+  from-scratch engine.
+
+Removals are out of scope (as in [16]'s "preliminary experience", the
+additive case — loading code — is the common one).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.context import Context, EMPTY_CTX
+from repro.core.engine import CFLEngine, EngineConfig
+from repro.core.jumpmap import JumpMap
+from repro.core.query import QueryResult
+from repro.pag.graph import PAG
+
+__all__ = ["IncrementalAnalysis"]
+
+
+class IncrementalAnalysis:
+    """A long-lived analysis session over an evolving (growing) PAG."""
+
+    def __init__(self, pag: PAG, config: Optional[EngineConfig] = None) -> None:
+        self.pag = pag
+        self.cfg = config or EngineConfig()
+        self.jumps = JumpMap()
+        self._engine = CFLEngine(pag, self.cfg, jumps=self.jumps)
+        #: generation counter: bumps on every edit
+        self.generation = 0
+        #: finished entries dropped across all edits
+        self.n_invalidated = 0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def points_to(self, var: int, ctx: Context = EMPTY_CTX) -> QueryResult:
+        return self._engine.points_to(var, ctx)
+
+    def flows_to(self, obj: int, ctx: Context = EMPTY_CTX) -> QueryResult:
+        return self._engine.flows_to(obj, ctx)
+
+    # ------------------------------------------------------------------
+    # edits — mirror the PAG construction API, with invalidation
+    # ------------------------------------------------------------------
+    def _edited(self) -> None:
+        self.generation += 1
+        self.n_invalidated += self.jumps.clear_finished()
+
+    def add_local(self, name: str, **kw) -> int:
+        # new isolated nodes don't affect existing rounds
+        return self.pag.add_local(name, **kw)
+
+    def add_global(self, name: str, **kw) -> int:
+        return self.pag.add_global(name, **kw)
+
+    def add_obj(self, label: str, type_name: Optional[str] = None) -> int:
+        return self.pag.add_obj(label, type_name)
+
+    def add_new_edge(self, var: int, obj: int) -> None:
+        self.pag.add_new_edge(var, obj)
+        self._edited()
+
+    def add_assign_edge(self, dst: int, src: int) -> None:
+        self.pag.add_assign_edge(dst, src)
+        self._edited()
+
+    def add_gassign_edge(self, dst: int, src: int) -> None:
+        self.pag.add_gassign_edge(dst, src)
+        self._edited()
+
+    def add_load_edge(self, target: int, base: int, field: str) -> None:
+        self.pag.add_load_edge(target, base, field)
+        self._edited()
+
+    def add_store_edge(self, base: int, field: str, value: int) -> None:
+        self.pag.add_store_edge(base, field, value)
+        self._edited()
+
+    def add_param_edge(self, formal: int, actual: int, site: int) -> None:
+        self.pag.add_param_edge(formal, actual, site)
+        self._edited()
+
+    def add_ret_edge(self, result: int, retvar: int, site: int) -> None:
+        self.pag.add_ret_edge(result, retvar, site)
+        self._edited()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_reusable_markers(self) -> int:
+        """Unfinished markers carried across the last edit."""
+        return self.jumps.n_unfinished_edges

@@ -1,0 +1,193 @@
+"""The jump-edge store — reproduction of the paper's ``ConcurrentHashMap``.
+
+Entries are keyed by ``(node, context, direction)``
+(:data:`repro.pag.extended.JumpKey`); ``direction`` is ``False`` for
+the ``POINTSTO``-side alias rounds and ``True`` for the symmetric
+``FLOWSTO``-side rounds.  A key maps to either
+
+* a **finished** tuple of :class:`~repro.pag.extended.FinishedJump`
+  shortcut edges (published only when the whole alias-matching round
+  completed — Fig. 3a), or
+* an **unfinished** step count ``s`` (Fig. 3b) certifying that a query
+  reaching the key with fewer than ``s`` remaining steps will run out
+  of budget.
+
+Concurrency semantics mirror Section IV-A:
+
+* a finished set is inserted at once under its key, so it is seen
+  atomically ("no two threads ... will insert this set twice");
+* unfinished insertions are **first-writer-wins** — the paper rejects
+  picking the larger ``s`` as "cost-ineffective";
+* a finished insertion clears any unfinished marker for the key (the
+  round is now known to complete, so the marker's prediction is moot).
+
+:class:`LayeredJumpMap` gives the simulated parallel executor
+transaction-like visibility: reads see a committed base plus the
+running query's own insertions; at query end the overlay is committed
+by the executor at the query's finish time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.pag.extended import FinishedJump, JumpKey
+
+__all__ = ["JumpMap", "LayeredJumpMap", "JumpMapStats"]
+
+
+@dataclass
+class JumpMapStats:
+    """Operation counters (drive the runtime cost model)."""
+
+    lookups: int = 0
+    fin_inserts: int = 0       #: finished sets accepted
+    fin_edges: int = 0         #: total finished jmp edges stored
+    unf_inserts: int = 0       #: unfinished markers accepted
+    rejected_inserts: int = 0  #: lost first-writer-wins races / dup sets
+
+
+class JumpMap:
+    """Single-writer jump store (sequential engine / committed base)."""
+
+    def __init__(self) -> None:
+        self._fin: Dict[JumpKey, Tuple[FinishedJump, ...]] = {}
+        self._unf: Dict[JumpKey, int] = {}
+        self.stats = JumpMapStats()
+
+    # -- reads ----------------------------------------------------------
+    def finished(self, key: JumpKey) -> Optional[Tuple[FinishedJump, ...]]:
+        self.stats.lookups += 1
+        return self._fin.get(key)
+
+    def unfinished(self, key: JumpKey) -> Optional[int]:
+        self.stats.lookups += 1
+        return self._unf.get(key)
+
+    # -- writes ---------------------------------------------------------
+    def insert_finished(self, key: JumpKey, edges: Tuple[FinishedJump, ...]) -> bool:
+        """Insert a completed round's shortcut set; first set wins.
+
+        Clears any unfinished marker: the round is proven completable.
+        """
+        if key in self._fin:
+            self.stats.rejected_inserts += 1
+            return False
+        self._fin[key] = edges
+        self._unf.pop(key, None)
+        self.stats.fin_inserts += 1
+        self.stats.fin_edges += len(edges)
+        return True
+
+    def insert_unfinished(self, key: JumpKey, steps: int) -> bool:
+        """Insert an out-of-budget marker; first writer wins, and a
+        finished entry for the key suppresses the marker entirely."""
+        if key in self._unf or key in self._fin:
+            self.stats.rejected_inserts += 1
+            return False
+        self._unf[key] = steps
+        self.stats.unf_inserts += 1
+        return True
+
+    # -- aggregate views --------------------------------------------------
+    @property
+    def n_jumps(self) -> int:
+        """Total jmp edges stored (Table I's ``#Jumps``)."""
+        return sum(len(v) for v in self._fin.values()) + len(self._unf)
+
+    @property
+    def n_finished_edges(self) -> int:
+        return sum(len(v) for v in self._fin.values())
+
+    @property
+    def n_unfinished_edges(self) -> int:
+        return len(self._unf)
+
+    def finished_items(self) -> Iterator[Tuple[JumpKey, Tuple[FinishedJump, ...]]]:
+        return iter(self._fin.items())
+
+    def unfinished_items(self) -> Iterator[Tuple[JumpKey, int]]:
+        return iter(self._unf.items())
+
+    def clear_finished(self) -> int:
+        """Drop every finished entry (incremental invalidation: edge
+        additions can extend completed rounds, so recorded shortcut
+        sets may have become incomplete).  Unfinished markers stay —
+        added edges only increase traversal costs, so an out-of-budget
+        certificate remains valid.  Returns the number of dropped
+        entries."""
+        n = len(self._fin)
+        self._fin.clear()
+        return n
+
+    def merge_from(self, other: "JumpMap") -> int:
+        """Commit ``other``'s entries into this map (executor commit
+        step).  Returns the number of accepted insertions."""
+        accepted = 0
+        for key, edges in other._fin.items():
+            if self.insert_finished(key, edges):
+                accepted += 1
+        for key, steps in other._unf.items():
+            if self.insert_unfinished(key, steps):
+                accepted += 1
+        return accepted
+
+    def __len__(self) -> int:
+        return len(self._fin) + len(self._unf)
+
+    def __repr__(self) -> str:
+        return (
+            f"JumpMap({len(self._fin)} finished keys / "
+            f"{self.n_finished_edges} edges, {len(self._unf)} unfinished)"
+        )
+
+
+class LayeredJumpMap:
+    """Read-through view: a committed ``base`` plus a private overlay.
+
+    The running query reads both layers (its own discoveries included)
+    but writes only the overlay; the executor later merges the overlay
+    into the base at the query's simulated finish time.  This models the
+    paper's visibility conservatively: edges published by *concurrently
+    running* queries become visible only once those queries finish.
+    """
+
+    def __init__(self, base: JumpMap) -> None:
+        self.base = base
+        self.overlay = JumpMap()
+
+    def finished(self, key: JumpKey) -> Optional[Tuple[FinishedJump, ...]]:
+        got = self.overlay.finished(key)
+        if got is not None:
+            return got
+        return self.base.finished(key)
+
+    def unfinished(self, key: JumpKey) -> Optional[int]:
+        # A finished set in the overlay supersedes a base unfinished marker.
+        if key in self.overlay._fin:
+            return None
+        got = self.overlay.unfinished(key)
+        if got is not None:
+            return got
+        return self.base.unfinished(key)
+
+    def insert_finished(self, key: JumpKey, edges: Tuple[FinishedJump, ...]) -> bool:
+        if self.base.finished(key) is not None:
+            self.base.stats.rejected_inserts += 1
+            return False
+        return self.overlay.insert_finished(key, edges)
+
+    def insert_unfinished(self, key: JumpKey, steps: int) -> bool:
+        if self.base.finished(key) is not None or self.base.unfinished(key) is not None:
+            self.base.stats.rejected_inserts += 1
+            return False
+        return self.overlay.insert_unfinished(key, steps)
+
+    @property
+    def n_jumps(self) -> int:
+        return self.base.n_jumps + self.overlay.n_jumps
+
+    def commit(self) -> int:
+        """Merge the overlay into the base; returns accepted insertions."""
+        return self.base.merge_from(self.overlay)

@@ -1,0 +1,102 @@
+"""Refinement-driven querying (Sridharan & Bodík [18], Section V-A).
+
+The paper's sequential baseline ships a *refinement-based*
+configuration it does not use ("not well-suited to certain clients such
+as null-pointer detection") but cites as effective for clients like
+type casting.  This module implements the two-stage scheme over our
+engine:
+
+1. **match stage** — field-*based* matching
+   (``EngineConfig.field_mode="match"``): every load of ``f`` matches
+   every store of ``f`` with no alias test.  Sound over-approximation,
+   regular-language cheap.
+2. **refined stage** — the full field-sensitive analysis, run only when
+   the client's ``check`` predicate is not already satisfied by the
+   over-approximation.
+
+A client that only needs to *verify* something (a safe cast, a
+non-escaping object) usually succeeds at stage 1 and pays a fraction of
+the precise cost; clients needing the exact set fall through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from repro.core.context import Context, EMPTY_CTX
+from repro.core.engine import CFLEngine, EngineConfig
+from repro.core.query import QueryResult
+from repro.pag.graph import PAG
+
+__all__ = ["RefinementDriver", "RefinedAnswer"]
+
+#: A client predicate: True = the (possibly over-approximate) answer is
+#: already good enough, no refinement needed.
+Check = Callable[[QueryResult], bool]
+
+
+@dataclass
+class RefinedAnswer:
+    """Outcome of a refinement-driven query."""
+
+    #: The answer the client should use.
+    result: QueryResult
+    #: The stage-1 (field-based) answer.
+    match_result: QueryResult
+    #: True when stage 2 (full sensitivity) had to run.
+    refined: bool
+
+    @property
+    def satisfied(self) -> Optional[bool]:
+        """Convenience mirror of the client's final verdict when one
+        was recorded (None for plain ``points_to`` calls)."""
+        return self._satisfied
+
+    _satisfied: Optional[bool] = None
+
+
+class RefinementDriver:
+    """Two-stage demand queries over one PAG."""
+
+    def __init__(self, pag: PAG, config: Optional[EngineConfig] = None) -> None:
+        cfg = config or EngineConfig()
+        self.pag = pag
+        self.match_engine = CFLEngine(pag, replace(cfg, field_mode="match"))
+        self.full_engine = CFLEngine(pag, replace(cfg, field_mode="sensitive"))
+        #: queries answered without refinement / total (client report)
+        self.n_queries = 0
+        self.n_refined = 0
+
+    def points_to(
+        self,
+        var: int,
+        ctx: Context = EMPTY_CTX,
+        check: Optional[Check] = None,
+    ) -> RefinedAnswer:
+        """Answer a query, refining only if ``check`` rejects the
+        field-based approximation.
+
+        Without a ``check``, refinement happens whenever the match stage
+        found anything at all (its positive sets are approximate; its
+        empty sets are exact, since it over-approximates).
+        """
+        self.n_queries += 1
+        coarse = self.match_engine.points_to(var, ctx)
+        if check is not None:
+            if not coarse.exhausted and check(coarse):
+                return RefinedAnswer(coarse, coarse, refined=False, _satisfied=True)
+        elif not coarse.exhausted and not coarse.points_to:
+            # empty over-approximation == exact empty answer
+            return RefinedAnswer(coarse, coarse, refined=False)
+        self.n_refined += 1
+        precise = self.full_engine.points_to(var, ctx)
+        answer = RefinedAnswer(precise, coarse, refined=True)
+        if check is not None:
+            answer._satisfied = (not precise.exhausted) and check(precise)
+        return answer
+
+    @property
+    def refinement_rate(self) -> float:
+        """Fraction of queries that needed the precise stage."""
+        return self.n_refined / self.n_queries if self.n_queries else 0.0

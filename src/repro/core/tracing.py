@@ -1,0 +1,330 @@
+"""Witness extraction: *why* does ``v`` point to ``o``?
+
+The demand-driven analysis's client-facing virtue (debugging,
+Section I) is that every answer corresponds to a concrete
+``flowsTo``-path.  :class:`TracingEngine` records provenance during the
+traversal and reconstructs, for any ``(variable, object)`` answer, the
+full witness string in the paper's grammar (2) — alias sub-derivations
+recursively expanded — which the test suite then *certifies* with the
+CYK recogniser of :mod:`repro.core.cfl` and the realisability check of
+grammar (3).
+
+Data sharing is disabled while tracing (``jmp`` shortcuts erase the
+paths they skip); budgets apply as usual.
+
+Example::
+
+    engine = TracingEngine(build.pag)
+    result = engine.points_to(var)
+    for obj, ctx in result.points_to:
+        witness = engine.explain(var, (), obj, ctx)
+        print(witness.pretty())
+        assert witness.certify(fields=pag_fields)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.cfl import bar, is_realizable, lfs_grammar
+from repro.core.context import Context
+from repro.core.engine import CFLEngine, EngineConfig, FLOWS_TO, POINTS_TO
+from repro.errors import AnalysisError
+from repro.pag.graph import PAG
+
+__all__ = ["TracingEngine", "Witness", "TraceRecorder"]
+
+Item = Tuple[int, Context]
+Key = Tuple[bool, int, Context]
+
+#: A witness tree: terminals and nested sub-trees (alias derivations).
+Tree = List[Union[str, "Tree"]]
+
+
+class TraceRecorder:
+    """Provenance store filled by the engine's tracing hooks."""
+
+    def __init__(self) -> None:
+        #: per traversal key: item -> (source item | None, label, site)
+        self.parents: Dict[Key, Dict[Item, Tuple[Optional[Item], Optional[str], Optional[int]]]] = {}
+        #: per traversal key: (obj, ctx) -> the variable item whose
+        #: ``new`` edge discovered it
+        self.objs: Dict[Key, Dict[Item, Item]] = {}
+        #: (direction, round node, round ctx, produced item) ->
+        #: (field, pt_base, ft_target, witness object item)
+        self.heap_aux: Dict[Tuple[bool, int, Context, Item], Tuple[str, int, int, Item]] = {}
+
+    # -- engine hooks ----------------------------------------------------
+    def begin_run(self, key: Key) -> None:
+        self.parents[key] = {}
+        self.objs[key] = {}
+
+    def parent(
+        self,
+        key: Key,
+        item: Item,
+        src: Optional[Item],
+        label: Optional[str],
+        site: Optional[int],
+    ) -> None:
+        self.parents[key][item] = (src, label, site)
+
+    def obj_event(self, key: Key, obj_item: Item, at: Item) -> None:
+        self.objs[key].setdefault(obj_item, at)
+
+    def heap(
+        self,
+        direction: bool,
+        x: int,
+        c: Context,
+        item: Item,
+        f: str,
+        pt_base: int,
+        ft_target: int,
+        witness_obj: Item,
+    ) -> None:
+        self.heap_aux[(direction, x, c, item)] = (f, pt_base, ft_target, witness_obj)
+
+
+@dataclass
+class Witness:
+    """A reconstructed ``flowsTo`` witness for one points-to answer."""
+
+    pag: PAG
+    var: int
+    var_ctx: Context
+    obj: int
+    obj_ctx: Context
+    #: nested terminal tree (alias derivations as sub-trees)
+    tree: Tree = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def terminals(self) -> List[str]:
+        """The flat forward ``flowsTo`` string, outermost to innermost,
+        with call-site terminals (``param:i``/``ret:i``) and ``reset``
+        markers (global crossings) retained."""
+        out: List[str] = []
+
+        def walk(tree: Tree) -> None:
+            for t in tree:
+                if isinstance(t, list):
+                    walk(t)
+                else:
+                    out.append(t)
+
+        walk(self.tree)
+        return out
+
+    def grammar_terminals(self) -> List[str]:
+        """The string projected onto grammar (2)'s alphabet: call-site
+        and reset terminals become (possibly barred) ``assign``."""
+        out = []
+        for t in self.terminals():
+            barred = t.startswith("~")
+            body = t[1:] if barred else t
+            if body.partition(":")[0] in ("param", "ret") or body == "reset":
+                out.append(bar("assign") if barred else "assign")
+            else:
+                out.append(t)
+        return out
+
+    def has_global_crossing(self) -> bool:
+        return any(t.lstrip("~") == "reset" for t in self.terminals())
+
+    def certify(self, fields: Optional[Sequence[str]] = None) -> bool:
+        """Check the witness against the formal languages: membership in
+        L_FS (grammar (2), via CYK) and — when the path does not cross a
+        context-clearing global — realisability R_CS (grammar (3)).
+        """
+        if fields is None:
+            fields = sorted(
+                set(self.pag.stores_by_field) | set(self.pag.loads_by_field)
+            )
+        grammar = lfs_grammar(fields)
+        if not grammar.recognizes(self.grammar_terminals()):
+            return False
+        if self.has_global_crossing():
+            # Globals are analysed context-insensitively; the flat
+            # single-stack R_CS does not apply across the reset.
+            return True
+        # forward-convention realisability == backward convention on the
+        # barred string
+        return is_realizable([bar(t) for t in self.terminals()])
+
+    def pretty(self) -> str:
+        """Readable one-line rendering with nested alias brackets."""
+
+        def walk(tree: Tree) -> str:
+            parts = []
+            for t in tree:
+                parts.append(f"[{walk(t)}]" if isinstance(t, list) else t)
+            return " ".join(parts)
+
+        return (
+            f"{self.pag.name(self.obj)} flowsTo {self.pag.name(self.var)}: "
+            + walk(self.tree)
+        )
+
+
+class TracingEngine(CFLEngine):
+    """A :class:`CFLEngine` that records witness provenance.
+
+    Sharing is rejected (shortcuts skip the paths being explained).
+    """
+
+    def __init__(self, pag: PAG, config: Optional[EngineConfig] = None) -> None:
+        super().__init__(pag, config, jumps=None)
+        self.tracer = TraceRecorder()
+
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        var: int,
+        var_ctx: Context,
+        obj: int,
+        obj_ctx: Context,
+    ) -> Witness:
+        """Reconstruct the witness for ``(obj, obj_ctx) ∈
+        points_to(var, var_ctx)``.  The query must have been executed on
+        this engine already (``points_to`` fills the recorder)."""
+        var = self.pag.rep(var)
+        key: Key = (POINTS_TO, var, var_ctx)
+        if key not in self.tracer.parents:
+            raise AnalysisError(
+                f"no trace for query ({self.pag.name(var)}, {var_ctx}); "
+                "run points_to() on this engine first"
+            )
+        onstack: Set[Key] = set()
+        bar_tree = self._pt_tree(key, (obj, obj_ctx), onstack)
+        tree = _reverse_bar(bar_tree)
+        return Witness(self.pag, var, var_ctx, obj, obj_ctx, tree)
+
+    # ------------------------------------------------------------------
+    # tree construction
+    # ------------------------------------------------------------------
+    def _chain(self, key: Key, target: Item) -> List[Tuple[Item, Optional[str], Optional[int]]]:
+        """Hops from the traversal start to ``target``: a list of
+        (item, label-from-previous, site)."""
+        parents = self.tracer.parents.get(key)
+        if parents is None or target not in parents and target != (key[1], key[2]):
+            raise AnalysisError(
+                f"item {target} not reached in traversal {key}"
+            )
+        chain: List[Tuple[Item, Optional[str], Optional[int]]] = []
+        cur: Optional[Item] = target
+        guard = 0
+        while cur is not None:
+            src, label, site = parents.get(cur, (None, None, None))
+            chain.append((cur, label, site))
+            cur = src
+            guard += 1
+            if guard > len(parents) + 2:
+                raise AnalysisError("cyclic parent chain in trace")
+        chain.reverse()  # start ... target
+        return chain
+
+    def _pt_tree(self, key: Key, obj_item: Item, onstack: Set[Key]) -> Tree:
+        """``flowsToBar`` tree for the PT traversal ``key`` reaching the
+        object ``obj_item`` — barred terminals in hop order, ending with
+        ``~new``."""
+        if key in onstack:
+            raise AnalysisError("cyclic witness reconstruction (PT)")
+        onstack.add(key)
+        try:
+            at = self.tracer.objs.get(key, {}).get(obj_item)
+            if at is None:
+                raise AnalysisError(
+                    f"object {obj_item} not discovered by traversal {key}"
+                )
+            chain = self._chain(key, at)
+            tree: Tree = []
+            prev: Optional[Item] = None
+            for item, label, site in chain:
+                if label is not None:
+                    tree.extend(self._hop_terms(POINTS_TO, key, prev, item, label, site, onstack))
+                prev = item
+            tree.append(bar("new"))
+            return tree
+        finally:
+            onstack.discard(key)
+
+    def _ft_tree(self, key: Key, target: Item, onstack: Set[Key]) -> Tree:
+        """``flowsTo`` tree for the FT traversal ``key`` reaching the
+        variable ``target`` — plain terminals in hop order, starting
+        with ``new``."""
+        if key in onstack:
+            raise AnalysisError("cyclic witness reconstruction (FT)")
+        onstack.add(key)
+        try:
+            chain = self._chain(key, target)
+            tree: Tree = []
+            prev: Optional[Item] = None
+            for item, label, site in chain:
+                if label is not None:
+                    tree.extend(self._hop_terms(FLOWS_TO, key, prev, item, label, site, onstack))
+                prev = item
+            return tree
+        finally:
+            onstack.discard(key)
+
+    def _hop_terms(
+        self,
+        direction: bool,
+        key: Key,
+        src: Optional[Item],
+        dst: Item,
+        label: str,
+        site: Optional[int],
+        onstack: Set[Key],
+    ) -> Tree:
+        """Terminals for one traversal hop, in the traversal's own
+        reading direction (barred for PT, plain for FT)."""
+        barred = direction == POINTS_TO
+
+        def t(name: str) -> str:
+            return bar(name) if barred else name
+
+        if label == "assign":
+            return [t("assign")]
+        if label == "gassign":
+            return [t("reset")]
+        if label == "new":
+            return [t("new")]
+        if label == "param":
+            return [t(f"param:{site}")]
+        if label == "ret":
+            return [t(f"ret:{site}")]
+        if label == "heap":
+            assert src is not None
+            x, c = src
+            aux = self.tracer.heap_aux.get((direction, x, c, dst))
+            if aux is None:
+                raise AnalysisError(f"missing heap provenance at {src}->{dst}")
+            f, pt_base, ft_target, witness_obj = aux
+            # The alias sub-derivation: flowsToBar(pt_base ~> obj) then
+            # flowsTo(obj ~> ft_target).  PT bases are queried under the
+            # round's context c; the FT half under the object's context.
+            pt_key: Key = (POINTS_TO, self.pag.rep(pt_base), c)
+            ft_key: Key = (FLOWS_TO, witness_obj[0], witness_obj[1])
+            alias_tree: Tree = [
+                self._pt_tree(pt_key, witness_obj, onstack),
+                self._ft_tree(ft_key, (self.pag.rep(ft_target), dst[1]), onstack),
+            ]
+            if direction == POINTS_TO:
+                # stepBar -> ~ld(f) alias ~st(f)
+                return [bar(f"ld:{f}"), alias_tree, bar(f"st:{f}")]
+            # step -> st(f) alias ld(f)
+            return [f"st:{f}", alias_tree, f"ld:{f}"]
+        raise AnalysisError(f"unknown hop label {label!r}")
+
+
+def _reverse_bar(tree: Tree) -> Tree:
+    """Reverse a witness tree and flip every terminal's bar — turning a
+    ``flowsToBar`` derivation into the corresponding ``flowsTo`` one
+    (and vice versa).  Alias sub-trees are direction-neutral: their two
+    halves swap and flip, which again forms a valid alias."""
+    out: Tree = []
+    for t in reversed(tree):
+        out.append(_reverse_bar(t) if isinstance(t, list) else bar(t))
+    return out

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "IRError",
+    "ParseError",
+    "ValidationError",
+    "PAGError",
+    "AnalysisError",
+    "BudgetExhausted",
+    "SchedulingError",
+    "RuntimeConfigError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class IRError(ReproError):
+    """Malformed intermediate-representation construct."""
+
+
+class ParseError(IRError):
+    """Raised by :mod:`repro.ir.parser` on syntactically invalid input.
+
+    Carries the 1-based ``line`` where the problem was found.
+    """
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class ValidationError(IRError):
+    """A structurally well-formed program violates a semantic rule
+    (undefined variable, unknown field, call-site arity mismatch, ...)."""
+
+
+class PAGError(ReproError):
+    """Invalid operation on a pointer assignment graph."""
+
+
+class AnalysisError(ReproError):
+    """Internal inconsistency detected during CFL-reachability analysis."""
+
+
+class BudgetExhausted(AnalysisError):
+    """Internal control-flow signal: the per-query step budget ran out.
+
+    ``remaining_hint`` carries the ``BDG`` value of the paper's
+    ``OUTOFBUDGET(BDG)`` — an upper bound on the budget the query had
+    left when the condition was detected (0 when detected at a plain
+    step, ``s`` when detected via an unfinished ``jmp(s)`` edge).
+    """
+
+    def __init__(self, remaining_hint: int = 0) -> None:
+        self.remaining_hint = remaining_hint
+        super().__init__(f"query budget exhausted (BDG={remaining_hint})")
+
+
+class SchedulingError(ReproError):
+    """Invalid query-scheduling configuration or input."""
+
+
+class RuntimeConfigError(ReproError):
+    """Invalid parallel-runtime configuration (thread count, mode, ...)."""

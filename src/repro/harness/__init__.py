@@ -1,0 +1,22 @@
+"""Experiment harness — regenerates every table and figure of the paper.
+
+=================  ====================================================
+module             reproduces
+=================  ====================================================
+``table1``         Table I  — benchmark information and statistics
+``table2``         Table II — comparison of parallel pointer analyses
+``fig6``           Fig. 6   — speedups of the parallel configurations
+``fig7``           Fig. 7   — histograms of jmp edges by steps saved
+``fig8``           Fig. 8   — thread-count scaling of PARCFL-DQ
+``memory``         §IV-D5   — peak-memory proxy, SeqCFL vs PARCFL-16-DQ
+=================  ====================================================
+
+Each module exposes ``run(names=None) -> <Result>`` returning plain
+dataclasses, and ``render(result) -> str`` producing the ASCII
+table/figure.  ``python -m repro.harness <experiment>`` drives them from
+the command line; EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from repro.harness.runner import BenchmarkModes, run_benchmark_modes
+
+__all__ = ["BenchmarkModes", "run_benchmark_modes"]

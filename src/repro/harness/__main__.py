@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.harness``."""
+
+import sys
+
+from repro.harness.run_all import main
+
+sys.exit(main())

@@ -1,0 +1,78 @@
+"""Command-line driver: ``python -m repro.harness <experiment>``.
+
+Experiments: ``table1``, ``table2``, ``fig6``, ``fig7``, ``fig8``,
+``memory``, or ``all``.  ``--benchmarks`` restricts the suite (handy
+for quick looks); ``--out DIR`` additionally writes CSV files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.benchgen.suites import suite_names
+
+__all__ = ["main"]
+
+EXPERIMENTS = ("table1", "table2", "fig6", "fig7", "fig8", "memory")
+
+
+def _run_one(name: str, benchmarks: Optional[List[str]], out: Optional[Path]) -> str:
+    from repro.harness import fig6, fig7, fig8, memory, table1, table2
+
+    module = {"table1": table1, "table2": table2, "fig6": fig6,
+              "fig7": fig7, "fig8": fig8, "memory": memory}[name]
+    t0 = time.time()
+    if name == "table2":
+        result = module.run()
+    else:
+        result = module.run(benchmarks)
+    text = module.render(result)
+    elapsed = time.time() - t0
+    if out is not None and hasattr(module, "csv"):
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{name}.csv").write_text(module.csv(result))
+    return f"{text}\n[{name} regenerated in {elapsed:.1f}s]\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all",),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help=f"restrict to these benchmarks (default: all 20; known: {', '.join(suite_names())})",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to write CSV exports into",
+    )
+    args = parser.parse_args(argv)
+
+    if args.benchmarks:
+        unknown = set(args.benchmarks) - set(suite_names())
+        if unknown:
+            parser.error(f"unknown benchmark(s): {sorted(unknown)}")
+
+    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for target in targets:
+        print(_run_one(target, args.benchmarks, args.out))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Table I — benchmark information and statistics.
+
+Columns, as in the paper: #Classes, #Methods, #Nodes, #Edges, #Queries,
+T_Seq, #Jumps, #S, R_S, S_g, #ETs, R_ET.
+
+* ``T_Seq`` — SeqCFL's simulated analysis time (kilo-units; the paper
+  reports seconds).
+* ``#Jumps`` — jmp edges added by the 16-thread data-sharing run.
+* ``#S`` — total steps traversed by SeqCFL over all queries.
+* ``R_S`` — steps saved via jmp shortcuts / steps traversed across
+  original edges in the sharing run.
+* ``S_g`` — average scheduled group size.
+* ``#ETs`` — early terminations without query scheduling (D mode);
+  ``R_ET`` — ratio of ETs with scheduling over without.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.benchgen.suites import load_benchmark, suite_names
+from repro.core.scheduling import schedule_queries
+from repro.harness.report import ascii_table, to_csv
+from repro.harness.runner import DEFAULT_THREADS, run_benchmark_modes
+
+__all__ = ["Table1Row", "run", "render", "HEADERS"]
+
+HEADERS = (
+    "Benchmark", "#Classes", "#Methods", "#Nodes", "#Edges", "#Queries",
+    "TSeq(ku)", "#Jumps", "#S(k)", "RS", "Sg", "#ETs", "RET",
+)
+
+
+@dataclass
+class Table1Row:
+    name: str
+    n_classes: int
+    n_methods: int
+    n_nodes: int
+    n_edges: int
+    n_queries: int
+    t_seq: float          #: simulated kilo-units
+    n_jumps: int
+    total_steps: float    #: SeqCFL steps, thousands
+    rs: float
+    sg: float
+    n_ets: int
+    ret: float
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.name, self.n_classes, self.n_methods, self.n_nodes,
+            self.n_edges, self.n_queries, round(self.t_seq, 1), self.n_jumps,
+            round(self.total_steps, 1), round(self.rs, 2), round(self.sg, 1),
+            self.n_ets, round(self.ret, 2),
+        )
+
+
+def run(
+    names: Optional[Sequence[str]] = None, n_threads: int = DEFAULT_THREADS
+) -> List[Table1Row]:
+    """Measure Table I over the named benchmarks (default: all 20)."""
+    rows: List[Table1Row] = []
+    for name in names or suite_names():
+        modes = run_benchmark_modes(name, n_threads)
+        build = load_benchmark(name)
+        n_classes, n_methods = build.program.counts()
+        queries = modes.spec.workload()
+        groups = schedule_queries(build.pag, queries, build.program.types)
+        sg = sum(len(g) for g in groups) / len(groups) if groups else 0.0
+        rows.append(
+            Table1Row(
+                name=name,
+                n_classes=n_classes,
+                n_methods=n_methods,
+                n_nodes=build.pag.n_nodes,
+                n_edges=build.pag.n_edges,
+                n_queries=len(queries),
+                t_seq=modes.seq.makespan / 1000.0,
+                n_jumps=modes.d_t.n_jumps,
+                total_steps=modes.seq.total_steps / 1000.0,
+                rs=modes.d_t.saved_ratio,
+                sg=sg,
+                n_ets=modes.d_t.n_early_terminations,
+                ret=modes.ret_ratio,
+            )
+        )
+    return rows
+
+
+def averages(rows: Sequence[Table1Row]) -> Table1Row:
+    """The paper's ``Average`` footer row."""
+    n = len(rows)
+    rets = [r.ret for r in rows if r.ret == r.ret and r.ret != float("inf")]
+    return Table1Row(
+        name="Average",
+        n_classes=round(sum(r.n_classes for r in rows) / n),
+        n_methods=round(sum(r.n_methods for r in rows) / n),
+        n_nodes=round(sum(r.n_nodes for r in rows) / n),
+        n_edges=round(sum(r.n_edges for r in rows) / n),
+        n_queries=round(sum(r.n_queries for r in rows) / n),
+        t_seq=sum(r.t_seq for r in rows) / n,
+        n_jumps=round(sum(r.n_jumps for r in rows) / n),
+        total_steps=sum(r.total_steps for r in rows) / n,
+        rs=sum(r.rs for r in rows) / n,
+        sg=sum(r.sg for r in rows) / n,
+        n_ets=round(sum(r.n_ets for r in rows) / n),
+        ret=sum(rets) / len(rets) if rets else 1.0,
+    )
+
+
+def render(rows: Sequence[Table1Row]) -> str:
+    """ASCII Table I with the Average footer."""
+    data = [r.as_tuple() for r in rows]
+    if len(rows) > 1:
+        data.append(averages(rows).as_tuple())
+    return "TABLE I: Benchmark information and statistics.\n" + ascii_table(
+        HEADERS, data
+    )
+
+
+def csv(rows: Sequence[Table1Row]) -> str:
+    return to_csv(HEADERS, [r.as_tuple() for r in rows])

@@ -1,0 +1,53 @@
+"""Mini-Java intermediate representation.
+
+The paper analyses Java programs lowered by Soot into a *pointer
+assignment graph* (PAG, Fig. 1).  This package provides the front-end
+substrate that plays Soot's role here: a small class-based IR with the
+nine statement forms that lower onto the seven PAG edge kinds, a fluent
+:class:`~repro.ir.builder.ProgramBuilder`, a text
+:func:`~repro.ir.parser.parse_program` front-end and a semantic
+:func:`~repro.ir.validator.validate_program` pass.
+"""
+
+from repro.ir.types import (
+    ARRAY_FIELD,
+    ClassType,
+    PrimitiveType,
+    Type,
+    TypeTable,
+)
+from repro.ir.statements import (
+    Alloc,
+    Assign,
+    Call,
+    Load,
+    Return,
+    Statement,
+    Store,
+)
+from repro.ir.program import Clazz, Method, Program, Variable
+from repro.ir.builder import ProgramBuilder
+from repro.ir.parser import parse_program
+from repro.ir.validator import validate_program
+
+__all__ = [
+    "ARRAY_FIELD",
+    "Alloc",
+    "Assign",
+    "Call",
+    "ClassType",
+    "Clazz",
+    "Load",
+    "Method",
+    "PrimitiveType",
+    "Program",
+    "ProgramBuilder",
+    "Return",
+    "Statement",
+    "Store",
+    "Type",
+    "TypeTable",
+    "Variable",
+    "parse_program",
+    "validate_program",
+]

@@ -1,0 +1,296 @@
+"""Text front-end for the mini-Java IR.
+
+The concrete syntax is deliberately small — it exists so that example
+programs, regression fixtures and generated benchmarks can be stored
+and inspected as plain text::
+
+    class Vector {
+      field elems: Object[]
+      method add(e: Object) {
+        var t: Object[]
+        t = this.elems
+        t.arr = e
+      }
+      method get(): Object {
+        var t: Object[]
+        var r: Object
+        t = this.elems
+        r = t.arr
+        return r
+      }
+    }
+    global CACHE: Object
+
+Grammar (EBNF)::
+
+    program    := (classdecl | globaldecl)*
+    globaldecl := "global" NAME ":" type
+    classdecl  := ["library"] "class" NAME ["extends" NAME] "{" member* "}"
+    member     := "field" NAME ":" type
+                | ["static"] "method" NAME "(" params ")" [":" type] "{" stmt* "}"
+    params     := [NAME ":" type ("," NAME ":" type)*]
+    stmt       := "var" NAME ":" type
+                | NAME "=" "new" type
+                | NAME "=" NAME
+                | NAME "=" NAME "." NAME                      # load
+                | NAME "." NAME "=" NAME                      # store
+                | [NAME "="] NAME "." NAME "(" args ")"       # virtual call
+                | [NAME "="] NAME "::" NAME "(" args ")"      # static call
+                | "return" NAME
+    type       := NAME ["[]"]
+
+``//`` and ``#`` start comments that run to end of line.  A class marked
+``library`` contributes no queries (Table I's app/library distinction).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.errors import ParseError
+from repro.ir.builder import ClassBuilder, MethodBuilder, ProgramBuilder
+from repro.ir.program import Program
+
+__all__ = ["parse_program", "tokenize"]
+
+
+class Token(NamedTuple):
+    kind: str  # NAME | PUNCT
+    text: str
+    line: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>(//|\#)[^\n]*)
+  | (?P<name>(<[A-Za-z][A-Za-z0-9_]*>|[A-Za-z_$][A-Za-z0-9_$]*)(\[\])*)
+  | (?P<punct>::|[{}():,.=])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = frozenset(
+    {"class", "extends", "field", "method", "static", "var", "new", "return", "global", "library"}
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split source text into tokens, tracking line numbers."""
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    n = len(text)
+    while pos < n:
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", line)
+        chunk = m.group(0)
+        if m.lastgroup == "name":
+            tokens.append(Token("NAME", chunk, line))
+        elif m.lastgroup == "punct":
+            tokens.append(Token("PUNCT", chunk, line))
+        line += chunk.count("\n")
+        pos = m.end()
+    return tokens
+
+
+class _Cursor:
+    """Token cursor with one-token lookahead helpers."""
+
+    def __init__(self, tokens: Sequence[Token]) -> None:
+        self._tokens = tokens
+        self._i = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._i >= len(self._tokens)
+
+    def peek(self, offset: int = 0) -> Optional[Token]:
+        j = self._i + offset
+        return self._tokens[j] if j < len(self._tokens) else None
+
+    @property
+    def line(self) -> int:
+        tok = self.peek()
+        if tok is not None:
+            return tok.line
+        return self._tokens[-1].line if self._tokens else 1
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input", self.line)
+        self._i += 1
+        return tok
+
+    def expect(self, text: str) -> Token:
+        tok = self.next()
+        if tok.text != text:
+            raise ParseError(f"expected {text!r}, got {tok.text!r}", tok.line)
+        return tok
+
+    def expect_name(self, what: str = "identifier") -> str:
+        tok = self.next()
+        if tok.kind != "NAME" or tok.text in _KEYWORDS:
+            raise ParseError(f"expected {what}, got {tok.text!r}", tok.line)
+        return tok.text
+
+    def accept(self, text: str) -> bool:
+        tok = self.peek()
+        if tok is not None and tok.text == text:
+            self._i += 1
+            return True
+        return False
+
+
+def parse_program(text: str, validate: bool = True) -> Program:
+    """Parse source text into a sealed (and by default validated)
+    :class:`~repro.ir.program.Program`."""
+    cur = _Cursor(tokenize(text))
+    builder = ProgramBuilder()
+    while not cur.exhausted:
+        tok = cur.peek()
+        assert tok is not None
+        if tok.text == "global":
+            cur.next()
+            name = cur.expect_name("global name")
+            cur.expect(":")
+            type_name = cur.expect_name("type name")
+            builder.global_var(name, type_name)
+        elif tok.text in ("class", "library"):
+            _parse_class(cur, builder)
+        else:
+            raise ParseError(
+                f"expected 'class' or 'global' at top level, got {tok.text!r}", tok.line
+            )
+    return builder.build(validate=validate)
+
+
+def _parse_class(cur: _Cursor, builder: ProgramBuilder) -> None:
+    is_app = not cur.accept("library")
+    cur.expect("class")
+    name = cur.expect_name("class name")
+    extends = "Object"
+    if cur.accept("extends"):
+        extends = cur.expect_name("superclass name")
+    cb = builder.clazz(name, extends=extends, is_app=is_app)
+    cur.expect("{")
+    while not cur.accept("}"):
+        tok = cur.peek()
+        if tok is None:
+            raise ParseError(f"unterminated class {name!r}", cur.line)
+        if tok.text == "field":
+            cur.next()
+            f_name = cur.expect_name("field name")
+            cur.expect(":")
+            f_type = cur.expect_name("type name")
+            cb.field(f_name, f_type)
+        elif tok.text in ("method", "static"):
+            _parse_method(cur, cb)
+        else:
+            raise ParseError(
+                f"expected 'field' or 'method' in class body, got {tok.text!r}", tok.line
+            )
+
+
+def _parse_method(cur: _Cursor, cb: ClassBuilder) -> None:
+    static = cur.accept("static")
+    cur.expect("method")
+    name = cur.expect_name("method name")
+    cur.expect("(")
+    params: List[Tuple[str, str]] = []
+    if not cur.accept(")"):
+        while True:
+            p_name = cur.expect_name("parameter name")
+            cur.expect(":")
+            p_type = cur.expect_name("type name")
+            params.append((p_name, p_type))
+            if cur.accept(")"):
+                break
+            cur.expect(",")
+    returns = "void"
+    if cur.accept(":"):
+        returns = cur.expect_name("return type")
+    mb = cb.method(name, params=params, returns=returns, static=static)
+    cur.expect("{")
+    while not cur.accept("}"):
+        _parse_statement(cur, mb)
+
+
+def _parse_statement(cur: _Cursor, mb: MethodBuilder) -> None:
+    tok = cur.peek()
+    if tok is None:
+        raise ParseError("unterminated method body", cur.line)
+    if tok.text == "var":
+        cur.next()
+        name = cur.expect_name("local name")
+        cur.expect(":")
+        type_name = cur.expect_name("type name")
+        mb.local(name, type_name)
+        return
+    if tok.text == "return":
+        cur.next()
+        mb.ret(cur.expect_name("return value"))
+        return
+
+    first = cur.expect_name()
+    sep = cur.next()
+    if sep.text == "=":
+        _parse_assignment_rhs(cur, mb, target=first)
+    elif sep.text == ".":
+        member = cur.expect_name("member name")
+        after = cur.next()
+        if after.text == "(":
+            args = _parse_args(cur)
+            mb.call(first, member, args)
+        elif after.text == "=":
+            mb.store(first, member, cur.expect_name("stored value"))
+        else:
+            raise ParseError(f"expected '(' or '=' after member access, got {after.text!r}", after.line)
+    elif sep.text == "::":
+        member = cur.expect_name("method name")
+        cur.expect("(")
+        args = _parse_args(cur)
+        mb.call_static(first, member, args)
+    else:
+        raise ParseError(f"expected '=', '.' or '::' after {first!r}, got {sep.text!r}", sep.line)
+
+
+def _parse_assignment_rhs(cur: _Cursor, mb: MethodBuilder, target: str) -> None:
+    if cur.accept("new"):
+        mb.alloc(target, cur.expect_name("type name"))
+        return
+    src = cur.expect_name("source expression")
+    tok = cur.peek()
+    if tok is not None and tok.text == ".":
+        cur.next()
+        member = cur.expect_name("member name")
+        nxt = cur.peek()
+        if nxt is not None and nxt.text == "(":
+            cur.next()
+            args = _parse_args(cur)
+            mb.call(src, member, args, result=target)
+        else:
+            mb.load(target, src, member)
+    elif tok is not None and tok.text == "::":
+        cur.next()
+        member = cur.expect_name("method name")
+        cur.expect("(")
+        args = _parse_args(cur)
+        mb.call_static(src, member, args, result=target)
+    else:
+        mb.assign(target, src)
+
+
+def _parse_args(cur: _Cursor) -> List[str]:
+    """Parse a ``NAME, NAME, ...)`` argument list (the '(' is consumed)."""
+    args: List[str] = []
+    if cur.accept(")"):
+        return args
+    while True:
+        args.append(cur.expect_name("argument"))
+        if cur.accept(")"):
+            return args
+        cur.expect(",")

@@ -1,0 +1,296 @@
+"""Program structure of the mini-Java IR: variables, methods, classes.
+
+A :class:`Program` owns a :class:`~repro.ir.types.TypeTable`, a set of
+classes with methods, and top-level globals (the paper's static class
+variables, treated context-insensitively by the analysis).  Programs
+are *sealed* before lowering: sealing assigns unique call-site ids and
+freezes the structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import IRError, ValidationError
+from repro.ir.statements import Call, Return, Statement
+from repro.ir.types import TypeTable
+
+__all__ = ["Variable", "Method", "Clazz", "Program", "RET_VAR", "THIS_VAR"]
+
+#: Name of the implicit per-method return local (Soot's ``ret`` variable,
+#: e.g. ``ret_get`` in the paper's Fig. 2).
+RET_VAR = "$ret"
+
+#: Name of the implicit receiver formal of instance methods.
+THIS_VAR = "this"
+
+
+class Variable:
+    """A named variable: a method local/formal or a program global."""
+
+    __slots__ = ("name", "type_name", "method", "is_global", "is_param")
+
+    def __init__(
+        self,
+        name: str,
+        type_name: str,
+        method: Optional["Method"] = None,
+        is_param: bool = False,
+    ) -> None:
+        self.name = name
+        self.type_name = type_name
+        #: Owning method for locals; ``None`` for globals.
+        self.method = method
+        self.is_global = method is None
+        self.is_param = is_param
+
+    @property
+    def qualified_name(self) -> str:
+        """Globally unique name: ``v_method`` style as in the paper
+        (``v1_main``), or the bare name for globals."""
+        if self.method is None:
+            return self.name
+        return f"{self.name}@{self.method.qualified_name}"
+
+    def __repr__(self) -> str:
+        return f"Variable({self.qualified_name}: {self.type_name})"
+
+
+class Method:
+    """A method: formals, locals, a straight-line statement body.
+
+    Control flow is irrelevant to a flow-insensitive pointer analysis
+    (the paper's analysis is context- and field- but *not* flow-
+    sensitive, Table II), so bodies are unordered statement bags as far
+    as the analysis is concerned; we keep source order for determinism.
+    """
+
+    __slots__ = (
+        "name",
+        "owner",
+        "is_static",
+        "return_type",
+        "params",
+        "locals",
+        "body",
+        "is_app",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        owner: str,
+        is_static: bool = False,
+        return_type: str = "void",
+        is_app: bool = True,
+    ) -> None:
+        self.name = name
+        #: Name of the declaring class.
+        self.owner = owner
+        self.is_static = is_static
+        self.return_type = return_type
+        #: Formal parameters in declaration order (excluding ``this``).
+        self.params: List[Variable] = []
+        #: All locals by name, including formals, ``this`` and ``$ret``.
+        self.locals: Dict[str, Variable] = {}
+        self.body: List[Statement] = []
+        #: Application code (queried) vs library code (not queried) —
+        #: mirrors the paper's app/library distinction in Table I.
+        self.is_app = is_app
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.owner}.{self.name}"
+
+    # ------------------------------------------------------------------
+    def declare_local(self, name: str, type_name: str, is_param: bool = False) -> Variable:
+        if name in self.locals:
+            raise IRError(f"duplicate local {name!r} in {self.qualified_name}")
+        var = Variable(name, type_name, method=self, is_param=is_param)
+        self.locals[name] = var
+        if is_param and name != THIS_VAR:
+            self.params.append(var)
+        return var
+
+    def add_statement(self, stmt: Statement) -> Statement:
+        self.body.append(stmt)
+        return stmt
+
+    @property
+    def this_var(self) -> Optional[Variable]:
+        return self.locals.get(THIS_VAR)
+
+    @property
+    def ret_var(self) -> Optional[Variable]:
+        return self.locals.get(RET_VAR)
+
+    def ensure_ret_var(self) -> Variable:
+        """Create the implicit ``$ret`` local on first use."""
+        var = self.locals.get(RET_VAR)
+        if var is None:
+            var = self.declare_local(RET_VAR, self.return_type)
+        return var
+
+    def __repr__(self) -> str:
+        return f"Method({self.qualified_name}/{len(self.params)})"
+
+
+class Clazz:
+    """A class declaration: fields plus methods."""
+
+    __slots__ = ("name", "superclass", "methods", "is_app")
+
+    def __init__(self, name: str, superclass: str = "Object", is_app: bool = True) -> None:
+        self.name = name
+        self.superclass = superclass
+        self.methods: Dict[str, Method] = {}
+        self.is_app = is_app
+
+    def add_method(self, method: Method) -> Method:
+        if method.name in self.methods:
+            raise IRError(f"duplicate method {method.name!r} in class {self.name!r}")
+        self.methods[method.name] = method
+        return method
+
+    def __repr__(self) -> str:
+        return f"Clazz({self.name} extends {self.superclass})"
+
+
+class Program:
+    """A whole mini-Java program.
+
+    Use :class:`~repro.ir.builder.ProgramBuilder` or
+    :func:`~repro.ir.parser.parse_program` to construct one; call
+    :meth:`seal` (done automatically by both front-ends) before lowering
+    to a PAG.
+    """
+
+    def __init__(self) -> None:
+        self.types = TypeTable()
+        self.classes: Dict[str, Clazz] = {}
+        self.globals: Dict[str, Variable] = {}
+        self._sealed = False
+        self._n_call_sites = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_class(self, clazz: Clazz) -> Clazz:
+        self._check_mutable()
+        if clazz.name in self.classes:
+            raise IRError(f"duplicate class {clazz.name!r}")
+        self.classes[clazz.name] = clazz
+        return clazz
+
+    def declare_global(self, name: str, type_name: str) -> Variable:
+        self._check_mutable()
+        if name in self.globals:
+            raise IRError(f"duplicate global {name!r}")
+        var = Variable(name, type_name, method=None)
+        self.globals[name] = var
+        return var
+
+    def _check_mutable(self) -> None:
+        if self._sealed:
+            raise IRError("program is sealed")
+
+    # ------------------------------------------------------------------
+    # sealing
+    # ------------------------------------------------------------------
+    def seal(self) -> "Program":
+        """Assign call-site ids, materialise ``$ret`` locals, freeze."""
+        if self._sealed:
+            return self
+        site = 0
+        for method in self.methods():
+            for stmt in method.body:
+                if isinstance(stmt, Call):
+                    stmt.site_id = site
+                    site += 1
+                elif isinstance(stmt, Return):
+                    method.ensure_ret_var()
+        self._n_call_sites = site
+        self._sealed = True
+        return self
+
+    @property
+    def is_sealed(self) -> bool:
+        return self._sealed
+
+    @property
+    def n_call_sites(self) -> int:
+        if not self._sealed:
+            raise IRError("program not sealed")
+        return self._n_call_sites
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def methods(self) -> Iterator[Method]:
+        """All methods in deterministic (class, declaration) order."""
+        for clazz in self.classes.values():
+            yield from clazz.methods.values()
+
+    def method(self, qualified: str) -> Method:
+        """Look up ``Class.method``."""
+        cls_name, _, m_name = qualified.rpartition(".")
+        clazz = self.classes.get(cls_name)
+        if clazz is None or m_name not in clazz.methods:
+            raise ValidationError(f"unknown method {qualified!r}")
+        return clazz.methods[m_name]
+
+    def lookup_virtual(self, receiver_type: str, method_name: str) -> List[Method]:
+        """Class-hierarchy-analysis callee set for a virtual call.
+
+        Returns the concrete targets: for every subtype ``S`` of the
+        receiver's declared type, the implementation of ``method_name``
+        found by walking ``S``'s superclass chain.
+        """
+        targets: Dict[str, Method] = {}
+        for sub in sorted(self.types.subtypes(receiver_type)):
+            m = self._resolve_in_chain(sub, method_name)
+            if m is not None:
+                targets[m.qualified_name] = m
+        return [targets[k] for k in sorted(targets)]
+
+    def _resolve_in_chain(self, class_name: str, method_name: str) -> Optional[Method]:
+        for cls_type in self.types.superclass_chain(class_name):
+            clazz = self.classes.get(cls_type.name)
+            if clazz is not None and method_name in clazz.methods:
+                return clazz.methods[method_name]
+        return None
+
+    def lookup_static(self, class_name: Optional[str], method_name: str) -> Method:
+        """Resolve a static call.
+
+        With an explicit class, walks that class's superclass chain;
+        otherwise the method name must be unique program-wide.
+        """
+        if class_name is not None:
+            m = self._resolve_in_chain(class_name, method_name)
+            if m is None:
+                raise ValidationError(
+                    f"no static method {method_name!r} in class {class_name!r}"
+                )
+            return m
+        candidates = [m for m in self.methods() if m.name == method_name]
+        if not candidates:
+            raise ValidationError(f"unknown static method {method_name!r}")
+        if len(candidates) > 1:
+            owners = ", ".join(m.owner for m in candidates)
+            raise ValidationError(
+                f"ambiguous static call {method_name!r} (declared in {owners})"
+            )
+        return candidates[0]
+
+    # ------------------------------------------------------------------
+    # statistics (Table I columns 2-3)
+    # ------------------------------------------------------------------
+    def counts(self) -> Tuple[int, int]:
+        """(#classes, #methods) as reported in Table I."""
+        n_methods = sum(len(c.methods) for c in self.classes.values())
+        return len(self.classes), n_methods
+
+    def __repr__(self) -> str:
+        n_cls, n_m = self.counts()
+        return f"Program({n_cls} classes, {n_m} methods, {len(self.globals)} globals)"

@@ -1,0 +1,174 @@
+"""Statement forms of the mini-Java IR.
+
+Each statement lowers onto the PAG edge syntax of the paper's Fig. 1:
+
+===============================  =======================================
+IR statement                     PAG edge(s)
+===============================  =======================================
+``Alloc(x, T)``                  ``x <-new- o_site``
+``Assign(x, y)``                 ``x <-assign_l- y`` (or ``assign_g``
+                                 when either side is a global)
+``Load(x, p, f)``                ``x <-ld(f)- p``
+``Store(q, f, y)``               ``q <-st(f)- y``
+``Call(r, recv, m, args)@i``     per resolved callee: ``this <-param_i-
+                                 recv``, ``formal_k <-param_i- arg_k``,
+                                 ``r <-ret_i- $ret``
+``Return(y)``                    ``$ret <-assign_l- y``
+===============================  =======================================
+
+Statements are immutable value objects; the lowering itself lives in
+:mod:`repro.pag.build`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+__all__ = ["Statement", "Alloc", "Assign", "Load", "Store", "Call", "Return"]
+
+
+class Statement:
+    """Abstract base class for IR statements."""
+
+    __slots__ = ()
+
+    def operands(self) -> Tuple[str, ...]:
+        """Variable names read or written by this statement."""
+        raise NotImplementedError
+
+
+class Alloc(Statement):
+    """``target = new type_name`` — allocation at a unique site.
+
+    The allocation-site label (``o15`` style in the paper) is derived
+    from the owning method plus ``site`` by the PAG builder.
+    """
+
+    __slots__ = ("target", "type_name")
+
+    def __init__(self, target: str, type_name: str) -> None:
+        self.target = target
+        self.type_name = type_name
+
+    def operands(self) -> Tuple[str, ...]:
+        return (self.target,)
+
+    def __repr__(self) -> str:
+        return f"{self.target} = new {self.type_name}"
+
+
+class Assign(Statement):
+    """``target = source`` — local or global copy assignment."""
+
+    __slots__ = ("target", "source")
+
+    def __init__(self, target: str, source: str) -> None:
+        self.target = target
+        self.source = source
+
+    def operands(self) -> Tuple[str, ...]:
+        return (self.target, self.source)
+
+    def __repr__(self) -> str:
+        return f"{self.target} = {self.source}"
+
+
+class Load(Statement):
+    """``target = base.field``."""
+
+    __slots__ = ("target", "base", "field")
+
+    def __init__(self, target: str, base: str, field: str) -> None:
+        self.target = target
+        self.base = base
+        self.field = field
+
+    def operands(self) -> Tuple[str, ...]:
+        return (self.target, self.base)
+
+    def __repr__(self) -> str:
+        return f"{self.target} = {self.base}.{self.field}"
+
+
+class Store(Statement):
+    """``base.field = source``."""
+
+    __slots__ = ("base", "field", "source")
+
+    def __init__(self, base: str, field: str, source: str) -> None:
+        self.base = base
+        self.field = field
+        self.source = source
+
+    def operands(self) -> Tuple[str, ...]:
+        return (self.base, self.source)
+
+    def __repr__(self) -> str:
+        return f"{self.base}.{self.field} = {self.source}"
+
+
+class Call(Statement):
+    """A (possibly virtual) method invocation.
+
+    ``receiver is None`` denotes a static call resolved by method name
+    within the named class (``class_name.method(args)``); otherwise the
+    callee set is resolved by class-hierarchy analysis over the
+    receiver's declared type.  Each :class:`Call` occupies a unique call
+    site; the site id ``i`` labelling ``param_i``/``ret_i`` edges is
+    assigned when the program is sealed.
+    """
+
+    __slots__ = ("result", "receiver", "class_name", "method_name", "args", "site_id")
+
+    def __init__(
+        self,
+        result: Optional[str],
+        receiver: Optional[str],
+        method_name: str,
+        args: Tuple[str, ...],
+        class_name: Optional[str] = None,
+    ) -> None:
+        self.result = result
+        self.receiver = receiver
+        self.class_name = class_name
+        self.method_name = method_name
+        self.args = tuple(args)
+        #: Unique call-site id, assigned by ``Program.seal()``.
+        self.site_id: Optional[int] = None
+
+    @property
+    def is_static(self) -> bool:
+        return self.receiver is None
+
+    def operands(self) -> Tuple[str, ...]:
+        ops = list(self.args)
+        if self.receiver is not None:
+            ops.append(self.receiver)
+        if self.result is not None:
+            ops.append(self.result)
+        return tuple(ops)
+
+    def __repr__(self) -> str:
+        callee = (
+            f"{self.receiver}.{self.method_name}"
+            if self.receiver is not None
+            else f"{self.class_name or '?'}::{self.method_name}"
+        )
+        lhs = f"{self.result} = " if self.result else ""
+        return f"{lhs}{callee}({', '.join(self.args)})"
+
+
+class Return(Statement):
+    """``return value`` — lowers to an assignment into the method's
+    implicit ``$ret`` local."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        self.value = value
+
+    def operands(self) -> Tuple[str, ...]:
+        return (self.value,)
+
+    def __repr__(self) -> str:
+        return f"return {self.value}"

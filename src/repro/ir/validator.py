@@ -1,0 +1,181 @@
+"""Semantic validation of mini-Java programs.
+
+Checks performed before lowering (all raise
+:class:`~repro.errors.ValidationError`):
+
+* every referenced variable is a declared local/formal/global;
+* every referenced type and superclass exists and the hierarchy is
+  acyclic;
+* field accesses name fields declared on the (statically known) base
+  type or a supertype;
+* call sites resolve to at least one callee with matching arity;
+* ``return`` only appears in non-``void`` methods, and the assignment
+  targets of allocations are reference-typed.
+
+The checks are deliberately name-based (no subtype checks on
+assignments): the analysis itself is untyped once the PAG is built, and
+generated benchmarks use assignment-compatible shapes by construction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ValidationError
+from repro.ir.program import Method, Program, Variable
+from repro.ir.statements import Alloc, Assign, Call, Load, Return, Store
+
+__all__ = ["validate_program"]
+
+
+def validate_program(program: Program) -> None:
+    """Validate; raises :class:`ValidationError` listing every problem."""
+    problems: List[str] = []
+    _check_hierarchy(program, problems)
+    for g in program.globals.values():
+        if g.type_name not in program.types:
+            problems.append(f"global {g.name!r} has unknown type {g.type_name!r}")
+    for method in program.methods():
+        _check_method(program, method, problems)
+    if problems:
+        raise ValidationError(
+            f"{len(problems)} validation error(s):\n  " + "\n  ".join(problems)
+        )
+
+
+def _check_hierarchy(program: Program, problems: List[str]) -> None:
+    for clazz in program.classes.values():
+        if clazz.superclass not in program.types:
+            problems.append(
+                f"class {clazz.name}: unknown superclass {clazz.superclass!r}"
+            )
+            continue
+        try:
+            list(program.types.superclass_chain(clazz.name))
+        except ValidationError as exc:
+            problems.append(f"class {clazz.name}: {exc}")
+        cls_type = program.types.resolve(clazz.name)
+        for f_name, f_type in getattr(cls_type, "fields", {}).items():
+            if f_type not in program.types:
+                problems.append(
+                    f"class {clazz.name}: field {f_name} has unknown type {f_type!r}"
+                )
+
+
+def _resolve_var(program: Program, method: Method, name: str) -> Variable | None:
+    var = method.locals.get(name)
+    if var is not None:
+        return var
+    return program.globals.get(name)
+
+
+def _check_method(program: Program, method: Method, problems: List[str]) -> None:
+    where = method.qualified_name
+
+    for local in method.locals.values():
+        if local.type_name not in program.types:
+            problems.append(
+                f"{where}: local {local.name!r} has unknown type {local.type_name!r}"
+            )
+    if method.return_type != "void" and method.return_type not in program.types:
+        problems.append(f"{where}: unknown return type {method.return_type!r}")
+
+    def var_of(name: str, role: str) -> Variable | None:
+        var = _resolve_var(program, method, name)
+        if var is None:
+            problems.append(f"{where}: {role} {name!r} is not a declared local or global")
+        return var
+
+    for stmt in method.body:
+        if isinstance(stmt, Alloc):
+            tgt = var_of(stmt.target, "allocation target")
+            if stmt.type_name not in program.types:
+                problems.append(f"{where}: allocation of unknown type {stmt.type_name!r}")
+            elif not program.types.resolve(stmt.type_name).is_reference:
+                problems.append(
+                    f"{where}: cannot allocate primitive type {stmt.type_name!r}"
+                )
+            if tgt is not None and not program.types.resolve(tgt.type_name).is_reference:
+                problems.append(
+                    f"{where}: allocation target {stmt.target!r} is not reference-typed"
+                )
+        elif isinstance(stmt, Assign):
+            var_of(stmt.target, "assignment target")
+            var_of(stmt.source, "assignment source")
+        elif isinstance(stmt, Load):
+            var_of(stmt.target, "load target")
+            base = var_of(stmt.base, "load base")
+            if base is not None:
+                _check_field(program, base, stmt.field, where, problems)
+        elif isinstance(stmt, Store):
+            base = var_of(stmt.base, "store base")
+            var_of(stmt.source, "stored value")
+            if base is not None:
+                _check_field(program, base, stmt.field, where, problems)
+        elif isinstance(stmt, Call):
+            _check_call(program, method, stmt, problems)
+        elif isinstance(stmt, Return):
+            var_of(stmt.value, "return value")
+            if method.return_type == "void":
+                problems.append(f"{where}: return in void method")
+
+
+def _check_field(
+    program: Program, base: Variable, field: str, where: str, problems: List[str]
+) -> None:
+    base_type = program.types.resolve(base.type_name)
+    if not base_type.is_reference:
+        problems.append(
+            f"{where}: field access {base.name}.{field} on primitive base"
+        )
+        return
+    try:
+        program.types.field_type(base.type_name, field)
+    except ValidationError:
+        problems.append(
+            f"{where}: type {base.type_name!r} (of {base.name!r}) has no field {field!r}"
+        )
+
+
+def _check_call(
+    program: Program, method: Method, stmt: Call, problems: List[str]
+) -> None:
+    where = method.qualified_name
+    for arg in stmt.args:
+        if _resolve_var(program, method, arg) is None:
+            problems.append(f"{where}: call argument {arg!r} undeclared")
+    if stmt.result is not None and _resolve_var(program, method, stmt.result) is None:
+        problems.append(f"{where}: call result target {stmt.result!r} undeclared")
+
+    if stmt.is_static:
+        try:
+            callee = program.lookup_static(stmt.class_name, stmt.method_name)
+        except ValidationError as exc:
+            problems.append(f"{where}: {exc}")
+            return
+        callees = [callee]
+    else:
+        recv = _resolve_var(program, method, stmt.receiver or "")
+        if recv is None:
+            problems.append(f"{where}: call receiver {stmt.receiver!r} undeclared")
+            return
+        recv_type = program.types.resolve(recv.type_name)
+        if not recv_type.is_reference:
+            problems.append(f"{where}: virtual call on primitive receiver {recv.name!r}")
+            return
+        callees = program.lookup_virtual(recv.type_name, stmt.method_name)
+        if not callees:
+            problems.append(
+                f"{where}: no callee for {recv.type_name}.{stmt.method_name}(...)"
+            )
+            return
+    for callee in callees:
+        if len(callee.params) != len(stmt.args):
+            problems.append(
+                f"{where}: call to {callee.qualified_name} with {len(stmt.args)} "
+                f"argument(s), expected {len(callee.params)}"
+            )
+        if stmt.result is not None and callee.return_type == "void":
+            problems.append(
+                f"{where}: using result of void method {callee.qualified_name}"
+            )

@@ -1,0 +1,77 @@
+"""Graphviz export of a PAG, for debugging and documentation.
+
+Produces plain DOT text (no graphviz dependency); render externally with
+``dot -Tsvg``.  Variables are boxes, objects are ellipses, edge kinds
+are distinguished by label and style, matching the look of the paper's
+Fig. 2(b).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.pag.edges import EdgeKind
+from repro.pag.graph import PAG
+
+__all__ = ["to_dot"]
+
+_EDGE_STYLE = {
+    EdgeKind.NEW: 'color="black" style=bold',
+    EdgeKind.ASSIGN: 'color="gray40"',
+    EdgeKind.GASSIGN: 'color="gray40" style=dashed',
+    EdgeKind.LOAD: 'color="blue"',
+    EdgeKind.STORE: 'color="red"',
+    EdgeKind.PARAM: 'color="darkgreen"',
+    EdgeKind.RET: 'color="purple"',
+}
+
+
+def _label(kind: EdgeKind, label) -> str:
+    base = {
+        EdgeKind.NEW: "new",
+        EdgeKind.ASSIGN: "assign",
+        EdgeKind.GASSIGN: "assign_g",
+        EdgeKind.LOAD: "ld",
+        EdgeKind.STORE: "st",
+        EdgeKind.PARAM: "param",
+        EdgeKind.RET: "ret",
+    }[kind]
+    if kind in (EdgeKind.LOAD, EdgeKind.STORE):
+        return f"{base}({label})"
+    if kind in (EdgeKind.PARAM, EdgeKind.RET):
+        return f"{base}{label}"
+    return base
+
+
+def to_dot(
+    pag: PAG,
+    name: str = "pag",
+    nodes: Optional[Iterable[int]] = None,
+) -> str:
+    """Render ``pag`` (or the sub-graph induced by ``nodes``) as DOT.
+
+    Edges are drawn from ``src`` to ``dst`` — the direction of value
+    flow, as in Fig. 2(b).
+    """
+    keep: Optional[Set[int]] = set(nodes) if nodes is not None else None
+
+    def wanted(nid: int) -> bool:
+        return keep is None or nid in keep
+
+    lines = [f"digraph {name} {{", "  rankdir=BT;", '  node [fontsize=10];']
+    for nid in pag.node_ids():
+        if not wanted(nid):
+            continue
+        info = pag.info(nid)
+        shape = "ellipse" if info.kind.name == "OBJECT" else "box"
+        lines.append(f'  n{nid} [label="{info}" shape={shape}];')
+    for edge in pag.edges():
+        if not (wanted(edge.dst) and wanted(edge.src)):
+            continue
+        style = _EDGE_STYLE[edge.kind]
+        lines.append(
+            f'  n{edge.src} -> n{edge.dst} '
+            f'[label="{_label(edge.kind, edge.label)}" {style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""PAG edge kinds (Fig. 1) and a display record.
+
+Edges are stored de-normalised inside :class:`~repro.pag.graph.PAG` as
+per-kind adjacency indexes (both directions), because each branch of
+the traversal algorithms touches exactly one kind; this module defines
+the kind tags and the :class:`Edge` view used by iteration, export and
+tests.
+
+Orientation convention (paper Section II-A): an edge is directed along
+*value flow*, written ``dst <-kind- src``.  For a store ``q.f = y`` the
+base ``q`` is ``dst`` and the stored value ``y`` is ``src``; for a load
+``x = p.f`` the loaded-into variable ``x`` is ``dst`` and the base
+``p`` is ``src``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple, Optional, Union
+
+__all__ = ["EdgeKind", "Edge"]
+
+
+class EdgeKind(enum.IntEnum):
+    """The seven edge kinds of Fig. 1."""
+
+    NEW = 0       #: ``l <-new- o``
+    ASSIGN = 1    #: ``l1 <-assign_l- l2``
+    GASSIGN = 2   #: ``g <-assign_g- v`` or ``v <-assign_g- g``
+    LOAD = 3      #: ``l1 <-ld(f)- l2`` for ``l1 = l2.f``
+    STORE = 4     #: ``l1 <-st(f)- l2`` for ``l1.f = l2``
+    PARAM = 5     #: ``formal <-param_i- actual``
+    RET = 6       #: ``result <-ret_i- $ret``
+
+
+class Edge(NamedTuple):
+    """One PAG edge: ``dst <-kind[label]- src``.
+
+    ``label`` is the field name for LOAD/STORE, the call-site id for
+    PARAM/RET, and ``None`` otherwise.
+    """
+
+    kind: EdgeKind
+    dst: int
+    src: int
+    label: Optional[Union[str, int]] = None
+
+    def __str__(self) -> str:
+        tag = self.kind.name.lower()
+        if self.label is not None:
+            tag = f"{tag}({self.label})"
+        return f"n{self.dst} <-{tag}- n{self.src}"

@@ -1,0 +1,45 @@
+"""Extended-PAG records (Fig. 4): ``jmp`` shortcut edges.
+
+Data sharing (Section III-B) rewrites the graph by adding two kinds of
+``jmp`` edges keyed on a (variable, context) pair:
+
+* **Finished** (Fig. 3a): one completed alias-matching round from
+  ``(x, c)`` discovered the reachable pairs ``(y_k, c_k)`` in ``s``
+  steps; the edge ``x <=jmp(s)=[c, c_k]= y_k`` lets later queries jump
+  straight to the results while charging ``s`` budget steps.
+* **Unfinished** (Fig. 3b): the round ran out of budget after ``s``
+  steps; the edge ``x <=jmp(s)= O`` certifies that any query arriving
+  at ``(x, c)`` with fewer than ``s`` remaining steps will also run out,
+  enabling *early termination*.
+
+These records live in the :class:`~repro.core.jumpmap.JumpMap`, the
+reproduction of the paper's ``ConcurrentHashMap``.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+__all__ = ["FinishedJump", "UnfinishedJump", "JumpKey"]
+
+#: Context type: a call-site string with the innermost site last.
+Context = Tuple[int, ...]
+
+#: Key of the jump map — the paper associates jmp edge sets "with the
+#: key (x, c)" (Section IV-A).  ``direction`` distinguishes the
+#: POINTSTO-side map from its FLOWSTO-side mirror.
+JumpKey = Tuple[int, Context, bool]
+
+
+class FinishedJump(NamedTuple):
+    """One finished ``jmp`` edge ``x <=jmp(steps)=[c, target_ctx]= target``."""
+
+    target: int
+    target_ctx: Context
+    steps: int
+
+
+class UnfinishedJump(NamedTuple):
+    """The unfinished ``jmp`` edge ``x <=jmp(steps)= O`` for ``(x, c)``."""
+
+    steps: int

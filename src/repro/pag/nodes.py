@@ -1,0 +1,51 @@
+"""PAG node kinds.
+
+Nodes are plain integers inside :class:`~repro.pag.graph.PAG`; per-node
+attributes live in parallel arrays for compactness and cache-friendly
+iteration (the hot traversal loops index these arrays millions of
+times).  This module only defines the kind tags and a display record.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple, Optional
+
+__all__ = ["NodeKind", "NodeInfo"]
+
+
+class NodeKind(enum.IntEnum):
+    """Tag stored per node id."""
+
+    #: A method-local variable (``l`` in Fig. 1).
+    LOCAL = 0
+    #: A global (static) variable (``g`` in Fig. 1) — analysed
+    #: context-insensitively.
+    GLOBAL = 1
+    #: An abstract heap object — one per allocation site (``o`` in Fig. 1).
+    OBJECT = 2
+    #: The special unfinished node ``O`` of Fig. 4, the target of
+    #: unfinished ``jmp`` edges.  Exactly one per PAG.
+    UNFINISHED = 3
+
+
+class NodeInfo(NamedTuple):
+    """Read-only view of one node, for display and tests."""
+
+    node_id: int
+    kind: NodeKind
+    name: str
+    type_name: Optional[str]
+    method: Optional[str]
+    is_app: bool
+
+    @property
+    def is_variable(self) -> bool:
+        return self.kind in (NodeKind.LOCAL, NodeKind.GLOBAL)
+
+    def __str__(self) -> str:
+        if self.kind is NodeKind.OBJECT:
+            return f"o[{self.name}]"
+        if self.kind is NodeKind.UNFINISHED:
+            return "O"
+        return self.name

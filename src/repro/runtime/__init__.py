@@ -1,0 +1,35 @@
+"""Parallel runtime — the reproduction's multicore substrate.
+
+CPython's GIL makes wall-clock parallel speedups unmeasurable, so the
+paper's 16-core Xeon testbed is replaced by a **deterministic
+discrete-event simulator** (:mod:`repro.runtime.simclock`): workers own
+simulated clocks, query costs come from the step/jump-op accounting of
+the engine through a calibrated :class:`~repro.runtime.contention.CostModel`,
+and jump-map visibility follows commit order — a query sees exactly the
+edges published by queries that finished before it started.  A real
+``threading`` executor (:mod:`repro.runtime.threaded`) exercises genuine
+shared-state concurrency for correctness testing.
+
+:class:`~repro.runtime.executor.ParallelCFL` is the user-facing facade
+with the paper's four configurations: ``seq`` (SeqCFL), ``naive``
+(shared work list only), ``D`` (+ data sharing), ``DQ`` (+ query
+scheduling).
+"""
+
+from repro.runtime.contention import CostModel
+from repro.runtime.intraquery import intra_query_makespan, intra_query_speedup
+from repro.runtime.executor import ParallelCFL
+from repro.runtime.results import BatchResult
+from repro.runtime.simclock import SimulatedExecutor
+from repro.runtime.threaded import ConcurrentJumpMap, ThreadedExecutor
+
+__all__ = [
+    "BatchResult",
+    "ConcurrentJumpMap",
+    "CostModel",
+    "intra_query_makespan",
+    "intra_query_speedup",
+    "ParallelCFL",
+    "SimulatedExecutor",
+    "ThreadedExecutor",
+]

@@ -1,0 +1,93 @@
+"""Cost model mapping engine accounting onto simulated wall-clock time.
+
+The simulator needs a function from a query's measured work (traversal
+steps, jump-map operations) to time units on the paper's hardware
+(2 × 8-core Xeon E5-2650).  The model is::
+
+    time(q, t) = [ w_query
+                   + w_step  · work(q)
+                   + w_take  · jmp_taken(q)
+                   + w_look  · jmp_lookups(q)
+                   + w_ins   · jmp_inserts(q) ] · (1 + κ·(t−1))
+
+plus ``w_fetch · (1 + κ_lock·(t−1))`` per work-list fetch.  The
+``(1 + κ·(t−1))`` factor models memory-bandwidth and cache contention
+growing with the thread count ``t``; ``w_query`` is the fixed per-query
+overhead (dispatch, result materialisation) that in the authors' JVM
+implementation keeps the wall-clock gain of data sharing (~1.8×) far
+below its step savings (~29×) — see DESIGN.md §4.
+
+Calibration (the only hardware-specific constants of the reproduction;
+swept in ``benchmarks/test_ablation_contention.py``):
+
+* the two contention slopes put the share-nothing 16-thread
+  configuration near the paper's average 7.3× and make the 8→16
+  scaling step small (Fig. 8's knee at the socket boundary);
+* ``w_query`` models fixed per-query dispatch/result overhead;
+* the jump-map op costs reproduce Section IV-A's observation that
+  unfiltered insertion (τ_F = 0) costs measurable throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.query import QueryCosts
+from repro.errors import RuntimeConfigError
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Simulated-time constants (arbitrary but fixed time units; one
+    traversal step at one thread ≡ 1 unit).
+
+    The contention model is two-sloped, matching the testbed's
+    2 × 8-core socket topology: threads 2..``socket_size`` add the
+    cheap intra-socket slope ``kappa``; threads beyond it add the much
+    steeper cross-socket slope ``kappa_inter`` (shared-L3 misses and
+    QPI traffic).  The defaults put the share-nothing 16-thread
+    configuration near the paper's 7.3× average and flatten the 8→16
+    scaling exactly as Fig. 8 reports.
+    """
+
+    w_step: float = 1.0        #: per traversal step actually performed
+    w_query: float = 15.0      #: fixed per-query overhead
+    w_take: float = 4.0        #: per finished-shortcut hit
+    w_look: float = 2.0        #: per jump-map lookup
+    w_ins: float = 6.0         #: per jump-edge insertion
+    w_fetch: float = 5.0       #: per shared-work-list fetch (lock + pop)
+    kappa: float = 0.0175      #: intra-socket per-thread contention slope
+    kappa_inter: float = 0.11  #: cross-socket per-thread contention slope
+    socket_size: int = 8       #: cores per socket (Xeon E5-2650)
+    kappa_lock: float = 0.35   #: per-thread work-list lock-contention slope
+
+    def __post_init__(self) -> None:
+        if self.kappa < 0 or self.kappa_inter < 0 or self.kappa_lock < 0:
+            raise RuntimeConfigError("contention slopes must be non-negative")
+        if self.socket_size < 1:
+            raise RuntimeConfigError("socket_size must be >= 1")
+        if min(self.w_step, self.w_query, self.w_take, self.w_look, self.w_ins, self.w_fetch) < 0:
+            raise RuntimeConfigError("cost weights must be non-negative")
+
+    def contention(self, n_threads: int) -> float:
+        """Per-step slowdown factor at ``n_threads``."""
+        intra = min(n_threads, self.socket_size) - 1
+        inter = max(0, n_threads - self.socket_size)
+        return 1.0 + self.kappa * intra + self.kappa_inter * inter
+
+    def query_time(self, costs: QueryCosts, n_threads: int) -> float:
+        """Simulated duration of one query at the given thread count."""
+        base = (
+            self.w_query
+            + self.w_step * costs.work
+            + self.w_take * costs.jmp_taken
+            + self.w_look * costs.jmp_lookups
+            + self.w_ins * costs.jmp_inserts
+        )
+        return base * self.contention(n_threads)
+
+    def fetch_time(self, n_threads: int) -> float:
+        """Simulated duration of one shared-work-list fetch."""
+        return self.w_fetch * (1.0 + self.kappa_lock * (n_threads - 1))

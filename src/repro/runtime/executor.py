@@ -1,0 +1,116 @@
+"""`ParallelCFL` — the paper's four analysis configurations behind one
+facade.
+
+=========  ==========================================================
+mode       meaning (Section IV-C)
+=========  ==========================================================
+``seq``    SeqCFL: one worker, no sharing, program-order queries
+``naive``  shared work list only (PARCFL_naive): no sharing, no
+           scheduling, one query per fetch
+``D``      + data sharing (PARCFL_D)
+``DQ``     + query scheduling (PARCFL_DQ)
+=========  ==========================================================
+
+Executors are simulated by default (deterministic, measurable); pass
+``backend="threads"`` for the real-thread correctness mode.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.core.engine import EngineConfig
+from repro.core.query import Query
+from repro.core.scheduling import ScheduleConfig, schedule_queries
+from repro.errors import RuntimeConfigError
+from repro.ir.types import TypeTable
+from repro.pag.build import BuildResult
+from repro.pag.graph import PAG
+from repro.runtime.contention import CostModel
+from repro.runtime.results import BatchResult
+from repro.runtime.simclock import SimulatedExecutor
+from repro.runtime.threaded import ThreadedExecutor
+
+__all__ = ["ParallelCFL", "MODES"]
+
+MODES = ("seq", "naive", "D", "DQ")
+
+
+class ParallelCFL:
+    """Batch-mode parallel CFL-reachability pointer analysis."""
+
+    def __init__(
+        self,
+        target: Union[PAG, BuildResult],
+        mode: str = "DQ",
+        n_threads: int = 16,
+        engine_config: Optional[EngineConfig] = None,
+        cost_model: Optional[CostModel] = None,
+        schedule_config: Optional[ScheduleConfig] = None,
+        types: Optional[TypeTable] = None,
+        backend: str = "sim",
+    ) -> None:
+        if mode not in MODES:
+            raise RuntimeConfigError(f"mode must be one of {MODES}, got {mode!r}")
+        if backend not in ("sim", "threads"):
+            raise RuntimeConfigError(f"backend must be 'sim' or 'threads', got {backend!r}")
+        if isinstance(target, BuildResult):
+            self.pag = target.pag
+            if types is None:
+                types = target.program.types
+        else:
+            self.pag = target
+        self.mode = mode
+        self.n_threads = 1 if mode == "seq" else n_threads
+        self.engine_config = engine_config or EngineConfig()
+        self.cost_model = cost_model or CostModel()
+        self.schedule_config = schedule_config
+        self.types = types
+        self.backend = backend
+
+    # ------------------------------------------------------------------
+    @property
+    def sharing(self) -> bool:
+        return self.mode in ("D", "DQ")
+
+    @property
+    def scheduling(self) -> bool:
+        return self.mode == "DQ"
+
+    def default_queries(self) -> List[Query]:
+        """The paper's batch workload: all application-code locals."""
+        return [Query(v) for v in self.pag.app_locals()]
+
+    def work_units(self, queries: Sequence[Query]) -> List[List[Query]]:
+        """Materialise the shared work list for this mode."""
+        if self.scheduling:
+            groups = schedule_queries(
+                self.pag, queries, self.types, self.schedule_config
+            )
+            return [list(g.queries) for g in groups]
+        # seq / naive / D: one query per fetch, in issue order.
+        return [[q] for q in queries]
+
+    def run(self, queries: Optional[Sequence[Query]] = None) -> BatchResult:
+        """Execute the batch; returns a :class:`BatchResult`."""
+        if queries is None:
+            queries = self.default_queries()
+        units = self.work_units(queries)
+        if self.backend == "threads":
+            texec = ThreadedExecutor(
+                self.pag,
+                self.n_threads,
+                engine_config=self.engine_config,
+                sharing=self.sharing,
+                mode=self.mode,
+            )
+            return texec.run_units(units)
+        sexec = SimulatedExecutor(
+            self.pag,
+            self.n_threads,
+            engine_config=self.engine_config,
+            cost_model=self.cost_model,
+            sharing=self.sharing,
+            mode=self.mode,
+        )
+        return sexec.run_units(units)

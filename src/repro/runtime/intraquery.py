@@ -1,0 +1,78 @@
+"""Intra-query parallelism model — the road the paper did *not* take.
+
+Section III argues that intra-query parallelism "is irregular and hard
+to achieve with the right granularity" and that "considerable
+synchronisation overhead ... would likely offset the performance
+benefit".  This module makes that argument quantitative for the
+ablation bench: given a sequential batch, it models the best case of
+splitting each single query's traversal across ``k`` threads:
+
+* the usable parallelism per query is capped by its mean worklist
+  width (``QueryCosts.frontier_mean``) — threads beyond the frontier
+  starve;
+* every parallel step pays a per-thread synchronisation surcharge on
+  the shared worklist and visited set (``w_sync`` per extra thread);
+* queries remain serialised with respect to each other (one query at a
+  time owns the machine — the pure intra-query design point).
+
+This is deliberately optimistic for intra-query parallelism (perfect
+load balance within the frontier, no cache penalty beyond the standard
+contention model), and it still loses badly to inter-query
+parallelism — reproducing the paper's design rationale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import RuntimeConfigError
+from repro.runtime.contention import CostModel
+from repro.runtime.results import BatchResult
+
+__all__ = ["intra_query_makespan", "intra_query_speedup"]
+
+#: Per-extra-thread synchronisation surcharge per traversal step
+#: (shared frontier pops and visited-set insertion are serialised).
+DEFAULT_W_SYNC = 0.08
+
+
+def intra_query_makespan(
+    seq_batch: BatchResult,
+    n_threads: int,
+    cost_model: Optional[CostModel] = None,
+    w_sync: float = DEFAULT_W_SYNC,
+) -> float:
+    """Simulated makespan of running ``seq_batch``'s queries one at a
+    time with each query's traversal split over ``n_threads`` threads."""
+    if n_threads < 1:
+        raise RuntimeConfigError(f"n_threads must be >= 1, got {n_threads}")
+    if w_sync < 0:
+        raise RuntimeConfigError("w_sync must be non-negative")
+    cm = cost_model or CostModel()
+    total = 0.0
+    for execution in seq_batch.executions:
+        costs = execution.result.costs
+        usable = max(1.0, min(float(n_threads), costs.frontier_mean))
+        sync = 1.0 + w_sync * (n_threads - 1) if n_threads > 1 else 1.0
+        traversal = cm.w_step * costs.work / usable * sync
+        overhead = (
+            cm.w_query
+            + cm.w_take * costs.jmp_taken
+            + cm.w_look * costs.jmp_lookups
+            + cm.w_ins * costs.jmp_inserts
+        )
+        total += (traversal + overhead) * cm.contention(n_threads)
+    return total
+
+
+def intra_query_speedup(
+    seq_batch: BatchResult,
+    n_threads: int,
+    cost_model: Optional[CostModel] = None,
+    w_sync: float = DEFAULT_W_SYNC,
+) -> float:
+    """Speedup of the intra-query design over the sequential run."""
+    makespan = intra_query_makespan(seq_batch, n_threads, cost_model, w_sync)
+    if makespan <= 0:
+        return float("inf")
+    return seq_batch.makespan / makespan

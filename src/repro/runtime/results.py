@@ -1,0 +1,133 @@
+"""Batch execution results and aggregate statistics.
+
+:class:`BatchResult` collects what Table I and Figs. 6-8 report:
+simulated makespan, total steps (``#S``), steps saved / ratio saved
+(``R_S``), jump-edge counts (``#Jumps``), early terminations
+(``#ETs``), plus the memory-usage proxy of Section IV-D5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.query import QueryResult
+
+__all__ = ["BatchResult", "QueryExecution"]
+
+
+@dataclass
+class QueryExecution:
+    """One query's execution record inside a batch."""
+
+    result: QueryResult
+    worker: int
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class BatchResult:
+    """Outcome of running a query batch on an executor."""
+
+    mode: str
+    n_threads: int
+    executions: List[QueryExecution]
+    #: Simulated wall-clock: the latest query finish time.
+    makespan: float
+    #: Per-worker busy time (for utilisation / imbalance analysis).
+    worker_busy: List[float]
+    #: Jump edges in the shared map after the batch (Table I ``#Jumps``).
+    n_jumps: int = 0
+    n_finished_jumps: int = 0
+    n_unfinished_jumps: int = 0
+    #: Peak of the memory proxy: max over time of the summed live
+    #: traversal footprints of concurrently running queries, plus the
+    #: jump map's final size (Section IV-D5).
+    peak_memory_proxy: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def results(self) -> List[QueryResult]:
+        return [e.result for e in self.executions]
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.executions)
+
+    @property
+    def total_steps(self) -> int:
+        """Budget-semantic steps over all queries (the paper's ``#S``
+        when sharing is off, since then steps == work)."""
+        return sum(e.result.costs.steps for e in self.executions)
+
+    @property
+    def total_work(self) -> int:
+        """Steps actually traversed across original edges."""
+        return sum(e.result.costs.work for e in self.executions)
+
+    @property
+    def total_saved(self) -> int:
+        """Steps taken over ``jmp`` shortcuts instead of re-traversed."""
+        return sum(e.result.costs.saved for e in self.executions)
+
+    @property
+    def saved_ratio(self) -> float:
+        """The paper's ``R_S``: steps saved / steps traversed across the
+        original edges (0 when sharing is off)."""
+        work = self.total_work
+        return self.total_saved / work if work else 0.0
+
+    @property
+    def allocation_proxy(self) -> float:
+        """Cumulative bookkeeping-allocation pressure: the sum of every
+        query's peak visited/memo footprint, plus the jump map entries.
+        Under a generational GC this tracks heap pressure better than an
+        instantaneous footprint — the paper itself notes precise
+        measurement is hard with GC enabled (Section IV-D5).  Data
+        sharing lowers it by shrinking traversal structures; the jump
+        map adds back its own storage."""
+        return (
+            sum(e.result.costs.peak_visited for e in self.executions)
+            + self.n_jumps
+        )
+
+    @property
+    def n_early_terminations(self) -> int:
+        """Early terminations over the batch (Table I ``#ETs``)."""
+        return sum(e.result.costs.early_terminations for e in self.executions)
+
+    @property
+    def n_exhausted(self) -> int:
+        return sum(1 for e in self.executions if e.result.exhausted)
+
+    @property
+    def utilisation(self) -> float:
+        """Mean worker busy fraction of the makespan."""
+        if not self.worker_busy or self.makespan <= 0:
+            return 1.0
+        return sum(self.worker_busy) / (len(self.worker_busy) * self.makespan)
+
+    def speedup_over(self, baseline: "BatchResult") -> float:
+        """Speedup of this run relative to ``baseline`` (e.g. SeqCFL)."""
+        if self.makespan <= 0:
+            return float("inf")
+        return baseline.makespan / self.makespan
+
+    def points_to_map(self) -> Dict[Tuple[int, tuple], frozenset]:
+        """(var, ctx) -> plain object set, for cross-mode comparisons."""
+        return {
+            (e.result.query.var, e.result.query.ctx): e.result.objects
+            for e in self.executions
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchResult(mode={self.mode!r}, t={self.n_threads}, "
+            f"queries={self.n_queries}, makespan={self.makespan:.0f}, "
+            f"jumps={self.n_jumps}, ETs={self.n_early_terminations})"
+        )

@@ -1,0 +1,145 @@
+"""Deterministic discrete-event simulation of the multicore executor.
+
+Workers carry simulated clocks; an event queue (min-heap keyed on
+``(time, worker)``) serialises their actions.  When a worker becomes
+ready it fetches the next work unit from the shared work list (paying
+the lock cost), executes its queries one at a time, and **commits** the
+jump edges each query discovered at the query's finish time.  Because
+workers are processed in event order, a query starting at simulated
+time ``t`` observes exactly the jump edges committed by queries that
+finished before ``t`` — the conservative visibility model of DESIGN.md
+§4 (mid-query sharing from still-running queries is not modelled).
+
+Everything is deterministic: same inputs → same schedule, same results,
+same statistics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.engine import CFLEngine, EngineConfig
+from repro.core.jumpmap import JumpMap, LayeredJumpMap
+from repro.core.query import Query
+from repro.errors import RuntimeConfigError
+from repro.pag.graph import PAG
+from repro.runtime.contention import CostModel
+from repro.runtime.results import BatchResult, QueryExecution
+
+__all__ = ["SimulatedExecutor"]
+
+
+class SimulatedExecutor:
+    """Runs query batches on ``n_threads`` simulated workers.
+
+    ``units`` is the shared work list: a sequence of query lists (one
+    list per fetch).  Data sharing is enabled by ``sharing=True``; the
+    committed :class:`JumpMap` is owned by the executor and reusable
+    across batches.
+    """
+
+    def __init__(
+        self,
+        pag: PAG,
+        n_threads: int,
+        engine_config: Optional[EngineConfig] = None,
+        cost_model: Optional[CostModel] = None,
+        sharing: bool = True,
+        mode: str = "sim",
+    ) -> None:
+        if n_threads < 1:
+            raise RuntimeConfigError(f"n_threads must be >= 1, got {n_threads}")
+        self.pag = pag
+        self.n_threads = n_threads
+        self.engine_config = engine_config or EngineConfig()
+        self.cost_model = cost_model or CostModel()
+        self.sharing = sharing
+        self.mode = mode
+        #: Committed jump edges (shared across batches run on this executor).
+        self.jumps = JumpMap() if sharing else None
+
+    # ------------------------------------------------------------------
+    def run_units(self, units: Sequence[Sequence[Query]]) -> BatchResult:
+        """Execute the work units and return the batch record."""
+        cm = self.cost_model
+        t = self.n_threads
+        heap: List[Tuple[float, int]] = [(0.0, w) for w in range(t)]
+        heapq.heapify(heap)
+        busy = [0.0] * t
+        executions: List[QueryExecution] = []
+        next_unit = 0
+        # Per-worker backlog: queries of the currently fetched unit.
+        backlog: List[List[Query]] = [[] for _ in range(t)]
+
+        while heap:
+            now, w = heapq.heappop(heap)
+            if not backlog[w]:
+                if next_unit >= len(units):
+                    continue  # worker retires
+                backlog[w] = list(units[next_unit])
+                next_unit += 1
+                fetch = cm.fetch_time(t)
+                busy[w] += fetch
+                heapq.heappush(heap, (now + fetch, w))
+                continue
+            query = backlog[w].pop(0)
+            engine = self._make_engine()
+            result = engine.run_query(query)
+            duration = cm.query_time(result.costs, t)
+            finish = now + duration
+            if self.sharing:
+                assert isinstance(engine.jumps, LayeredJumpMap)
+                engine.jumps.commit()
+            busy[w] += duration
+            executions.append(QueryExecution(result, w, now, finish))
+            heapq.heappush(heap, (finish, w))
+
+        return self._finalise(executions, busy)
+
+    def run(self, queries: Sequence[Query]) -> BatchResult:
+        """Convenience: one query per work unit, in the given order."""
+        return self.run_units([[q] for q in queries])
+
+    # ------------------------------------------------------------------
+    def _make_engine(self) -> CFLEngine:
+        jumps = LayeredJumpMap(self.jumps) if self.sharing else None
+        return CFLEngine(self.pag, self.engine_config, jumps=jumps)
+
+    def _finalise(
+        self, executions: List[QueryExecution], busy: List[float]
+    ) -> BatchResult:
+        makespan = max((e.finish for e in executions), default=0.0)
+        result = BatchResult(
+            mode=self.mode,
+            n_threads=self.n_threads,
+            executions=executions,
+            makespan=makespan,
+            worker_busy=busy,
+        )
+        if self.jumps is not None:
+            result.n_jumps = self.jumps.n_jumps
+            result.n_finished_jumps = self.jumps.n_finished_edges
+            result.n_unfinished_jumps = self.jumps.n_unfinished_edges
+        result.peak_memory_proxy = self._peak_memory(executions)
+        return result
+
+    def _peak_memory(self, executions: List[QueryExecution]) -> float:
+        """Sweep the execution intervals: peak of the summed footprints
+        of concurrently running queries, plus the jump map size."""
+        events: List[Tuple[float, int, int]] = []
+        for e in executions:
+            fp = e.result.costs.peak_visited
+            events.append((e.start, 1, fp))
+            events.append((e.finish, -1, fp))
+        # Ends sort before starts at equal times (1 > -1 → sort key on
+        # the sign puts -1 first), avoiding phantom overlap.
+        events.sort(key=lambda ev: (ev[0], ev[1]))
+        live = 0.0
+        peak = 0.0
+        for _t, sign, fp in events:
+            live += sign * fp
+            if live > peak:
+                peak = live
+        jump_entries = float(self.jumps.n_jumps) if self.jumps is not None else 0.0
+        return peak + jump_entries

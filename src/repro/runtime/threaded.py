@@ -1,0 +1,154 @@
+"""Real-thread executor — shared-state concurrency validation.
+
+Under CPython's GIL this cannot demonstrate wall-clock speedup (the
+repro band's known gate); its purpose is to exercise the *concurrency
+semantics* of the data-sharing scheme with genuine threads: a
+lock-striped :class:`ConcurrentJumpMap` (mirroring the paper's
+``ConcurrentHashMap``), a lock-protected shared work list, and live
+mid-query edge visibility — stronger interleaving than the simulator's
+commit-order model.  Tests assert that answers remain identical to the
+sequential engine under this adversarial interleaving.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.engine import CFLEngine, EngineConfig
+from repro.core.jumpmap import JumpMap
+from repro.core.query import Query
+from repro.errors import RuntimeConfigError
+from repro.pag.extended import FinishedJump, JumpKey
+from repro.pag.graph import PAG
+from repro.runtime.results import BatchResult, QueryExecution
+
+__all__ = ["ConcurrentJumpMap", "ThreadedExecutor"]
+
+
+class ConcurrentJumpMap:
+    """Lock-striped thread-safe jump store (``ConcurrentHashMap`` stand-in).
+
+    Same reader/writer semantics as :class:`~repro.core.jumpmap.JumpMap`
+    (first-writer-wins unfinished, finished-clears-unfinished), with each
+    key guarded by one of ``n_stripes`` locks.
+    """
+
+    def __init__(self, n_stripes: int = 32) -> None:
+        if n_stripes < 1:
+            raise RuntimeConfigError("n_stripes must be >= 1")
+        self._inner = JumpMap()
+        self._locks = [threading.Lock() for _ in range(n_stripes)]
+
+    def _lock(self, key: JumpKey) -> threading.Lock:
+        return self._locks[hash(key) % len(self._locks)]
+
+    def finished(self, key: JumpKey) -> Optional[Tuple[FinishedJump, ...]]:
+        with self._lock(key):
+            return self._inner.finished(key)
+
+    def unfinished(self, key: JumpKey) -> Optional[int]:
+        with self._lock(key):
+            return self._inner.unfinished(key)
+
+    def insert_finished(self, key: JumpKey, edges: Tuple[FinishedJump, ...]) -> bool:
+        with self._lock(key):
+            return self._inner.insert_finished(key, edges)
+
+    def insert_unfinished(self, key: JumpKey, steps: int) -> bool:
+        with self._lock(key):
+            return self._inner.insert_unfinished(key, steps)
+
+    @property
+    def n_jumps(self) -> int:
+        return self._inner.n_jumps
+
+    @property
+    def n_finished_edges(self) -> int:
+        return self._inner.n_finished_edges
+
+    @property
+    def n_unfinished_edges(self) -> int:
+        return self._inner.n_unfinished_edges
+
+
+class ThreadedExecutor:
+    """Executes a query batch on real ``threading`` threads."""
+
+    def __init__(
+        self,
+        pag: PAG,
+        n_threads: int,
+        engine_config: Optional[EngineConfig] = None,
+        sharing: bool = True,
+        mode: str = "threaded",
+    ) -> None:
+        if n_threads < 1:
+            raise RuntimeConfigError(f"n_threads must be >= 1, got {n_threads}")
+        self.pag = pag
+        self.n_threads = n_threads
+        self.engine_config = engine_config or EngineConfig()
+        self.sharing = sharing
+        self.mode = mode
+        self.jumps: Optional[ConcurrentJumpMap] = (
+            ConcurrentJumpMap() if sharing else None
+        )
+
+    def run_units(self, units: Sequence[Sequence[Query]]) -> BatchResult:
+        """Drain the shared work list with ``n_threads`` threads."""
+        work: List[Sequence[Query]] = list(units)
+        work_lock = threading.Lock()
+        out_lock = threading.Lock()
+        executions: List[QueryExecution] = []
+        errors: List[BaseException] = []
+
+        def fetch() -> Optional[Sequence[Query]]:
+            with work_lock:
+                return work.pop(0) if work else None
+
+        def worker(wid: int) -> None:
+            try:
+                while True:
+                    unit = fetch()
+                    if unit is None:
+                        return
+                    for query in unit:
+                        engine = CFLEngine(
+                            self.pag, self.engine_config, jumps=self.jumps
+                        )
+                        result = engine.run_query(query)
+                        with out_lock:
+                            executions.append(
+                                QueryExecution(result, wid, 0.0, 0.0)
+                            )
+            except BaseException as exc:  # surfaced to the caller below
+                with out_lock:
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(w,), daemon=True)
+            for w in range(self.n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+
+        result = BatchResult(
+            mode=self.mode,
+            n_threads=self.n_threads,
+            executions=executions,
+            makespan=0.0,  # wall-clock is meaningless under the GIL
+            worker_busy=[0.0] * self.n_threads,
+        )
+        if self.jumps is not None:
+            result.n_jumps = self.jumps.n_jumps
+            result.n_finished_jumps = self.jumps.n_finished_edges
+            result.n_unfinished_jumps = self.jumps.n_unfinished_edges
+        return result
+
+    def run(self, queries: Sequence[Query]) -> BatchResult:
+        """One query per work unit."""
+        return self.run_units([[q] for q in queries])

@@ -1,0 +1,151 @@
+"""Unit tests for the Andersen solver, including the CFL equivalence
+oracle on the Fig. 2 program."""
+
+from repro.andersen import AndersenSolver
+from repro.core import CFLEngine, EngineConfig
+from repro.ir import parse_program
+from repro.pag import build_pag
+
+
+def solve(src):
+    b = build_pag(parse_program(src))
+    return b, AndersenSolver(b.pag).solve()
+
+
+class TestBasics:
+    def test_new_and_assign(self):
+        b, res = solve(
+            """
+            class M { static method main() {
+                var a: Object \n var b: Object
+                a = new Object \n b = a
+            } }
+            """
+        )
+        o = b.obj("o:M.main:0")
+        assert res.points_to(b.var("a", "M.main")) == {o}
+        assert res.points_to(b.var("b", "M.main")) == {o}
+
+    def test_store_then_load(self):
+        b, res = solve(
+            """
+            class Box { field item: Object }
+            class M { static method main() {
+                var bx: Box \n var o: Object \n var r: Object
+                bx = new Box \n o = new Object
+                bx.item = o \n r = bx.item
+            } }
+            """
+        )
+        o = b.obj("o:M.main:1")
+        assert res.points_to(b.var("r", "M.main")) == {o}
+        assert res.field_points_to(b.obj("o:M.main:0"), "item") == {o}
+
+    def test_load_before_store_order_irrelevant(self):
+        b, res = solve(
+            """
+            class Box { field item: Object }
+            class M { static method main() {
+                var bx: Box \n var o: Object \n var r: Object
+                bx = new Box
+                r = bx.item
+                o = new Object
+                bx.item = o
+            } }
+            """
+        )
+        assert res.points_to(b.var("r", "M.main")) == {b.obj("o:M.main:1")}
+
+    def test_call_flow(self):
+        b, res = solve(
+            """
+            class Id { method id(x: Object): Object { return x } }
+            class M { static method main() {
+                var i: Id \n var o: Object \n var r: Object
+                i = new Id \n o = new Object \n r = i.id(o)
+            } }
+            """
+        )
+        assert res.points_to(b.var("r", "M.main")) == {b.obj("o:M.main:1")}
+
+    def test_globals_propagate(self):
+        b, res = solve(
+            """
+            global G: Object
+            class A { method put() { var x: Object \n x = new Object \n G = x } }
+            class B { method get() { var y: Object \n y = G } }
+            """
+        )
+        o = b.obj("o:A.put:0")
+        assert res.points_to(b.var("G")) == {o}
+        assert res.points_to(b.var("y", "B.get")) == {o}
+
+    def test_heap_chain_two_levels(self):
+        b, res = solve(
+            """
+            class Inner { field v: Object }
+            class Outer { field inner: Inner }
+            class M { static method main() {
+                var out: Outer \n var inn: Inner \n var o: Object
+                var t: Inner \n var r: Object
+                out = new Outer \n inn = new Inner \n o = new Object
+                out.inner = inn \n inn.v = o
+                t = out.inner \n r = t.v
+            } }
+            """
+        )
+        assert res.points_to(b.var("r", "M.main")) == {b.obj("o:M.main:2")}
+
+    def test_may_alias(self):
+        b, res = solve(
+            """
+            class M { static method main() {
+                var a: Object \n var b: Object \n var c: Object
+                a = new Object \n b = a \n c = new Object
+            } }
+            """
+        )
+        assert res.may_alias(b.var("a", "M.main"), b.var("b", "M.main"))
+        assert not res.may_alias(b.var("a", "M.main"), b.var("c", "M.main"))
+
+    def test_empty_pts_for_unassigned(self):
+        b, res = solve(
+            "class M { static method main() { var a: Object } }"
+        )
+        assert res.points_to(b.var("a", "M.main")) == frozenset()
+
+    def test_iteration_and_edge_stats(self):
+        _, res = solve(
+            """
+            class M { static method main() {
+                var a: Object \n a = new Object
+            } }
+            """
+        )
+        assert res.iterations >= 1
+        assert res.n_copy_edges >= 0
+
+
+class TestOracleOnFig2:
+    """CFL (context-insensitive, unlimited budget) == Andersen; the
+    context-sensitive CFL result is a subset."""
+
+    def test_ci_cfl_equals_andersen(self, fig2):
+        b, _ = fig2
+        andersen = AndersenSolver(b.pag).solve()
+        eng = CFLEngine(
+            b.pag, EngineConfig(context_sensitive=False, budget=10**9)
+        )
+        for var in b.pag.variables():
+            assert eng.points_to(var).objects == andersen.points_to(var), (
+                b.pag.name(var)
+            )
+
+    def test_cs_cfl_subset_of_andersen(self, fig2):
+        b, _ = fig2
+        andersen = AndersenSolver(b.pag).solve()
+        eng = CFLEngine(b.pag, EngineConfig(budget=10**9))
+        for var in b.pag.variables():
+            assert eng.points_to(var).objects <= andersen.points_to(var), (
+                b.pag.name(var)
+            )

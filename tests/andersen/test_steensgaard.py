@@ -1,0 +1,150 @@
+"""Tests for the Steensgaard pre-analysis and the engine pre-filter."""
+
+import pytest
+
+from repro.andersen import AndersenSolver, SteensgaardSolver
+from repro.benchgen import SynthesisParams, synthesize_program
+from repro.core import CFLEngine, EngineConfig
+from repro.ir import parse_program
+from repro.pag import build_pag
+
+
+def solve(src):
+    b = build_pag(parse_program(src))
+    return b, SteensgaardSolver(b.pag).solve()
+
+
+class TestUnification:
+    def test_assign_unifies(self):
+        b, mna = solve(
+            """
+            class M { static method main() {
+                var a: Object \n var b: Object \n var c: Object
+                a = new Object \n b = a \n c = new Object
+            } }
+            """
+        )
+        assert mna.may_alias(b.var("a", "M.main"), b.var("b", "M.main"))
+        # c is disconnected: provably not aliased with a
+        assert not mna.may_alias(b.var("a", "M.main"), b.var("c", "M.main"))
+
+    def test_object_joins_class(self):
+        b, mna = solve(
+            "class M { static method main() { var a: Object \n a = new Object } }"
+        )
+        assert mna.same_class(b.var("a", "M.main"), b.obj("o:M.main:0"))
+
+    def test_call_edges_unify(self):
+        b, mna = solve(
+            """
+            class Id { method id(x: Object): Object { return x } }
+            class M { static method main() {
+                var i: Id \n var o: Object \n var r: Object
+                i = new Id \n o = new Object \n r = i.id(o)
+            } }
+            """
+        )
+        assert mna.may_alias(b.var("o", "M.main"), b.var("r", "M.main"))
+
+    def test_field_slots_unify_loads_and_stores(self):
+        b, mna = solve(
+            """
+            class Box { field val: Object }
+            class M { static method main() {
+                var bx: Box \n var o: Object \n var r: Object
+                bx = new Box \n o = new Object
+                bx.val = o \n r = bx.val
+            } }
+            """
+        )
+        assert mna.may_alias(b.var("o", "M.main"), b.var("r", "M.main"))
+
+    def test_separate_heap_regions_stay_apart(self):
+        b, mna = solve(
+            """
+            class Box { field val: Object }
+            class M { static method main() {
+                var b1: Box \n var b2: Box \n var o1: Object \n var o2: Object
+                var r1: Object \n var r2: Object
+                b1 = new Box \n b2 = new Box
+                o1 = new Object \n o2 = new Object
+                b1.val = o1 \n b2.val = o2
+                r1 = b1.val \n r2 = b2.val
+            } }
+            """
+        )
+        # Steensgaard keeps the regions apart (b1/b2 never flow together)
+        assert not mna.may_alias(b.var("r1", "M.main"), b.var("r2", "M.main"))
+
+    def test_over_approximates_andersen(self):
+        program = synthesize_program(SynthesisParams(seed=21, n_app_classes=2))
+        build = build_pag(program)
+        mna = SteensgaardSolver(build.pag).solve()
+        andersen = AndersenSolver(build.pag).solve()
+        app = build.pag.app_locals()
+        for i, a in enumerate(app[:20]):
+            for b_ in app[i + 1 : 20]:
+                if andersen.may_alias(a, b_):
+                    assert mna.may_alias(a, b_), (
+                        build.pag.name(a), build.pag.name(b_)
+                    )
+
+    def test_unknown_nodes_conservative(self, fig2):
+        b, _ = fig2
+        mna = SteensgaardSolver(b.pag).solve()
+        assert mna.may_alias(10**6, 0)  # unknown id: no proof, say True
+
+    def test_class_count_reported(self, fig2):
+        b, _ = fig2
+        mna = SteensgaardSolver(b.pag).solve()
+        assert mna.n_classes >= 1
+
+
+class TestEnginePrefilter:
+    def test_answers_unchanged_with_prefilter(self):
+        program = synthesize_program(
+            SynthesisParams(seed=33, n_app_classes=2, actions_per_method=6)
+        )
+        build = build_pag(program)
+        mna = SteensgaardSolver(build.pag).solve()
+        plain = CFLEngine(build.pag, EngineConfig(budget=10**9))
+        filtered = CFLEngine(
+            build.pag, EngineConfig(budget=10**9), prefilter=mna
+        )
+        for var in build.pag.app_locals():
+            assert (
+                filtered.points_to(var).points_to == plain.points_to(var).points_to
+            ), build.pag.name(var)
+
+    def test_prefilter_reduces_work(self):
+        # a program with two disjoint heap regions over the same field
+        # name: the prefilter removes the cross-region store checks
+        src = """
+        class Box { field val: Object }
+        class M {
+          static method left() {
+            var b: Box \n var o: Object \n var r: Object
+            b = new Box \n o = new Object \n b.val = o \n r = b.val
+          }
+          static method right() {
+            var b: Box \n var o: Object \n var r: Object
+            b = new Box \n o = new Object \n b.val = o \n r = b.val
+          }
+        }
+        """
+        build = build_pag(parse_program(src))
+        mna = SteensgaardSolver(build.pag).solve()
+        var = build.var("r", "M.left")
+        plain = CFLEngine(build.pag, EngineConfig(budget=10**9)).points_to(var)
+        fast = CFLEngine(
+            build.pag, EngineConfig(budget=10**9), prefilter=mna
+        ).points_to(var)
+        assert fast.points_to == plain.points_to
+        assert fast.costs.work <= plain.costs.work
+
+    def test_prefilter_with_fig2(self, fig2):
+        b, n = fig2
+        mna = SteensgaardSolver(b.pag).solve()
+        eng = CFLEngine(b.pag, prefilter=mna)
+        assert eng.points_to(n["s1"]).objects == {n["o_n1"]}
+        assert eng.points_to(n["s2"]).objects == {n["o_n2"]}

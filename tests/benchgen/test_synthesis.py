@@ -1,0 +1,152 @@
+"""Unit tests for the synthetic benchmark generator and suite."""
+
+import pytest
+
+from repro.andersen import AndersenSolver
+from repro.benchgen import (
+    SUITE,
+    SynthesisParams,
+    load_benchmark,
+    queries_for_class,
+    queries_for_method,
+    standard_workload,
+    suite_names,
+    synthesize_program,
+)
+from repro.benchgen.suites import spec_of
+from repro.core import CFLEngine, EngineConfig
+from repro.errors import ReproError
+from repro.ir.validator import validate_program
+from repro.pag import build_pag
+
+
+SMALL = SynthesisParams(seed=42, n_app_classes=2, methods_per_app_class=2, actions_per_method=4)
+
+
+class TestSynthesis:
+    def test_deterministic(self):
+        a = synthesize_program(SMALL)
+        b = synthesize_program(SMALL)
+        assert a.counts() == b.counts()
+        pa, pb = build_pag(a), build_pag(b)
+        assert pa.pag.n_nodes == pb.pag.n_nodes
+        assert pa.pag.n_edges == pb.pag.n_edges
+
+    def test_different_seeds_differ(self):
+        a = synthesize_program(SMALL)
+        b = synthesize_program(SynthesisParams(seed=43, n_app_classes=2,
+                                               methods_per_app_class=2,
+                                               actions_per_method=4))
+        assert (
+            a.counts() != b.counts()
+            or build_pag(a).pag.n_edges != build_pag(b).pag.n_edges
+        )
+
+    def test_generated_program_validates(self):
+        # synthesize_program() builds with validate=True internally, but
+        # be explicit: the output must be semantically well-formed.
+        program = synthesize_program(SMALL)
+        validate_program(program)
+
+    def test_app_library_split(self):
+        program = synthesize_program(SMALL)
+        fams = {c.name: c.is_app for c in program.classes.values()}
+        assert fams.get("App0") is True
+        assert fams.get("Box0") is False
+        assert any(n.startswith("Util") for n in fams)
+
+    def test_queries_are_app_only(self):
+        build = build_pag(synthesize_program(SMALL))
+        for q in standard_workload(build.pag):
+            assert build.pag.is_app(q.var)
+            assert (build.pag.method_of(q.var) or "").startswith("App")
+
+    def test_shuffle_is_deterministic_permutation(self):
+        build = build_pag(synthesize_program(SMALL))
+        plain = standard_workload(build.pag)
+        s1 = standard_workload(build.pag, shuffle_seed=7)
+        s2 = standard_workload(build.pag, shuffle_seed=7)
+        assert s1 == s2
+        assert s1 != plain
+        assert sorted(q.var for q in s1) == sorted(q.var for q in plain)
+
+    def test_queries_answerable_and_sound(self):
+        # Every generated query completes with unlimited budget and is
+        # bounded by the Andersen oracle.
+        build = build_pag(synthesize_program(SMALL))
+        oracle = AndersenSolver(build.pag).solve()
+        eng = CFLEngine(build.pag, EngineConfig(budget=10**9))
+        for q in standard_workload(build.pag)[:40]:
+            res = eng.run_query(q)
+            assert not res.exhausted
+            assert res.objects <= oracle.points_to(q.var)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ReproError):
+            SynthesisParams(containment_depth=0).validate()
+        with pytest.raises(ReproError):
+            SynthesisParams(n_boxes=0, n_vecs=0).validate()
+        with pytest.raises(ReproError):
+            SynthesisParams(n_app_classes=0).validate()
+
+    def test_rec_hierarchy_levels(self):
+        program = synthesize_program(SMALL)
+        types = program.types
+        # deepest Rec layer strictly deeper than the data leaves
+        top = [n for n in types.subtypes("Object") if n.startswith("Rec2")]
+        if top:
+            assert types.level(top[0]) > types.level("Data0")
+
+
+class TestSuite:
+    def test_twenty_benchmarks(self):
+        assert len(SUITE) == 20
+        assert len(set(suite_names())) == 20
+
+    def test_families(self):
+        fams = {s.family for s in SUITE}
+        assert fams == {"jvm98", "dacapo"}
+        assert sum(s.family == "jvm98" for s in SUITE) == 10
+
+    def test_load_benchmark_cached(self):
+        a = load_benchmark("_200_check")
+        b = load_benchmark("_200_check")
+        assert a is b
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ReproError):
+            load_benchmark("quake")
+        with pytest.raises(ReproError):
+            spec_of("quake")
+
+    def test_spec_helpers(self):
+        spec = spec_of("_200_check")
+        cfg = spec.engine_config()
+        assert cfg.budget == spec.budget
+        assert cfg.tau_f == spec.tau_f
+        assert cfg.tau_u == spec.tau_u
+        cfg2 = spec.engine_config(budget=99)
+        assert cfg2.budget == 99
+        assert len(spec.workload()) > 50
+
+    def test_dacapo_more_queries_than_jvm98_small(self):
+        # Table I shape: DaCapo entries issue more queries relative to
+        # PAG size than small JVM98 entries.
+        check = spec_of("_200_check")
+        batik = spec_of("batik")
+        assert len(batik.workload()) > len(check.workload())
+
+
+class TestNarrowWorkloads:
+    def test_queries_for_method(self):
+        build = build_pag(synthesize_program(SMALL))
+        qs = queries_for_method(build.pag, "App0.run0")
+        assert qs
+        assert all(build.pag.method_of(q.var) == "App0.run0" for q in qs)
+
+    def test_queries_for_class(self):
+        build = build_pag(synthesize_program(SMALL))
+        qs = queries_for_class(build.pag, "App0")
+        methods = {build.pag.method_of(q.var) for q in qs}
+        assert all(m.startswith("App0.") for m in methods)
+        assert len(qs) >= len(queries_for_method(build.pag, "App0.run0"))

@@ -1,0 +1,146 @@
+"""Unit tests for call-graph construction and recursion collapsing."""
+
+from repro.callgraph import build_call_graph
+from repro.ir import parse_program
+
+
+def cg(src):
+    return build_call_graph(parse_program(src))
+
+
+class TestResolution:
+    def test_simple_direct_call(self):
+        g = cg(
+            """
+            class A { method f() { } }
+            class M { static method main() { var a: A \n a = new A \n a.f() } }
+            """
+        )
+        assert len(g) == 1
+        (edge,) = g.edges
+        assert (edge.caller, edge.callee) == ("M.main", "A.f")
+
+    def test_virtual_call_fans_out(self):
+        g = cg(
+            """
+            class Base { method f() { } }
+            class S1 extends Base { method f() { } }
+            class S2 extends Base { method f() { } }
+            class M { static method main() {
+                var b: Base \n b = new Base \n b.f()
+            } }
+            """
+        )
+        callees = {e.callee for e in g.callees_of("M.main")}
+        assert callees == {"Base.f", "S1.f", "S2.f"}
+        # all three edges share one call site
+        site = g.callees_of("M.main")[0].site_id
+        assert len(g.callees_at_site(site)) == 3
+
+    def test_static_call_resolution(self):
+        g = cg(
+            """
+            class Util { static method go() { } }
+            class M { static method main() { Util::go() } }
+            """
+        )
+        assert [e.callee for e in g.edges] == ["Util.go"]
+
+    def test_callers_of(self):
+        g = cg(
+            """
+            class A { method f() { } }
+            class M { static method main() {
+                var a: A \n a = new A \n a.f() \n a.f()
+            } }
+            """
+        )
+        assert len(g.callers_of("A.f")) == 2
+        assert {e.site_id for e in g.callers_of("A.f")} == {0, 1}
+
+
+class TestRecursion:
+    def test_no_recursion(self):
+        g = cg(
+            """
+            class A { method f() { } }
+            class M { static method main() { var a: A \n a = new A \n a.f() } }
+            """
+        )
+        assert g.recursive_sites() == frozenset()
+        assert g.recursive_methods() == set()
+
+    def test_self_recursion(self):
+        g = cg(
+            """
+            class A { method f() { this.f() } }
+            """
+        )
+        assert g.recursive_methods() == {"A.f"}
+        assert len(g.recursive_sites()) == 1
+
+    def test_mutual_recursion(self):
+        g = cg(
+            """
+            class A {
+              method f() { this.g() }
+              method g() { this.f() }
+            }
+            class M { static method main() { var a: A \n a = new A \n a.f() } }
+            """
+        )
+        assert g.recursive_methods() == {"A.f", "A.g"}
+        # Only the two in-cycle sites collapse; main's entry call does not.
+        rec = g.recursive_sites()
+        assert len(rec) == 2
+        entry = [e for e in g.callees_of("M.main")][0]
+        assert entry.site_id not in rec
+
+    def test_scc_of_groups_cycle(self):
+        g = cg(
+            """
+            class A {
+              method f() { this.g() }
+              method g() { this.f() }
+              method solo() { }
+            }
+            """
+        )
+        assert g.scc_of("A.f") == g.scc_of("A.g")
+        assert g.scc_of("A.solo") != g.scc_of("A.f")
+
+    def test_three_cycle(self):
+        g = cg(
+            """
+            class A {
+              method f() { this.g() }
+              method g() { this.h() }
+              method h() { this.f() }
+            }
+            """
+        )
+        assert g.recursive_methods() == {"A.f", "A.g", "A.h"}
+        assert len(g.recursive_sites()) == 3
+
+    def test_virtual_recursion_through_override(self):
+        # main -> Base.f; Sub.f calls this.f() which (via CHA on Sub)
+        # resolves back to Sub.f -> self-recursive.
+        g = cg(
+            """
+            class Base { method f() { } }
+            class Sub extends Base {
+              method f() { this.f() }
+            }
+            """
+        )
+        assert "Sub.f" in g.recursive_methods()
+
+    def test_sccs_cover_all_methods(self):
+        g = cg(
+            """
+            class A { method f() { this.g() } method g() { this.f() } }
+            class B { method h() { } }
+            """
+        )
+        members = {m for comp in g.sccs() for m in comp}
+        assert members == {"A.f", "A.g", "B.h"}

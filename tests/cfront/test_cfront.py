@@ -1,0 +1,277 @@
+"""Tests for the mini-C front-end: parsing, lowering, and the engine's
+answers on C idioms (the paper's "applies equally well to C" claim)."""
+
+import pytest
+
+from repro.andersen import AndersenSolver
+from repro.cfront import lower_c, parse_c
+from repro.core import CFLEngine, EngineConfig
+from repro.errors import ParseError, ValidationError
+
+
+def build(src):
+    return lower_c(parse_c(src))
+
+
+def pts(b, name, func, **cfg):
+    engine = CFLEngine(b.pag, EngineConfig(budget=10**9, **cfg))
+    return {b.pag.name(o) for o in engine.points_to(b.var(name, func)).objects}
+
+
+class TestParser:
+    def test_basic_function(self):
+        p = parse_c("func main() { var x \n x = alloc() }")
+        assert "main" in p.functions
+        assert p.functions["main"].locals == ["x"]
+
+    def test_multi_var_decl(self):
+        p = parse_c("func f() { var a, b, c }")
+        assert p.functions["f"].locals == ["a", "b", "c"]
+
+    def test_all_statement_forms(self):
+        p = parse_c(
+            """
+            global g
+            func id(x) { return x }
+            func main() {
+              var p, q, r, v
+              v = alloc()       // malloc
+              p = &v            # address-of
+              *p = v
+              q = *p
+              r = id(p)
+              id(q)
+              g = v
+            }
+            """
+        )
+        assert len(p.functions["main"].body) == 7
+
+    def test_call_sites_numbered(self):
+        p = parse_c(
+            "func f() { } func main() { f() \n f() }"
+        )
+        assert p.n_call_sites == 2
+
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "func main() { x ? y }",
+            "func main( {",
+            "blah",
+            "func main() { *x }",
+            "func main() { return }",
+        ],
+    )
+    def test_syntax_errors(self, src):
+        with pytest.raises(ParseError):
+            parse_c(src, validate=False)
+
+    def test_undeclared_variable_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_c("func main() { x = y }")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_c("func main() { ghost() }")
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_c("func f(a) { } func main() { f() }")
+
+
+class TestLowering:
+    def test_malloc_flow(self):
+        b = build("func main() { var p, q \n p = alloc() \n q = p }")
+        assert pts(b, "q", "main") == {"heap:main:0"}
+
+    def test_address_of(self):
+        b = build("func main() { var p, x \n p = &x }")
+        assert pts(b, "p", "main") == {"cell:x@main"}
+
+    def test_store_load_through_pointer(self):
+        b = build(
+            """
+            func main() {
+              var p, v, r
+              v = alloc()
+              p = &r
+              *p = v
+              r = r
+            }
+            """
+        )
+        # r is address-taken: *p writes its cell, so r's value is v's heap obj
+        assert pts(b, "v", "main") == {"heap:main:0"}
+        # reading r goes through the cell
+        engine = CFLEngine(b.pag, EngineConfig(budget=10**9))
+        # the load temp carries r's value; check via a fresh copy target:
+        # model: r2 = r would lower to a cell load — emulate by querying
+        # the cell's content through Andersen instead:
+        res = AndersenSolver(b.pag).solve()
+        cell = b.obj("cell:r@main")
+        assert res.field_points_to(cell, "*") == {b.obj("heap:main:0")}
+
+    def test_direct_read_sees_pointer_write(self):
+        b = build(
+            """
+            func main() {
+              var p, x, y, v
+              p = &x
+              v = alloc()
+              *p = v          // writes x's storage
+              y = x           // direct read must observe it
+            }
+            """
+        )
+        assert pts(b, "y", "main") == {"heap:main:0"}
+
+    def test_direct_write_seen_through_pointer(self):
+        b = build(
+            """
+            func main() {
+              var p, x, y, v
+              p = &x
+              v = alloc()
+              x = v           // direct write
+              y = *p          // pointer read must observe it
+            }
+            """
+        )
+        assert pts(b, "y", "main") == {"heap:main:0"}
+
+    def test_non_address_taken_stays_direct(self):
+        b = build("func main() { var a, b \n a = alloc() \n b = a }")
+        # no cells materialised
+        assert not any(n.startswith("cell:") for n in
+                       (b.pag.name(o) for o in b.pag.objects()))
+
+    def test_call_param_and_return(self):
+        b = build(
+            """
+            func id(x) { return x }
+            func main() { var v, r \n v = alloc() \n r = id(v) }
+            """
+        )
+        assert pts(b, "r", "main") == {"heap:main:0"}
+
+    def test_context_sensitivity_in_c(self):
+        # the classic swap-through-identity: two calls, two allocations,
+        # context-sensitivity keeps them apart
+        b = build(
+            """
+            func id(x) { return x }
+            func main() {
+              var a, b, ra, rb
+              a = alloc()
+              b = alloc()
+              ra = id(a)
+              rb = id(b)
+            }
+            """
+        )
+        assert pts(b, "ra", "main") == {"heap:main:0"}
+        assert pts(b, "rb", "main") == {"heap:main:1"}
+        # context-insensitively they conflate
+        assert pts(b, "ra", "main", context_sensitive=False) == {
+            "heap:main:0", "heap:main:1"
+        }
+
+    def test_recursion_collapsed(self):
+        b = build(
+            """
+            func rec(x) { var r \n r = rec(x) \n return x }
+            func main() { var v, out \n v = alloc() \n out = rec(v) }
+            """
+        )
+        assert b.n_collapsed_recursive_sites == 1
+        assert pts(b, "out", "main") == {"heap:main:0"}
+
+    def test_globals(self):
+        b = build(
+            """
+            global G
+            func put() { var v \n v = alloc() \n G = v }
+            func get() { var r \n r = G }
+            func main() { put() \n get() }
+            """
+        )
+        assert pts(b, "r", "get") == {"heap:put:0"}
+
+    def test_pointer_to_pointer(self):
+        b = build(
+            """
+            func main() {
+              var pp, p, v, r, t
+              v = alloc()
+              p = &v
+              pp = &p
+              t = *pp         // t == p
+              r = *t          // r == v's value... r = *p reads v's cell
+            }
+            """
+        )
+        assert pts(b, "t", "main") == {"cell:v@main"}
+        assert pts(b, "r", "main") == {"heap:main:0"}
+
+    def test_ci_cfl_matches_andersen_on_c(self):
+        b = build(
+            """
+            func id(x) { return x }
+            func main() {
+              var p, q, v, w, r
+              v = alloc()
+              w = alloc()
+              p = &v
+              *p = w
+              q = *p
+              r = id(q)
+            }
+            """
+        )
+        oracle = AndersenSolver(b.pag).solve()
+        engine = CFLEngine(
+            b.pag, EngineConfig(context_sensitive=False, budget=10**9)
+        )
+        for var in b.pag.variables():
+            assert engine.points_to(var).objects == oracle.points_to(var), (
+                b.pag.name(var)
+            )
+
+    def test_unsealed_program_rejected(self):
+        from repro.cfront.ast import CProgram
+        from repro.errors import PAGError
+
+        with pytest.raises(PAGError):
+            lower_c(CProgram())
+
+
+class TestValueNode:
+    def test_value_node_for_taken_var(self):
+        b = build(
+            """
+            func main() {
+              var p, x, v
+              p = &x
+              v = alloc()
+              *p = v
+            }
+            """
+        )
+        node = b.value_node("x", "main")
+        engine = CFLEngine(b.pag, EngineConfig(budget=10**9))
+        assert {b.pag.name(o) for o in engine.points_to(node).objects} == {
+            "heap:main:0"
+        }
+
+    def test_value_node_for_plain_var_is_identity(self):
+        b = build("func main() { var a \n a = alloc() }")
+        assert b.value_node("a", "main") == b.var("a", "main")
+
+    def test_addr_lookup(self):
+        b = build("func main() { var p, x \n p = &x }")
+        engine = CFLEngine(b.pag, EngineConfig(budget=10**9))
+        addr = b.addr("x", "main")
+        assert {b.pag.name(o) for o in engine.points_to(addr).objects} == {
+            "cell:x@main"
+        }

@@ -1,0 +1,103 @@
+"""Shared fixtures: the paper's Fig. 2 Vector example and helpers.
+
+The Fig. 2 program is the paper's running example.  Ground truth from
+Section II-B:
+
+* ``o6`` (the element array allocated in the constructor) flows to
+  ``t_get``;
+* ``s1`` points to ``o16`` (``n1``'s object) but **not** to ``o20``
+  (``n2``'s object) under context-sensitivity — a context-insensitive
+  analysis reports both.
+
+Call-site numbering in our lowering (program order):
+site 0 = ``v1.<init>()``, site 1 = ``v1.add(n1)``, site 2 =
+``s1 = v1.get()``, site 3 = ``v2.<init>()``, site 4 = ``v2.add(n2)``,
+site 5 = ``s2 = v2.get()``.
+"""
+
+import pytest
+
+from repro.ir import parse_program
+from repro.pag import build_pag
+
+FIG2_SRC = """
+class Vector {
+  field elems: Object[]
+  method <init>() {
+    var t: Object[]
+    t = new Object[]
+    this.elems = t
+  }
+  method add(e: Object) {
+    var t: Object[]
+    t = this.elems
+    t.arr = e
+  }
+  method get(): Object {
+    var t: Object[]
+    var r: Object
+    t = this.elems
+    r = t.arr
+    return r
+  }
+}
+class Main {
+  static method main() {
+    var v1: Vector
+    var v2: Vector
+    var n1: Object
+    var n2: Object
+    var s1: Object
+    var s2: Object
+    v1 = new Vector
+    v1.<init>()
+    n1 = new Object
+    v1.add(n1)
+    s1 = v1.get()
+    v2 = new Vector
+    v2.<init>()
+    n2 = new Object
+    v2.add(n2)
+    s2 = v2.get()
+  }
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def fig2_program():
+    return parse_program(FIG2_SRC)
+
+
+@pytest.fixture()
+def fig2_build(fig2_program):
+    return build_pag(fig2_program)
+
+
+@pytest.fixture()
+def fig2(fig2_build):
+    """(build_result, name->node shorthand dict) for the Fig. 2 PAG."""
+    b = fig2_build
+    names = {
+        "v1": b.var("v1", "Main.main"),
+        "v2": b.var("v2", "Main.main"),
+        "n1": b.var("n1", "Main.main"),
+        "n2": b.var("n2", "Main.main"),
+        "s1": b.var("s1", "Main.main"),
+        "s2": b.var("s2", "Main.main"),
+        "this_init": b.var("this", "Vector.<init>"),
+        "t_init": b.var("t", "Vector.<init>"),
+        "this_add": b.var("this", "Vector.add"),
+        "e_add": b.var("e", "Vector.add"),
+        "t_add": b.var("t", "Vector.add"),
+        "this_get": b.var("this", "Vector.get"),
+        "t_get": b.var("t", "Vector.get"),
+        "r_get": b.var("r", "Vector.get"),
+        "ret_get": b.var("$ret", "Vector.get"),
+        "o_vec1": b.obj("o:Main.main:0"),   # v1's Vector (paper's o15)
+        "o_n1": b.obj("o:Main.main:1"),     # n1's object (paper's o16)
+        "o_vec2": b.obj("o:Main.main:2"),   # v2's Vector (paper's o19)
+        "o_n2": b.obj("o:Main.main:3"),     # n2's object (paper's o20)
+        "o_arr": b.obj("o:Vector.<init>:0"),  # element array (paper's o6)
+    }
+    return b, names

@@ -1,0 +1,186 @@
+"""Tests for the executable grammar definitions (repro.core.cfl).
+
+These certify the formal languages of the paper independently of the
+engine's traversal code, including the Fig. 2 witness strings from
+Section II-B.
+"""
+
+import pytest
+
+from repro.core.cfl import CFG, bar, is_realizable, lfs_grammar, lfs_with_jumps, lft_grammar
+
+
+class TestCYKEngine:
+    def test_simple_regular(self):
+        g = CFG("S")
+        g.add("S", "a", "S")
+        g.add("S", "b")
+        assert g.recognizes(["b"])
+        assert g.recognizes(["a", "a", "b"])
+        assert not g.recognizes(["a"])
+        assert not g.recognizes(["b", "a"])
+
+    def test_dyck_language(self):
+        g = CFG("S")
+        g.add("S")
+        g.add("S", "(", "S", ")", "S")
+        assert g.recognizes([])
+        assert g.recognizes(["(", ")"])
+        assert g.recognizes(["(", "(", ")", ")", "(", ")"])
+        assert not g.recognizes(["(", "(", ")"])
+        assert not g.recognizes([")", "("])
+
+    def test_epsilon_through_chain(self):
+        g = CFG("S")
+        g.add("S", "A", "B")
+        g.add("A")
+        g.add("A", "a")
+        g.add("B", "b")
+        assert g.recognizes(["b"])       # A -> eps
+        assert g.recognizes(["a", "b"])
+        assert not g.recognizes(["a"])
+
+    def test_unit_productions(self):
+        g = CFG("S")
+        g.add("S", "T")
+        g.add("T", "U")
+        g.add("U", "x")
+        assert g.recognizes(["x"])
+        assert not g.recognizes(["y"])
+
+    def test_alternate_start_symbol(self):
+        g = CFG("S")
+        g.add("S", "a")
+        g.add("T", "b")
+        assert g.recognizes(["b"], start="T")
+        assert not g.recognizes(["b"])
+
+
+class TestLFT:
+    def test_new_only(self):
+        g = lft_grammar()
+        assert g.recognizes(["new"])
+
+    def test_new_assign_star(self):
+        g = lft_grammar()
+        assert g.recognizes(["new", "assign"])
+        assert g.recognizes(["new", "assign", "assign", "assign"])
+
+    def test_rejects_wrong_shapes(self):
+        g = lft_grammar()
+        assert not g.recognizes(["assign", "new"])
+        assert not g.recognizes(["new", "new"])
+        assert not g.recognizes([])
+
+
+class TestLFS:
+    """Grammar (2) — including the Fig. 2 witness paths."""
+
+    def test_plain_flow(self):
+        g = lfs_grammar(["elems", "arr"])
+        assert g.recognizes(["new", "assign"])
+
+    def test_store_alias_load(self):
+        # o --new--> y --st(f)--> [q alias p] --ld(f)--> x
+        # alias = flowsToBar flowsTo = (~new) (new)  when p == q's source.
+        g = lfs_grammar(["f"])
+        s = ["new", "st:f", bar("new"), "new", "ld:f"]
+        assert g.recognizes(s)
+
+    def test_fig2_o6_flows_to_t_get(self):
+        # Section II-B1's example: o6 -new-> t_init -st(elems)->
+        # thisVector [alias thisget] -ld(elems)-> t_get where the alias
+        # is witnessed through o15: thisVector <-new.. o15 ..new->
+        # this_get (params treated as assign field-insensitively here).
+        g = lfs_grammar(["elems", "arr"])
+        witness = [
+            "new",                # o6 -> t_init
+            "st:elems",           # this.elems = t
+            bar("assign"), bar("new"),  # thisVector backwards to o15 (via v1)
+            "new", "assign",      # o15 forwards to this_get
+            "ld:elems",           # t = this.elems in get
+        ]
+        assert g.recognizes(witness)
+
+    def test_field_mismatch_rejected(self):
+        g = lfs_grammar(["f", "g"])
+        s = ["new", "st:f", bar("new"), "new", "ld:g"]
+        assert not g.recognizes(s)
+
+    def test_unbalanced_store_rejected(self):
+        g = lfs_grammar(["f"])
+        assert not g.recognizes(["new", "st:f"])
+        assert not g.recognizes(["new", "ld:f"])
+
+    def test_nested_aliasing(self):
+        # Two levels of heap nesting: the alias pair of the f-round is
+        # itself established through a g-round —
+        #   alias_f = flowsToBar flowsTo
+        #   flowsToBar = (~ld:g alias_g ~st:g) ~new,  alias_g = ~new new
+        g = lfs_grammar(["f", "g"])
+        nested_alias = [
+            bar("ld:g"), bar("new"), "new", bar("st:g"), bar("new"), "new",
+        ]
+        s = ["new", "st:f"] + nested_alias + ["ld:f"]
+        assert g.recognizes(s)
+        assert g.recognizes(nested_alias, start="alias")
+        # dropping the inner balance breaks membership
+        broken = ["new", "st:f", bar("ld:g"), bar("new"), "new", bar("new"), "new", "ld:f"]
+        assert not g.recognizes(broken)
+
+    def test_alias_nonterminal_directly(self):
+        g = lfs_grammar(["f"])
+        assert g.recognizes([bar("new"), "new"], start="alias")
+        assert not g.recognizes(["new", bar("new")], start="alias")
+
+
+class TestJumps:
+    def test_jmp_acts_as_step(self):
+        g = lfs_with_jumps(["f"])
+        assert g.recognizes(["new", "jmp"])
+        assert g.recognizes(["new", "jmp", "assign"])
+        assert g.recognizes([bar("jmp"), bar("new")], start="flowsToBar")
+
+    def test_same_language_without_jumps(self):
+        g = lfs_with_jumps(["f"])
+        plain = lfs_grammar(["f"])
+        for s in (["new"], ["new", "assign"],
+                  ["new", "st:f", bar("new"), "new", "ld:f"]):
+            assert g.recognizes(s) == plain.recognizes(s)
+
+
+class TestRealizability:
+    def test_empty_and_irrelevant(self):
+        assert is_realizable([])
+        assert is_realizable(["new", "assign", "st:f"])
+
+    def test_balanced(self):
+        # backwards traversal: ret:i pushes, param:i pops
+        assert is_realizable(["ret:1", "param:1"])
+        assert is_realizable(["ret:1", "ret:2", "param:2", "param:1"])
+
+    def test_mismatch_rejected(self):
+        assert not is_realizable(["ret:1", "param:2"])
+        assert not is_realizable(["ret:1", "ret:2", "param:1"])
+
+    def test_partially_balanced_allowed(self):
+        # exiting with an empty stack is fine (paths need not start and
+        # end in the same method)
+        assert is_realizable(["param:1"])
+        assert is_realizable(["param:1", "ret:2", "param:2"])
+
+    def test_bars_swap_roles(self):
+        assert is_realizable([bar("param:1"), bar("ret:1")])
+        assert not is_realizable([bar("param:1"), bar("ret:2")])
+
+    def test_fig2_s1_realizable(self):
+        # s1 <-ret:2- retget ... thisget <-param:2- v1 (matching sites)
+        assert is_realizable(["ret:2", "param:2"])
+        # the o20 path needs ret:2 matched against param:5 — unrealisable
+        assert not is_realizable(["ret:2", "param:5"])
+
+    def test_malformed_site(self):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            is_realizable(["param:x"])

@@ -1,0 +1,181 @@
+"""Engine tests against the paper's Fig. 2 ground truth (Section II-B).
+
+Known facts from the paper:
+
+* ``o15`` flows to ``this_Vector`` (our ``this_init``) — Section II-B1;
+* ``o6`` flows to ``t_get`` through the ``st(elems)``/``ld(elems)``
+  parenthesis pair — Section II-B1;
+* ``s1_main`` points to ``o16`` and **not** to ``o20`` under
+  context-sensitivity — Section II-B2;
+* a context-insensitive analysis conflates the two vectors, reporting
+  both objects for both result variables.
+"""
+
+import pytest
+
+from repro.core import CFLEngine, EngineConfig
+
+
+@pytest.fixture
+def engine(fig2):
+    b, _ = fig2
+    return CFLEngine(b.pag)
+
+
+@pytest.fixture
+def ci_engine(fig2):
+    b, _ = fig2
+    return CFLEngine(b.pag, EngineConfig(context_sensitive=False))
+
+
+class TestFlowsTo:
+    def test_vector_object_flows_to_this(self, fig2, engine):
+        _, n = fig2
+        reached = {v for v, _c in engine.flows_to(n["o_vec1"]).points_to}
+        assert n["this_init"] in reached
+        assert n["this_add"] in reached
+        assert n["this_get"] in reached
+        assert n["v1"] in reached
+
+    def test_vector1_does_not_flow_to_v2(self, fig2, engine):
+        _, n = fig2
+        reached = {v for v, _c in engine.flows_to(n["o_vec1"]).points_to}
+        assert n["v2"] not in reached
+
+    def test_array_object_flows_to_t_get(self, fig2, engine):
+        # o6 flows to t_get (paper Section II-B1).
+        _, n = fig2
+        reached = {v for v, _c in engine.flows_to(n["o_arr"]).points_to}
+        assert n["t_get"] in reached
+        assert n["t_add"] in reached
+        assert n["t_init"] in reached
+
+    def test_n1_flows_into_results(self, fig2, engine):
+        _, n = fig2
+        reached = {v for v, _c in engine.flows_to(n["o_n1"]).points_to}
+        assert n["s1"] in reached
+        assert n["e_add"] in reached
+        assert n["s2"] not in reached
+
+
+class TestPointsTo:
+    def test_v1_points_to_its_vector(self, fig2, engine):
+        _, n = fig2
+        res = engine.points_to(n["v1"])
+        assert res.objects == {n["o_vec1"]}
+        assert not res.exhausted
+
+    def test_s1_context_sensitive(self, fig2, engine):
+        # The headline example: s1 -> {o16}, excluding o20.
+        _, n = fig2
+        res = engine.points_to(n["s1"])
+        assert res.objects == {n["o_n1"]}
+
+    def test_s2_context_sensitive(self, fig2, engine):
+        _, n = fig2
+        res = engine.points_to(n["s2"])
+        assert res.objects == {n["o_n2"]}
+
+    def test_t_get_points_to_array(self, fig2, engine):
+        _, n = fig2
+        res = engine.points_to(n["t_get"])
+        assert res.objects == {n["o_arr"]}
+
+    def test_this_add_sees_both_vectors(self, fig2, engine):
+        # add() is called on v1 and v2: with the empty (unconstrained)
+        # context its this may point to either vector object.
+        _, n = fig2
+        res = engine.points_to(n["this_add"])
+        assert res.objects == {n["o_vec1"], n["o_vec2"]}
+
+    def test_this_add_under_specific_context(self, fig2, engine):
+        # Under the context of call site 1 (v1.add(n1)), this_add can
+        # only be v1's object.
+        _, n = fig2
+        res = engine.points_to(n["this_add"], ctx=(1,))
+        assert res.objects == {n["o_vec1"]}
+
+    def test_e_add_under_specific_contexts(self, fig2, engine):
+        _, n = fig2
+        assert engine.points_to(n["e_add"], ctx=(1,)).objects == {n["o_n1"]}
+        assert engine.points_to(n["e_add"], ctx=(4,)).objects == {n["o_n2"]}
+
+    def test_costs_recorded(self, fig2, engine):
+        _, n = fig2
+        res = engine.points_to(n["s1"])
+        assert res.costs.steps > 0
+        assert res.costs.work > 0
+        assert res.costs.saved == 0  # no sharing configured
+
+
+class TestContextInsensitive:
+    def test_s1_conflates_vectors(self, fig2, ci_engine):
+        # Without context-sensitivity v1/v2 flows mix: s1 sees both
+        # element objects (the imprecision the paper's Section II-B2
+        # illustrates with o20).
+        _, n = fig2
+        res = ci_engine.points_to(n["s1"])
+        assert res.objects == {n["o_n1"], n["o_n2"]}
+
+    def test_ci_is_superset_of_cs(self, fig2, engine, ci_engine):
+        _, n = fig2
+        for var in ("s1", "s2", "t_get", "this_add", "v1", "e_add"):
+            cs = engine.points_to(n[var]).objects
+            ci = ci_engine.points_to(n[var]).objects
+            assert cs <= ci, var
+
+
+class TestFieldInsensitive:
+    def test_field_insensitive_skips_heap(self, fig2):
+        # Pure L_FT (grammar (1)): only new/assign flow; s1 gets nothing
+        # because its value arrives via the heap.
+        b, n = fig2
+        eng = CFLEngine(b.pag, EngineConfig(field_sensitive=False))
+        assert eng.points_to(n["s1"]).objects == set()
+        assert eng.points_to(n["v1"]).objects == {n["o_vec1"]}
+
+
+class TestBudget:
+    def test_tiny_budget_exhausts(self, fig2):
+        b, n = fig2
+        eng = CFLEngine(b.pag, EngineConfig(budget=3))
+        res = eng.points_to(n["s1"])
+        assert res.exhausted
+        assert res.costs.steps >= 3
+
+    def test_budget_partial_results_are_subset(self, fig2, engine):
+        b, n = fig2
+        full = engine.points_to(n["s1"]).points_to
+        for budget in (5, 20, 60):
+            eng = CFLEngine(b.pag, EngineConfig(budget=budget))
+            res = eng.points_to(n["s1"])
+            assert res.points_to <= full
+
+    def test_completed_query_not_marked_exhausted(self, fig2, engine):
+        _, n = fig2
+        assert not engine.points_to(n["v1"]).exhausted
+
+
+class TestClients:
+    def test_may_alias(self, fig2, engine):
+        _, n = fig2
+        assert engine.may_alias(n["v1"], n["v1"])
+        assert not engine.may_alias(n["v1"], n["v2"])
+        assert not engine.may_alias(n["s1"], n["s2"])
+        assert engine.may_alias(n["t_add"], n["t_get"])
+
+    def test_run_batch(self, fig2, engine):
+        _, n = fig2
+        from repro.core import Query
+
+        results = engine.run_batch([Query(n["v1"]), Query(n["v2"])])
+        assert [r.objects for r in results] == [{n["o_vec1"]}, {n["o_vec2"]}]
+
+    def test_points_to_rejects_object_node(self, fig2, engine):
+        _, n = fig2
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            engine.points_to(n["o_vec1"])
+        with pytest.raises(AnalysisError):
+            engine.flows_to(n["v1"])

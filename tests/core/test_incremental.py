@@ -1,0 +1,113 @@
+"""Tests for incremental (add-only) analysis sessions."""
+
+import pytest
+
+from repro.core import CFLEngine, EngineConfig
+from repro.core.incremental import IncrementalAnalysis
+from repro.pag import PAG
+
+
+def fresh_answer(pag, var, budget=75_000):
+    return CFLEngine(pag, EngineConfig(budget=budget)).points_to(var).points_to
+
+
+class TestIncrementalEdits:
+    def test_new_edge_extends_answers(self):
+        pag = PAG()
+        a = pag.add_local("a")
+        o1 = pag.add_obj("o1")
+        pag.add_new_edge(a, o1)
+        inc = IncrementalAnalysis(pag)
+        assert {o for o, _ in inc.points_to(a).points_to} == {o1}
+        o2 = inc.add_obj("o2")
+        inc.add_new_edge(a, o2)
+        assert {o for o, _ in inc.points_to(a).points_to} == {o1, o2}
+        assert inc.generation == 1
+
+    def test_post_edit_answers_match_scratch(self, fig2):
+        b, n = fig2
+        inc = IncrementalAnalysis(b.pag)
+        # warm the session
+        for var in b.pag.app_locals():
+            inc.points_to(var)
+        # edit: a new alias route — v3 copies v1 and reads it
+        v3 = inc.add_local("v3@Main.main$new")
+        out = inc.add_local("out@Main.main$new")
+        inc.add_assign_edge(v3, n["v1"])
+        inc.add_param_edge(n["this_get"], v3, 99)
+        inc.add_ret_edge(out, n["ret_get"], 99)
+        for var in list(b.pag.app_locals()) + [v3, out]:
+            got = inc.points_to(var).points_to
+            want = fresh_answer(b.pag, var)
+            assert got == want, b.pag.name(var)
+
+    def test_store_edit_invalidates_finished(self, fig2):
+        b, n = fig2
+        inc = IncrementalAnalysis(
+            b.pag, EngineConfig(tau_f=0, tau_u=0)
+        )
+        inc.points_to(n["s1"])
+        assert inc.jumps.n_finished_edges > 0
+        # new store into the vector's element array from a new source
+        extra = inc.add_local("extra@Main.main$new")
+        o_new = inc.add_obj("o_extra")
+        inc.add_new_edge(extra, o_new)
+        inc.add_store_edge(n["t_add"], "arr", extra)
+        assert inc.jumps.n_finished_edges == 0  # invalidated
+        assert inc.n_invalidated > 0
+        # and the new fact is found
+        got = {o for o, _ in inc.points_to(n["s1"]).points_to}
+        assert o_new in got
+        assert got == {o for o, _ in fresh_answer(b.pag, n["s1"])}
+
+    def test_unfinished_markers_survive_edits(self, fig2):
+        b, n = fig2
+        inc = IncrementalAnalysis(b.pag, EngineConfig(budget=10, tau_f=0, tau_u=0))
+        inc.points_to(n["s1"])  # exhausts, plants markers
+        markers_before = inc.n_reusable_markers
+        assert markers_before > 0
+        v = inc.add_local("fresh@x")
+        inc.add_assign_edge(v, n["v1"])
+        assert inc.n_reusable_markers == markers_before
+
+    def test_node_additions_do_not_invalidate(self, fig2):
+        b, n = fig2
+        inc = IncrementalAnalysis(b.pag, EngineConfig(tau_f=0, tau_u=0))
+        inc.points_to(n["s1"])
+        fin = inc.jumps.n_finished_edges
+        inc.add_local("island@y")
+        inc.add_obj("island_obj")
+        assert inc.jumps.n_finished_edges == fin
+        assert inc.generation == 0
+
+    def test_generation_counts_edits(self):
+        pag = PAG()
+        a, b_ = pag.add_local("a"), pag.add_local("b")
+        inc = IncrementalAnalysis(pag)
+        inc.add_assign_edge(a, b_)
+        o = inc.add_obj("o")
+        inc.add_new_edge(b_, o)
+        assert inc.generation == 2
+
+    def test_gassign_and_load_edits(self):
+        pag = PAG()
+        g = pag.add_global("G")
+        a = pag.add_local("a")
+        x = pag.add_local("x")
+        p = pag.add_local("p")
+        inc = IncrementalAnalysis(pag)
+        o = inc.add_obj("o")
+        inc.add_new_edge(a, o)
+        inc.add_gassign_edge(g, a)
+        inc.add_load_edge(x, p, "f")
+        assert inc.generation == 3
+        assert {obj for obj, _ in inc.points_to(g).points_to} == {o}
+
+    def test_flows_to_in_session(self):
+        pag = PAG()
+        a = pag.add_local("a")
+        inc = IncrementalAnalysis(pag)
+        o = inc.add_obj("o")
+        inc.add_new_edge(a, o)
+        reached = {v for v, _ in inc.flows_to(o).points_to}
+        assert reached == {a}

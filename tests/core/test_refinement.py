@@ -1,0 +1,121 @@
+"""Tests for field-based matching and the refinement driver."""
+
+import pytest
+
+from repro.core import CFLEngine, EngineConfig
+from repro.core.refinement import RefinementDriver
+from repro.errors import AnalysisError
+from repro.ir import parse_program
+from repro.pag import build_pag
+
+
+class TestFieldMode:
+    def test_invalid_mode_rejected(self, fig2):
+        b, _ = fig2
+        with pytest.raises(AnalysisError):
+            CFLEngine(b.pag, EngineConfig(field_mode="fuzzy"))
+
+    def test_match_over_approximates(self, fig2):
+        b, _ = fig2
+        precise = CFLEngine(b.pag)
+        coarse = CFLEngine(b.pag, EngineConfig(field_mode="match"))
+        for var in b.pag.app_locals():
+            p = precise.points_to(var).objects
+            c = coarse.points_to(var).objects
+            assert p <= c, b.pag.name(var)
+
+    def test_match_conflates_fig2_vectors(self, fig2):
+        # field-based matching cannot separate v1's and v2's elements
+        b, n = fig2
+        coarse = CFLEngine(b.pag, EngineConfig(field_mode="match"))
+        assert coarse.points_to(n["s1"]).objects == {n["o_n1"], n["o_n2"]}
+
+    def test_match_is_cheaper(self, fig2):
+        b, n = fig2
+        precise = CFLEngine(b.pag)
+        coarse = CFLEngine(b.pag, EngineConfig(field_mode="match"))
+        assert (
+            coarse.points_to(n["s1"]).costs.work
+            <= precise.points_to(n["s1"]).costs.work
+        )
+
+    def test_mode_none_equals_field_insensitive_flag(self, fig2):
+        b, n = fig2
+        by_flag = CFLEngine(b.pag, EngineConfig(field_sensitive=False))
+        by_mode = CFLEngine(b.pag, EngineConfig(field_mode="none"))
+        for var in b.pag.app_locals():
+            assert (
+                by_flag.points_to(var).points_to == by_mode.points_to(var).points_to
+            )
+
+    def test_match_over_approximates_generated(self):
+        from repro.benchgen import SynthesisParams, synthesize_program
+
+        build = build_pag(
+            synthesize_program(SynthesisParams(seed=3, n_app_classes=2))
+        )
+        precise = CFLEngine(build.pag, EngineConfig(budget=10**9))
+        coarse = CFLEngine(
+            build.pag, EngineConfig(budget=10**9, field_mode="match")
+        )
+        for var in build.pag.app_locals()[:30]:
+            assert precise.points_to(var).objects <= coarse.points_to(var).objects
+
+
+class TestRefinementDriver:
+    def test_empty_answer_skips_refinement(self):
+        build = build_pag(
+            parse_program(
+                "class M { static method main() { var a: Object } }"
+            )
+        )
+        driver = RefinementDriver(build.pag)
+        ans = driver.points_to(build.var("a", "M.main"))
+        assert not ans.refined
+        assert ans.result.objects == frozenset()
+
+    def test_unchecked_nonempty_refines(self, fig2):
+        b, n = fig2
+        driver = RefinementDriver(b.pag)
+        ans = driver.points_to(n["s1"])
+        assert ans.refined
+        assert ans.result.objects == {n["o_n1"]}
+        assert ans.match_result.objects >= ans.result.objects
+
+    def test_check_satisfied_by_coarse_skips_refinement(self, fig2):
+        # Client: "may s1 point only to Main-allocated objects?" — true
+        # even under the over-approximation, so no refinement runs.
+        b, n = fig2
+        driver = RefinementDriver(b.pag)
+        main_objs = {n["o_n1"], n["o_n2"], n["o_vec1"], n["o_vec2"]}
+        ans = driver.points_to(
+            n["s1"], check=lambda r: r.objects <= main_objs
+        )
+        assert not ans.refined
+        assert ans.satisfied is True
+
+    def test_check_failing_coarse_triggers_refinement(self, fig2):
+        # Client: "does s1 point only to n1's object?" — the coarse
+        # stage cannot prove it (it conflates n2), the precise one can.
+        b, n = fig2
+        driver = RefinementDriver(b.pag)
+        ans = driver.points_to(n["s1"], check=lambda r: r.objects == {n["o_n1"]})
+        assert ans.refined
+        assert ans.satisfied is True
+        assert ans.match_result.objects == {n["o_n1"], n["o_n2"]}
+
+    def test_check_unsatisfiable(self, fig2):
+        b, n = fig2
+        driver = RefinementDriver(b.pag)
+        ans = driver.points_to(n["s1"], check=lambda r: not r.objects)
+        assert ans.refined
+        assert ans.satisfied is False
+
+    def test_refinement_rate(self, fig2):
+        b, n = fig2
+        driver = RefinementDriver(b.pag)
+        driver.points_to(n["s1"])                       # refines
+        driver.points_to(n["v1"], check=lambda r: True)  # satisfied coarse
+        assert driver.n_queries == 2
+        assert driver.n_refined == 1
+        assert driver.refinement_rate == pytest.approx(0.5)

@@ -1,0 +1,147 @@
+"""Tests for the experiment harness (on a restricted benchmark set —
+the full regenerations live in benchmarks/)."""
+
+import pytest
+
+from repro.harness import fig6, fig7, fig8, memory, table1, table2
+from repro.harness.report import ascii_bars, ascii_histogram, ascii_table, to_csv
+from repro.harness.run_all import main
+from repro.harness.runner import run_benchmark_modes
+
+SMALL = ["_200_check"]
+
+
+class TestReport:
+    def test_ascii_table_alignment(self):
+        text = ascii_table(("a", "bb"), [("x", 1), ("long", 22.5)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+        assert "22.5" in lines[3]
+
+    def test_ascii_table_nan(self):
+        text = ascii_table(("a", "v"), [("x", float("nan"))])
+        assert "-" in text.splitlines()[-1]
+
+    def test_ascii_bars(self):
+        text = ascii_bars(["one", "two"], [1.0, 2.0])
+        assert text.count("|") == 4
+        assert "2.0x" in text
+
+    def test_ascii_bars_empty(self):
+        assert ascii_bars([], []) == "(no data)"
+
+    def test_ascii_histogram(self):
+        text = ascii_histogram(["b0", "b1"], {"s": [1, 3]})
+        assert "b0" in text and "b1" in text
+
+    def test_to_csv(self):
+        text = to_csv(("a", "b"), [(1, 2)])
+        assert text.splitlines() == ["a,b", "1,2"]
+
+
+class TestRunner:
+    def test_modes_cached(self):
+        a = run_benchmark_modes("_200_check")
+        b = run_benchmark_modes("_200_check")
+        assert a is b
+
+    def test_modes_complete(self):
+        m = run_benchmark_modes("_200_check")
+        n = m.seq.n_queries
+        assert n > 0
+        for batch in (m.naive1, m.naive_t, m.d_t, m.dq_t):
+            assert batch.n_queries == n
+
+    def test_all_modes_agree_on_answers(self):
+        m = run_benchmark_modes("_200_check")
+        base = m.seq.points_to_map()
+        for batch in (m.naive1, m.naive_t, m.d_t, m.dq_t):
+            other = batch.points_to_map()
+            agree = sum(other[k] == base[k] for k in base)
+            # budget/ET interactions may flip a few exhausted queries'
+            # partial answers; completed answers must dominate.
+            assert agree >= 0.9 * len(base)
+
+
+class TestTable1:
+    def test_rows_and_average(self):
+        rows = table1.run(SMALL)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.n_queries > 0
+        assert row.t_seq > 0
+        assert row.total_steps > 0
+        text = table1.render(rows)
+        assert "_200_check" in text
+        assert "TABLE I" in text
+
+    def test_csv(self):
+        rows = table1.run(SMALL)
+        csv_text = table1.csv(rows)
+        assert csv_text.splitlines()[0].startswith("Benchmark")
+
+
+class TestTable2:
+    def test_measured_row_properties(self):
+        rows = table2.run()
+        assert len(rows) == 8
+        ours = rows[-1]
+        assert ours.analysis == "this paper"
+        assert ours.on_demand == "yes"
+        assert ours.context == "yes"
+        assert ours.field == "yes"
+        assert ours.flow == "no"
+
+    def test_render_includes_footnote(self):
+        text = table2.render(table2.run())
+        assert "partial flow-sensitivity" in text
+
+
+class TestFigures:
+    def test_fig6(self):
+        rows = fig6.run(SMALL)
+        assert rows[0].naive1 == pytest.approx(1.0, abs=0.35)
+        assert rows[0].naive_t > 2
+        text = fig6.render(rows)
+        assert "AVERAGE" not in text  # single row: no average appended
+        text2 = fig6.render(fig6.run(["_200_check", "_202_jess"]))
+        assert "AVERAGE" in text2
+
+    def test_fig7(self):
+        result = fig7.run(SMALL)
+        assert len(result.buckets) == fig7.N_BUCKETS
+        assert sum(result.finished) >= sum(result.finished_opt) >= 0
+        assert "Fig. 7" in fig7.render(result)
+
+    def test_fig8(self):
+        rows = fig8.run(SMALL)
+        sp = rows[0].speedups
+        assert set(sp) == {1, 2, 4, 8, 16}
+        assert sp[8] > sp[2]
+        assert "Fig. 8" in fig8.render(rows)
+
+    def test_memory(self):
+        rows = memory.run(SMALL)
+        assert rows[0].seq_peak > 0
+        assert rows[0].ratio < 1.5
+        assert "IV-D5" in memory.render(rows)
+
+
+class TestCLI:
+    def test_table2_cli(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE II" in out
+
+    def test_fig6_cli_with_restriction(self, capsys):
+        assert main(["fig6", "--benchmarks", "_200_check"]) == 0
+        assert "Fig. 6" in capsys.readouterr().out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--benchmarks", "quake3"])
+
+    def test_csv_export(self, tmp_path, capsys):
+        assert main(["table1", "--benchmarks", "_200_check", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.csv").exists()

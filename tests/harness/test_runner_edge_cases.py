@@ -1,0 +1,83 @@
+"""Edge cases for the harness runner and result aggregation."""
+
+import pytest
+
+from repro.harness.runner import BenchmarkModes, run_benchmark_modes
+from repro.runtime import CostModel
+from repro.runtime.results import BatchResult
+
+
+class TestRetRatio:
+    def _modes_with(self, d_ets, dq_ets):
+        base = run_benchmark_modes("_200_check")
+
+        def fake(ets):
+            b = BatchResult(
+                mode="x", n_threads=16, executions=[], makespan=1.0,
+                worker_busy=[],
+            )
+            # n_early_terminations is derived; monkey-wrap via executions
+            # is heavy — patch the property through a subclass instead.
+            class Fake(BatchResult):
+                @property
+                def n_early_terminations(self):
+                    return ets
+
+            return Fake(
+                mode="x", n_threads=16, executions=[], makespan=1.0,
+                worker_busy=[],
+            )
+
+        return BenchmarkModes(
+            spec=base.spec, seq=base.seq, naive1=base.naive1,
+            naive_t=base.naive_t, d_t=fake(d_ets), dq_t=fake(dq_ets),
+            n_threads=16,
+        )
+
+    def test_zero_over_zero_is_one(self):
+        assert self._modes_with(0, 0).ret_ratio == 1.0
+
+    def test_nonzero_over_zero_is_inf(self):
+        assert self._modes_with(0, 5).ret_ratio == float("inf")
+
+    def test_plain_ratio(self):
+        assert self._modes_with(4, 6).ret_ratio == pytest.approx(1.5)
+
+
+class TestRunnerCaching:
+    def test_custom_cost_model_bypasses_cache(self):
+        a = run_benchmark_modes("_200_check")
+        b = run_benchmark_modes("_200_check", cost_model=CostModel(w_query=1))
+        assert a is not b
+        c = run_benchmark_modes("_200_check")
+        assert a is c
+
+    def test_no_cache_flag(self):
+        a = run_benchmark_modes("_200_check")
+        b = run_benchmark_modes("_200_check", use_cache=False)
+        assert a is not b
+
+
+class TestBatchResultAggregates:
+    def test_empty_batch_result(self):
+        empty = BatchResult(
+            mode="seq", n_threads=1, executions=[], makespan=0.0, worker_busy=[]
+        )
+        assert empty.total_steps == 0
+        assert empty.saved_ratio == 0.0
+        assert empty.utilisation == 1.0
+        assert empty.allocation_proxy == 0
+        assert empty.points_to_map() == {}
+
+    def test_speedup_of_zero_makespan(self):
+        a = BatchResult(mode="x", n_threads=1, executions=[], makespan=10.0,
+                        worker_busy=[])
+        b = BatchResult(mode="y", n_threads=1, executions=[], makespan=0.0,
+                        worker_busy=[])
+        assert b.speedup_over(a) == float("inf")
+
+    def test_repr_is_informative(self):
+        r = BatchResult(mode="DQ", n_threads=16, executions=[], makespan=5.0,
+                        worker_busy=[])
+        text = repr(r)
+        assert "DQ" in text and "t=16" in text

@@ -1,0 +1,182 @@
+"""Unit tests for repro.ir.program and repro.ir.builder."""
+
+import pytest
+
+from repro.errors import IRError, ValidationError
+from repro.ir import ProgramBuilder
+from repro.ir.program import RET_VAR, THIS_VAR
+from repro.ir.statements import Alloc, Assign, Call, Load, Return, Store
+
+
+def small_program():
+    b = ProgramBuilder()
+    box = b.clazz("Box")
+    box.field("item", "Object")
+    setter = box.method("set", params=[("v", "Object")])
+    setter.store("this", "item", "v")
+    getter = box.method("get", returns="Object")
+    getter.local("r", "Object").load("r", "this", "item").ret("r")
+    main = b.clazz("Main").method("main", static=True)
+    (
+        main.local("b", "Box")
+        .local("o", "Object")
+        .local("x", "Object")
+        .alloc("b", "Box")
+        .alloc("o", "Object")
+        .call("b", "set", ["o"])
+        .call("b", "get", [], result="x")
+    )
+    return b.build()
+
+
+class TestBuilder:
+    def test_builds_and_seals(self):
+        p = small_program()
+        assert p.is_sealed
+        assert p.counts() == (2, 3)
+
+    def test_call_sites_numbered_in_order(self):
+        p = small_program()
+        main = p.method("Main.main")
+        calls = [s for s in main.body if isinstance(s, Call)]
+        assert [c.site_id for c in calls] == [0, 1]
+        assert p.n_call_sites == 2
+
+    def test_instance_method_has_this(self):
+        p = small_program()
+        m = p.method("Box.set")
+        assert m.this_var is not None
+        assert m.this_var.type_name == "Box"
+        assert not m.this_var.is_global
+
+    def test_static_method_has_no_this(self):
+        p = small_program()
+        assert p.method("Main.main").this_var is None
+
+    def test_return_materialises_ret_var(self):
+        p = small_program()
+        getter = p.method("Box.get")
+        assert getter.ret_var is not None
+        assert getter.ret_var.name == RET_VAR
+        assert getter.ret_var.type_name == "Object"
+
+    def test_params_exclude_this(self):
+        p = small_program()
+        m = p.method("Box.set")
+        assert [v.name for v in m.params] == ["v"]
+        assert m.locals[THIS_VAR].is_param
+
+    def test_qualified_names(self):
+        p = small_program()
+        m = p.method("Box.set")
+        assert m.qualified_name == "Box.set"
+        assert m.locals["v"].qualified_name == "v@Box.set"
+
+    def test_duplicate_class_rejected(self):
+        b = ProgramBuilder()
+        b.clazz("A")
+        # clazz() is idempotent per name...
+        assert b.clazz("A") is b.clazz("A")
+        # ...but direct duplicate insertion is rejected.
+        from repro.ir.program import Clazz
+
+        with pytest.raises(IRError):
+            b.program.add_class(Clazz("A"))
+
+    def test_duplicate_local_rejected(self):
+        b = ProgramBuilder()
+        m = b.clazz("A").method("m")
+        m.local("x", "Object")
+        with pytest.raises(IRError):
+            m.local("x", "Object")
+
+    def test_duplicate_global_rejected(self):
+        b = ProgramBuilder()
+        b.global_var("G", "Object")
+        with pytest.raises(IRError):
+            b.global_var("G", "Object")
+
+    def test_sealed_program_is_frozen(self):
+        p = small_program()
+        with pytest.raises(IRError):
+            p.declare_global("G", "Object")
+
+    def test_unknown_local_type_rejected_at_build(self):
+        b = ProgramBuilder()
+        b.clazz("A").method("m").local("x", "Missing")
+        with pytest.raises(ValidationError, match="unknown type"):
+            b.build()
+
+    def test_forward_type_reference_allowed(self):
+        b = ProgramBuilder()
+        b.global_var("G", "Late")
+        b.clazz("Late")
+        b.build()  # must not raise
+
+
+class TestResolution:
+    def test_virtual_dispatch_single_target(self):
+        p = small_program()
+        targets = p.lookup_virtual("Box", "get")
+        assert [m.qualified_name for m in targets] == ["Box.get"]
+
+    def test_virtual_dispatch_with_override(self):
+        b = ProgramBuilder()
+        base = b.clazz("Base")
+        base.method("f")
+        sub = b.clazz("Sub", extends="Base")
+        sub.method("f")
+        b.clazz("Other", extends="Base")  # inherits Base.f
+        p = b.build()
+        targets = {m.qualified_name for m in p.lookup_virtual("Base", "f")}
+        assert targets == {"Base.f", "Sub.f"}
+
+    def test_virtual_dispatch_inherited_only(self):
+        b = ProgramBuilder()
+        b.clazz("Base").method("f")
+        b.clazz("Sub", extends="Base")
+        p = b.build()
+        targets = {m.qualified_name for m in p.lookup_virtual("Sub", "f")}
+        assert targets == {"Base.f"}
+
+    def test_static_lookup_by_class(self):
+        p = small_program()
+        assert p.lookup_static("Main", "main").qualified_name == "Main.main"
+
+    def test_static_lookup_unqualified_unique(self):
+        p = small_program()
+        assert p.lookup_static(None, "main").qualified_name == "Main.main"
+
+    def test_static_lookup_ambiguous(self):
+        b = ProgramBuilder()
+        b.clazz("A").method("f", static=True)
+        b.clazz("B").method("f", static=True)
+        p = b.build()
+        with pytest.raises(ValidationError):
+            p.lookup_static(None, "f")
+
+    def test_unknown_method_lookup(self):
+        p = small_program()
+        with pytest.raises(ValidationError):
+            p.method("Box.nope")
+
+
+class TestStatements:
+    def test_operands(self):
+        assert Alloc("x", "T").operands() == ("x",)
+        assert Assign("x", "y").operands() == ("x", "y")
+        assert Load("x", "p", "f").operands() == ("x", "p")
+        assert Store("q", "f", "y").operands() == ("q", "y")
+        assert Return("v").operands() == ("v",)
+        call = Call("r", "recv", "m", ("a", "b"))
+        assert set(call.operands()) == {"a", "b", "recv", "r"}
+
+    def test_static_call_flag(self):
+        assert Call(None, None, "m", (), class_name="C").is_static
+        assert not Call(None, "r", "m", ()).is_static
+
+    def test_reprs_are_readable(self):
+        assert repr(Load("x", "p", "f")) == "x = p.f"
+        assert repr(Store("q", "f", "y")) == "q.f = y"
+        assert repr(Call("r", "b", "get", ())) == "r = b.get()"
+        assert repr(Call(None, None, "m", ("a",), class_name="C")) == "C::m(a)"

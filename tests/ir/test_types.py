@@ -1,0 +1,171 @@
+"""Unit tests for repro.ir.types — type table, hierarchy, L(t) levels."""
+
+import pytest
+
+from repro.errors import IRError, ValidationError
+from repro.ir.types import ARRAY_FIELD, ClassType, PrimitiveType, TypeTable
+
+
+@pytest.fixture
+def table():
+    return TypeTable()
+
+
+class TestRegistration:
+    def test_primitives_preregistered(self, table):
+        assert not table.resolve("int").is_reference
+        assert isinstance(table.resolve("boolean"), PrimitiveType)
+
+    def test_object_preregistered(self, table):
+        obj = table.resolve("Object")
+        assert isinstance(obj, ClassType)
+        assert obj.superclass is None
+
+    def test_declare_class(self, table):
+        c = table.declare_class("Vector", fields={"elems": "Object[]"})
+        assert c.is_reference
+        assert c.superclass == "Object"
+        assert c.fields == {"elems": "Object[]"}
+
+    def test_redeclaration_merges_fields(self, table):
+        table.declare_class("A", fields={"x": "Object"})
+        again = table.declare_class("A", fields={"y": "Object"})
+        assert again.fields == {"x": "Object", "y": "Object"}
+
+    def test_cannot_redeclare_primitive_as_class(self, table):
+        with pytest.raises(IRError):
+            table.declare_class("int")
+
+    def test_array_created_on_demand_by_resolve(self, table):
+        arr = table.resolve("Object[]")
+        assert arr.is_array
+        assert arr.fields == {ARRAY_FIELD: "Object"}
+        assert arr.element_type_name == "Object"
+
+    def test_nested_array(self, table):
+        arr2 = table.resolve("Object[][]")
+        assert arr2.is_array
+        assert arr2.element_type_name == "Object[]"
+        assert table.resolve("Object[]").is_array
+
+    def test_array_of_is_idempotent(self, table):
+        assert table.array_of("Object") is table.array_of("Object")
+
+    def test_declare_array_via_declare_class_rejected(self, table):
+        with pytest.raises(IRError):
+            table.declare_class("X[]")
+
+    def test_unknown_type_raises(self, table):
+        with pytest.raises(ValidationError):
+            table.resolve("Nope")
+
+    def test_contains(self, table):
+        table.declare_class("A")
+        assert "A" in table
+        assert "A[]" in table  # materialisable on demand
+        assert "Missing" not in table
+
+    def test_element_type_of_non_array_raises(self, table):
+        c = table.declare_class("A")
+        with pytest.raises(IRError):
+            _ = c.element_type_name
+
+
+class TestHierarchy:
+    def test_subtype_reflexive(self, table):
+        table.declare_class("A")
+        assert table.is_subtype("A", "A")
+
+    def test_subtype_chain(self, table):
+        table.declare_class("A")
+        table.declare_class("B", superclass="A")
+        table.declare_class("C", superclass="B")
+        assert table.is_subtype("C", "A")
+        assert table.is_subtype("C", "Object")
+        assert not table.is_subtype("A", "C")
+
+    def test_subtypes_set(self, table):
+        table.declare_class("A")
+        table.declare_class("B", superclass="A")
+        table.declare_class("C", superclass="A")
+        table.declare_class("D", superclass="C")
+        assert table.subtypes("A") == {"A", "B", "C", "D"}
+        assert table.subtypes("C") == {"C", "D"}
+
+    def test_field_lookup_through_chain(self, table):
+        table.declare_class("A", fields={"x": "Object"})
+        table.declare_class("B", superclass="A", fields={"y": "Object"})
+        assert table.field_type("B", "x").name == "Object"
+        assert table.field_type("B", "y").name == "Object"
+        with pytest.raises(ValidationError):
+            table.field_type("A", "y")
+
+    def test_all_fields_includes_inherited(self, table):
+        table.declare_class("A", fields={"x": "Object"})
+        table.declare_class("B", superclass="A", fields={"y": "int"})
+        assert table.all_fields("B") == {"x": "Object", "y": "int"}
+
+    def test_cyclic_hierarchy_detected(self, table):
+        table.declare_class("A", superclass="B")
+        table.declare_class("B", superclass="A")
+        with pytest.raises(ValidationError):
+            list(table.superclass_chain("A"))
+
+
+class TestLevels:
+    """The L(t) metric of Section III-C2."""
+
+    def test_primitive_level_zero(self, table):
+        assert table.level("int") == 0
+
+    def test_leaf_reference_level_one(self, table):
+        table.declare_class("Leaf")
+        assert table.level("Leaf") == 1
+
+    def test_reference_fields_raise_level(self, table):
+        table.declare_class("Leaf")
+        table.declare_class("Mid", fields={"l": "Leaf"})
+        table.declare_class("Top", fields={"m": "Mid", "n": "int"})
+        assert table.level("Mid") == 2
+        assert table.level("Top") == 3
+
+    def test_primitive_fields_do_not_count(self, table):
+        table.declare_class("P", fields={"a": "int", "b": "boolean"})
+        assert table.level("P") == 1
+
+    def test_recursive_type_modulo_recursion(self, table):
+        # A linked list node containing itself: level computed modulo
+        # recursion — the cycle contributes one level above its escape.
+        table.declare_class("Node", fields={"next": "Node", "payload": "Object"})
+        assert table.level("Node") == 2  # Object is level 1
+
+    def test_mutually_recursive_types_share_level(self, table):
+        table.declare_class("A", fields={"b": "B"})
+        table.declare_class("B", fields={"a": "A"})
+        assert table.level("A") == table.level("B") == 1
+
+    def test_inherited_fields_count(self, table):
+        table.declare_class("Leaf")
+        table.declare_class("Base", fields={"l": "Leaf"})
+        table.declare_class("Derived", superclass="Base")
+        assert table.level("Derived") == 2
+
+    def test_dependence_depth(self, table):
+        table.declare_class("Leaf")
+        table.declare_class("Mid", fields={"l": "Leaf"})
+        assert table.dependence_depth("Mid") == pytest.approx(0.5)
+        assert table.dependence_depth("Leaf") == pytest.approx(1.0)
+        assert table.dependence_depth("int") == float("inf")
+
+    def test_deeper_container_has_smaller_dd(self, table):
+        # The scheduling invariant: the base of a load (container) gets a
+        # strictly smaller DD than the loaded value's type.
+        table.declare_class("Elem")
+        table.declare_class("Box", fields={"e": "Elem"})
+        assert table.dependence_depth("Box") < table.dependence_depth("Elem")
+
+    def test_level_cache_invalidated_on_new_class(self, table):
+        table.declare_class("A")
+        assert table.level("A") == 1
+        table.declare_class("B", fields={"a": "A"})
+        assert table.level("B") == 2

@@ -1,0 +1,287 @@
+"""Unit and integration tests for the parallel runtime."""
+
+import pytest
+
+from repro.core import CFLEngine, EngineConfig, Query
+from repro.core.engine import POINTS_TO
+from repro.errors import RuntimeConfigError
+from repro.pag.extended import FinishedJump
+from repro.runtime import (
+    BatchResult,
+    ConcurrentJumpMap,
+    CostModel,
+    ParallelCFL,
+    SimulatedExecutor,
+    ThreadedExecutor,
+)
+
+
+class TestCostModel:
+    def test_contention_grows_with_threads(self):
+        cm = CostModel(kappa=0.1, kappa_inter=0.1, socket_size=8)
+        assert cm.contention(1) == pytest.approx(1.0)
+        assert cm.contention(16) == pytest.approx(2.5)
+
+    def test_cross_socket_slope_steeper(self):
+        cm = CostModel()  # calibrated defaults: 2 x 8-core sockets
+        intra_step = cm.contention(8) - cm.contention(7)
+        inter_step = cm.contention(9) - cm.contention(8)
+        assert inter_step > intra_step
+
+    def test_contention_monotone(self):
+        cm = CostModel()
+        values = [cm.contention(t) for t in (1, 2, 4, 8, 16)]
+        assert values == sorted(values)
+
+    def test_query_time_components(self):
+        from repro.core.query import QueryCosts
+
+        cm = CostModel(w_step=1, w_query=10, w_take=2, w_look=3, w_ins=4, kappa=0.0)
+        costs = QueryCosts(steps=0, work=5, jmp_taken=1, jmp_lookups=2, jmp_inserts=1)
+        assert cm.query_time(costs, 1) == pytest.approx(10 + 5 + 2 + 6 + 4)
+
+    def test_fetch_time_scales(self):
+        cm = CostModel(w_fetch=10, kappa_lock=0.5)
+        assert cm.fetch_time(1) == pytest.approx(10)
+        assert cm.fetch_time(3) == pytest.approx(20)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(RuntimeConfigError):
+            CostModel(kappa=-1)
+        with pytest.raises(RuntimeConfigError):
+            CostModel(w_step=-1)
+
+
+class TestSimulatedExecutor:
+    def test_results_match_sequential_engine(self, fig2):
+        b, _ = fig2
+        queries = [Query(v) for v in b.pag.app_locals()]
+        seq = CFLEngine(b.pag)
+        expected = {q.var: seq.run_query(q).points_to for q in queries}
+        ex = SimulatedExecutor(b.pag, n_threads=4, sharing=True)
+        batch = ex.run(queries)
+        assert batch.n_queries == len(queries)
+        for e in batch.executions:
+            assert e.result.points_to == expected[e.result.query.var]
+
+    def test_deterministic(self, fig2):
+        b, _ = fig2
+        queries = [Query(v) for v in b.pag.app_locals()]
+
+        def run():
+            ex = SimulatedExecutor(b.pag, n_threads=3, sharing=True)
+            batch = ex.run(queries)
+            return (
+                batch.makespan,
+                [(e.result.query.var, e.worker, e.start) for e in batch.executions],
+            )
+
+        assert run() == run()
+
+    def test_makespan_shrinks_with_threads(self, fig2):
+        b, _ = fig2
+        queries = [Query(v) for v in b.pag.app_locals()] * 4
+        m1 = SimulatedExecutor(b.pag, 1, sharing=False).run(queries).makespan
+        m4 = SimulatedExecutor(b.pag, 4, sharing=False).run(queries).makespan
+        assert m4 < m1
+
+    def test_contention_slows_many_threads(self, fig2):
+        b, _ = fig2
+        queries = [Query(v) for v in b.pag.app_locals()]
+        cm = CostModel(kappa=0.5)
+        m1 = SimulatedExecutor(b.pag, 1, cost_model=cm, sharing=False).run(queries)
+        m16 = SimulatedExecutor(b.pag, 16, cost_model=cm, sharing=False).run(queries)
+        # 16 workers, heavy contention: far from linear speedup.
+        assert m1.makespan / m16.makespan < 8
+
+    def test_workers_record_busy_time(self, fig2):
+        b, _ = fig2
+        queries = [Query(v) for v in b.pag.app_locals()]
+        batch = SimulatedExecutor(b.pag, 2, sharing=False).run(queries)
+        assert len(batch.worker_busy) == 2
+        assert sum(batch.worker_busy) > 0
+        assert 0 < batch.utilisation <= 1.0
+
+    def test_sharing_commits_to_shared_map(self, fig2):
+        b, _ = fig2
+        ex = SimulatedExecutor(
+            b.pag, 2, engine_config=EngineConfig(tau_f=0, tau_u=0), sharing=True
+        )
+        batch = ex.run([Query(v) for v in b.pag.app_locals()])
+        assert batch.n_jumps > 0
+        assert ex.jumps.n_jumps == batch.n_jumps
+
+    def test_sharing_reduces_total_work(self, fig2):
+        b, _ = fig2
+        queries = [Query(v) for v in b.pag.app_locals()] * 3
+        cfg = EngineConfig(tau_f=0, tau_u=0)
+        off = SimulatedExecutor(b.pag, 2, engine_config=cfg, sharing=False).run(queries)
+        on = SimulatedExecutor(b.pag, 2, engine_config=cfg, sharing=True).run(queries)
+        assert on.total_work < off.total_work
+        assert on.total_saved > 0
+        assert on.saved_ratio > 0
+
+    def test_memory_proxy_positive(self, fig2):
+        b, _ = fig2
+        batch = SimulatedExecutor(b.pag, 2, sharing=True).run(
+            [Query(v) for v in b.pag.app_locals()]
+        )
+        assert batch.peak_memory_proxy > 0
+
+    def test_zero_threads_rejected(self, fig2):
+        b, _ = fig2
+        with pytest.raises(RuntimeConfigError):
+            SimulatedExecutor(b.pag, 0)
+
+    def test_empty_batch(self, fig2):
+        b, _ = fig2
+        batch = SimulatedExecutor(b.pag, 2).run([])
+        assert batch.n_queries == 0
+        assert batch.makespan == 0.0
+
+
+class TestThreadedExecutor:
+    def test_results_match_sequential(self, fig2):
+        b, _ = fig2
+        queries = [Query(v) for v in b.pag.app_locals()]
+        seq = CFLEngine(b.pag)
+        expected = {q.var: seq.run_query(q).points_to for q in queries}
+        batch = ThreadedExecutor(b.pag, n_threads=4, sharing=True).run(queries)
+        assert batch.n_queries == len(queries)
+        for e in batch.executions:
+            assert e.result.points_to == expected[e.result.query.var]
+
+    def test_all_queries_processed_once(self, fig2):
+        b, _ = fig2
+        queries = [Query(v) for v in b.pag.app_locals()]
+        batch = ThreadedExecutor(b.pag, n_threads=8, sharing=False).run(queries)
+        got = sorted(e.result.query.var for e in batch.executions)
+        assert got == sorted(q.var for q in queries)
+
+    def test_concurrent_jumpmap_semantics(self):
+        m = ConcurrentJumpMap(n_stripes=4)
+        key = (1, (), POINTS_TO)
+        assert m.insert_unfinished(key, 10)
+        assert not m.insert_unfinished(key, 20)
+        assert m.unfinished(key) == 10
+        assert m.insert_finished(key, (FinishedJump(2, (), 5),))
+        assert m.unfinished(key) is None
+        assert m.n_jumps == 1
+
+    def test_concurrent_jumpmap_rejects_bad_stripes(self):
+        with pytest.raises(RuntimeConfigError):
+            ConcurrentJumpMap(n_stripes=0)
+
+
+class TestParallelCFL:
+    @pytest.mark.parametrize("mode", ["seq", "naive", "D", "DQ"])
+    def test_modes_agree_on_answers(self, fig2, mode):
+        b, _ = fig2
+        seq = CFLEngine(b.pag)
+        queries = [Query(v) for v in b.pag.app_locals()]
+        expected = {q.var: seq.run_query(q).objects for q in queries}
+        runner = ParallelCFL(b, mode=mode, n_threads=4)
+        batch = runner.run(queries)
+        for e in batch.executions:
+            assert e.result.objects == expected[e.result.query.var]
+
+    def test_seq_mode_forces_one_thread(self, fig2):
+        b, _ = fig2
+        runner = ParallelCFL(b, mode="seq", n_threads=16)
+        assert runner.n_threads == 1
+        assert not runner.sharing
+
+    def test_default_queries_are_app_locals(self, fig2):
+        b, _ = fig2
+        runner = ParallelCFL(b, mode="seq")
+        assert len(runner.default_queries()) == len(b.pag.app_locals())
+
+    def test_dq_builds_groups(self, fig2):
+        b, _ = fig2
+        runner = ParallelCFL(b, mode="DQ")
+        units = runner.work_units(runner.default_queries())
+        # scheduling coalesces queries into multi-query units
+        assert any(len(u) > 1 for u in units)
+
+    def test_naive_units_are_singletons(self, fig2):
+        b, _ = fig2
+        runner = ParallelCFL(b, mode="naive")
+        units = runner.work_units(runner.default_queries())
+        assert all(len(u) == 1 for u in units)
+
+    def test_speedup_ordering_on_fig2(self, fig2):
+        # Even on the tiny Fig. 2 graph: parallel beats sequential.
+        b, _ = fig2
+        queries = [Query(v) for v in b.pag.app_locals()] * 8
+        seq = ParallelCFL(b, mode="seq").run(queries)
+        naive = ParallelCFL(b, mode="naive", n_threads=4).run(queries)
+        assert naive.speedup_over(seq) > 1.5
+
+    def test_threads_backend(self, fig2):
+        b, _ = fig2
+        runner = ParallelCFL(b, mode="D", n_threads=4, backend="threads")
+        batch = runner.run()
+        assert batch.n_queries == len(b.pag.app_locals())
+
+    def test_invalid_mode_rejected(self, fig2):
+        b, _ = fig2
+        with pytest.raises(RuntimeConfigError):
+            ParallelCFL(b, mode="turbo")
+        with pytest.raises(RuntimeConfigError):
+            ParallelCFL(b, backend="gpu")
+
+    def test_accepts_raw_pag(self, fig2):
+        b, _ = fig2
+        runner = ParallelCFL(b.pag, mode="naive", n_threads=2)
+        batch = runner.run()
+        assert batch.n_queries > 0
+
+
+class TestIntraQueryModel:
+    def test_speedup_capped_by_frontier(self, fig2):
+        from repro.runtime import intra_query_speedup
+
+        b, _ = fig2
+        queries = [Query(v) for v in b.pag.app_locals()]
+        seq = ParallelCFL(b, mode="seq").run(queries)
+        s16 = intra_query_speedup(seq, 16)
+        # the Fig. 2 traversals have tiny frontiers: 16 threads buy
+        # almost nothing over 1
+        s1 = intra_query_speedup(seq, 1)
+        assert s16 < 4
+        # one "intra" thread ~ sequential (modulo work-list fetch costs,
+        # which the single-query-at-a-time design does not pay)
+        assert 0.9 < s1 < 1.35
+
+    def test_sync_overhead_can_make_it_slower(self, fig2):
+        from repro.runtime import intra_query_speedup
+
+        b, _ = fig2
+        queries = [Query(v) for v in b.pag.app_locals()]
+        seq = ParallelCFL(b, mode="seq").run(queries)
+        heavy_sync = intra_query_speedup(seq, 16, w_sync=1.0)
+        assert heavy_sync < 1.0  # worse than sequential
+
+    def test_inter_query_wins(self, fig2):
+        from repro.runtime import intra_query_speedup
+
+        b, _ = fig2
+        queries = [Query(v) for v in b.pag.app_locals()] * 4
+        seq = ParallelCFL(b, mode="seq").run(queries)
+        naive = ParallelCFL(b, mode="naive", n_threads=16).run(queries)
+        assert naive.speedup_over(seq) > intra_query_speedup(seq, 16)
+
+    def test_invalid_args_rejected(self, fig2):
+        from repro.runtime import intra_query_makespan
+
+        b, _ = fig2
+        seq = ParallelCFL(b, mode="seq").run([Query(b.pag.app_locals()[0])])
+        with pytest.raises(RuntimeConfigError):
+            intra_query_makespan(seq, 0)
+        with pytest.raises(RuntimeConfigError):
+            intra_query_makespan(seq, 4, w_sync=-1)
+
+    def test_frontier_mean_recorded(self, fig2):
+        b, _ = fig2
+        batch = ParallelCFL(b, mode="seq").run([Query(v) for v in b.pag.app_locals()])
+        assert any(e.result.costs.frontier_mean > 0 for e in batch.executions)

@@ -1,0 +1,140 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+JAVA_SRC = """
+class Box {
+  field val: Object
+  method set(v: Object) { this.val = v }
+  method get(): Object { var r: Object \n r = this.val \n return r }
+}
+class Main {
+  static method main() {
+    var b: Box
+    var o: Object
+    var x: Object
+    b = new Box
+    o = new Object
+    b.set(o)
+    x = b.get()
+  }
+}
+"""
+
+C_SRC = """
+func main() {
+  var p, q, v
+  v = alloc()
+  p = &v
+  q = *p
+}
+"""
+
+
+@pytest.fixture
+def java_file(tmp_path):
+    f = tmp_path / "prog.mj"
+    f.write_text(JAVA_SRC)
+    return f
+
+
+@pytest.fixture
+def c_file(tmp_path):
+    f = tmp_path / "prog.c"
+    f.write_text(C_SRC)
+    return f
+
+
+class TestAnalyze:
+    def test_single_query(self, java_file, capsys):
+        assert main(["analyze", str(java_file), "--query", "x@Main.main"]) == 0
+        out = capsys.readouterr().out
+        assert "pts(x@Main.main)" in out
+        assert "o:Main.main:1" in out
+
+    def test_default_all_app_locals(self, java_file, capsys):
+        assert main(["analyze", str(java_file)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("pts(") >= 3
+
+    def test_context_insensitive_flag(self, java_file, capsys):
+        assert main(
+            ["analyze", str(java_file), "--query", "x@Main.main",
+             "--context-insensitive"]
+        ) == 0
+        assert "o:Main.main:1" in capsys.readouterr().out
+
+    def test_field_based_flag(self, java_file, capsys):
+        assert main(
+            ["analyze", str(java_file), "--query", "x@Main.main", "--field-based"]
+        ) == 0
+
+    def test_explain(self, java_file, capsys):
+        assert main(
+            ["analyze", str(java_file), "--query", "x@Main.main", "--explain"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "flowsTo" in out
+        assert "[certified]" in out
+
+    def test_alias_query(self, java_file, capsys):
+        assert main(
+            ["analyze", str(java_file), "--alias", "b@Main.main", "x@Main.main"]
+        ) == 0
+        assert "may_alias" in capsys.readouterr().out
+
+    def test_c_frontend_by_suffix(self, c_file, capsys):
+        assert main(["analyze", str(c_file), "--query", "q@main"]) == 0
+        out = capsys.readouterr().out
+        assert "heap:main:0" in out
+
+    def test_ctx_argument(self, java_file, capsys):
+        # context of call site 1 (b.get() is site 1)
+        assert main(
+            ["analyze", str(java_file), "--query", "r@Box.get", "--ctx", "1"]
+        ) == 0
+        assert "pts(r@Box.get)" in capsys.readouterr().out
+
+    def test_bad_ctx_reports_error(self, java_file, capsys):
+        assert main(
+            ["analyze", str(java_file), "--query", "x@Main.main", "--ctx", "zap"]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_variable_reports_error(self, java_file, capsys):
+        assert main(["analyze", str(java_file), "--query", "ghost@No.where"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nope.mj")]) == 1
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.mj"
+        bad.write_text("klass A { }")
+        assert main(["analyze", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBatchAndGraph:
+    def test_batch(self, java_file, capsys):
+        assert main(["batch", str(java_file), "--threads", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "SeqCFL" in out
+        assert "DQ x4" in out
+
+    def test_graph(self, java_file, capsys):
+        assert main(["graph", str(java_file)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "new" in out
+
+    def test_language_override(self, tmp_path, capsys):
+        f = tmp_path / "prog.txt"
+        f.write_text(C_SRC)
+        assert main(["analyze", str(f), "--language", "c", "--query", "q@main"]) == 0
+
+    def test_bench_subcommand(self, capsys):
+        assert main(["bench", "table2"]) == 0
+        assert "TABLE II" in capsys.readouterr().out
