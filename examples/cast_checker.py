@@ -8,11 +8,19 @@ objects suffices — so most casts are dismissed by the cheap
 field-*based* stage, and only the contested ones pay for full
 field-sensitivity.
 
+This is now a thin wrapper over the first-class ``downcast`` checker
+from :mod:`repro.analyses`: cast statements ``x = (T) y`` are part of
+the IR, the checker demands its queries into the driver's single
+scheduled batch, and its :class:`~repro.core.refinement.
+RefinementDriver` reuses the batch's field-sensitive answers via the
+``precise_lookup`` hook (equivalently: ``python -m repro check FILE
+--checker downcast``).
+
 Run:  python examples/cast_checker.py
 """
 
 from repro import build_pag, parse_program
-from repro.core.refinement import RefinementDriver
+from repro.analyses import render_text, run_checkers
 
 SRC = """
 class Animal { }
@@ -36,6 +44,9 @@ class Main {
     var c1: Cat
     var outD: Animal
     var outM: Animal
+    var goodDog: Dog
+    var badDog: Dog
+    var anyPet: Animal
     dogs = new Kennel
     mixed = new Kennel
     d1 = new Dog
@@ -45,52 +56,34 @@ class Main {
     dogs.admit(d2)
     mixed.admit(d1)
     mixed.admit(c1)
-    outD = dogs.release()     // (Dog) outD — safe?
-    outM = mixed.release()    // (Dog) outM — safe?
+    outD = dogs.release()
+    outM = mixed.release()
+    goodDog = (Dog) outD       // safe: the dogs kennel only holds Dogs
+    badDog = (Dog) outM        // UNSAFE: the mixed kennel may hold a Cat
+    anyPet = (Animal) outM     // trivially safe — coarse stage enough
   }
 }
 """
 
 
 def main() -> None:
-    program = parse_program(SRC)
-    build = build_pag(program)
-    types = program.types
-    driver = RefinementDriver(build.pag)
+    build = build_pag(parse_program(SRC))
+    report = run_checkers(build, ["downcast"], file="<example>")
 
-    def check_cast(var_name: str, target: str) -> None:
-        node = build.var(var_name, "Main.main")
+    print("checking downcasts (refinement over one shared batch):\n")
+    print(render_text(report))
 
-        def all_subtypes(result) -> bool:
-            return all(
-                types.is_subtype(build.pag.type_name(o) or "Object", target)
-                for o in result.objects
-            )
-
-        answer = driver.points_to(node, check=all_subtypes)
-        objs = sorted(
-            f"{build.pag.name(o)}:{build.pag.type_name(o)}"
-            for o in answer.result.objects
-        )
-        verdict = "SAFE" if answer.satisfied else "UNSAFE"
-        stage = "refined (field-sensitive)" if answer.refined else "coarse (field-based)"
-        print(f"  ({target}) {var_name}: {verdict:6s} via {stage}")
-        print(f"      pts = {objs}")
-
-    print("checking downcasts:\n")
-    check_cast("outD", "Dog")   # provable... at which stage?
-    check_cast("outM", "Dog")   # genuinely unsafe
-    check_cast("outM", "Animal")  # trivially safe — coarse stage enough
-
-    print(
-        f"\nrefinement rate: {driver.n_refined}/{driver.n_queries} queries "
-        "needed the precise stage"
-    )
+    assert len(report.findings) == 1, report.findings
+    bad = report.findings[0]
+    assert bad.extra["cast_type"] == "Dog", bad
+    assert bad.extra["object_type"] == "Cat", bad
+    assert bad.witness_certified, "witness must certify against the grammar"
     print(
         "\nThe (Animal) cast is dismissed by the cheap over-approximation; "
-        "the contested\n(Dog) casts fall through to the precise analysis, "
-        "which proves dogs-only for\nthe dogs kennel and correctly rejects "
-        "the mixed one."
+        "the contested\n(Dog) casts fall through to the precise stage — served "
+        "from the batch — which\nproves dogs-only for the dogs kennel and "
+        "correctly rejects the mixed one,\nnaming the offending Cat with a "
+        "certified flowsTo witness."
     )
 
 

@@ -6,15 +6,20 @@ to certain clients such as null-pointer detection").
 
 A field access ``x = p.f`` or ``p.f = v`` may crash when ``p`` can be
 null.  Demand strategy: issue a points-to query for every dereferenced
-*base* variable only; an empty points-to set means no allocation ever
-reaches the base — a definite null dereference (in this closed world),
-and the cheapest of all answers to compute.
+*base* variable only; a proven-empty points-to set means no allocation
+ever reaches the base — a definite null dereference (in this closed
+world), and the cheapest of all answers to compute.
+
+This is now a thin wrapper over the first-class checker: the
+``null-deref`` rule from :mod:`repro.analyses`, whose demanded queries
+the driver batches through one scheduled ``ParallelCFL`` pass
+(equivalently: ``python -m repro check FILE --checker null-deref``).
 
 Run:  python examples/null_deref_detector.py
 """
 
-from repro import CFLEngine, build_pag, parse_program
-from repro.ir.statements import Load, Store
+from repro import build_pag, parse_program
+from repro.analyses import render_text, run_checkers
 
 SRC = """
 class Node {
@@ -54,40 +59,14 @@ class ListOps {
 
 
 def main() -> None:
-    program = parse_program(SRC)
-    build = build_pag(program)
-    engine = CFLEngine(build.pag)
+    build = build_pag(parse_program(SRC))
+    report = run_checkers(build, ["null-deref"], file="<example>")
 
-    print("scanning dereference sites (demand queries on base variables only):\n")
-    findings = []
-    queried = 0
-    for method in program.methods():
-        for stmt in method.body:
-            if isinstance(stmt, (Load, Store)):
-                base_name = stmt.base
-                base_var = method.locals.get(base_name)
-                if base_var is None or base_name == "this":
-                    continue
-                node = build.var(base_name, method.qualified_name)
-                result = engine.points_to(node)
-                queried += 1
-                status = "ok"
-                if result.exhausted:
-                    status = "unknown (budget)"
-                elif not result.objects:
-                    status = "NULL DEREFERENCE"
-                    findings.append((method.qualified_name, stmt))
-                print(
-                    f"  {method.qualified_name:22s} {str(stmt):22s} "
-                    f"base={base_name:10s} |pts|={len(result.objects)}  {status}"
-                )
+    print("null-deref checker over all dereference sites, one batch:\n")
+    print(render_text(report))
 
-    print(f"\n{queried} demand queries issued; {len(findings)} definite bug(s):")
-    for where, stmt in findings:
-        print(f"  - {where}: `{stmt}` dereferences a never-assigned base")
-
-    expected = {("ListOps.buggy_use"), ("ListOps.chained_bug")}
-    found = {w for w, _ in findings}
+    found = {f.method for f in report.findings}
+    expected = {"ListOps.buggy_use", "ListOps.chained_bug"}
     assert found == expected, (found, expected)
     print("\nBoth seeded bugs found, the safe uses pass — with zero")
     print("whole-program propagation.")

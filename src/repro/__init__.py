@@ -22,6 +22,7 @@ Batch-parallel (simulated multicore)::
 """
 
 from repro._version import __version__
+from repro.analyses import CheckReport, Checker, Finding, Severity, run_checkers
 from repro.andersen import AndersenResult, AndersenSolver, MustNotAlias, SteensgaardSolver
 from repro.core import (
     CFLEngine,
@@ -97,6 +98,12 @@ __all__ = [
     # extensions
     "IncrementalAnalysis",
     "RefinementDriver",
+    # checkers
+    "Checker",
+    "CheckReport",
+    "Finding",
+    "Severity",
+    "run_checkers",
     # errors
     "ReproError",
     "IRError",

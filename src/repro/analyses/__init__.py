@@ -1,0 +1,56 @@
+"""Client checker framework over the demand CFL-reachability engine.
+
+The paper motivates demand-driven points-to analysis by its *clients* —
+null-pointer debugging, alias disambiguation, downcast verification
+(Sections I and V-A).  This package makes those clients first-class:
+
+* :mod:`repro.analyses.base` — :class:`Checker` API, :class:`Finding`
+  diagnostics, severities and the registry;
+* :mod:`repro.analyses.driver` — collects every checker's demanded
+  queries and dispatches them in **one** scheduled
+  :class:`~repro.runtime.executor.ParallelCFL` batch;
+* the built-in checkers: ``null-deref``, ``downcast`` (via
+  :class:`~repro.core.refinement.RefinementDriver`), ``may-alias``
+  (Andersen-cross-checked) and ``shared-field-race``;
+* :mod:`repro.analyses.diagnostics` — text / JSON / SARIF rendering.
+
+Surfaced on the command line as ``python -m repro check FILE``.
+"""
+
+from repro.analyses.base import (
+    Checker,
+    Finding,
+    Severity,
+    checker_ids,
+    make_checkers,
+    register,
+)
+
+# Importing the checker modules registers them.
+from repro.analyses.nullderef import NullDerefChecker
+from repro.analyses.downcast import DowncastChecker
+from repro.analyses.alias import MayAliasChecker
+from repro.analyses.race import SharedFieldRaceChecker
+
+from repro.analyses.driver import CheckContext, CheckReport, DerefSite, run_checkers
+from repro.analyses.diagnostics import render_json, render_sarif, render_text
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "Severity",
+    "register",
+    "checker_ids",
+    "make_checkers",
+    "CheckContext",
+    "CheckReport",
+    "DerefSite",
+    "run_checkers",
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "NullDerefChecker",
+    "DowncastChecker",
+    "MayAliasChecker",
+    "SharedFieldRaceChecker",
+]

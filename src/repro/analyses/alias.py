@@ -1,0 +1,113 @@
+"""May-alias checker (alias disambiguation, the paper's second
+motivating client, Section I).
+
+For every method, pairs of *distinct* dereferenced base variables whose
+points-to sets intersect are reported as possible aliases — the
+information a race detector or an optimiser would demand.  Findings are
+NOTE severity: aliasing is a fact, not a bug.
+
+With ``cross_check`` enabled (the default), each demand verdict is
+compared against the whole-program Andersen solver: a pair the demand
+analysis proves disjoint (neither answer exhausted, empty intersection)
+but Andersen says aliases is an **unsoundness** in the demand engine
+and reported at ERROR severity.  Clean runs therefore double as an
+oracle test.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analyses.base import Checker, Finding, Severity, register
+from repro.core.query import Query
+
+__all__ = ["MayAliasChecker"]
+
+THIS = "this"
+
+
+@register
+class MayAliasChecker(Checker):
+    id = "may-alias"
+    description = (
+        "Distinct dereferenced bases in one method that may point to a "
+        "common object (demand verdicts cross-checked against the "
+        "Andersen whole-program solver)."
+    )
+    paper_section = (
+        "Section I (alias disambiguation as a demand client); Andersen "
+        "oracle per the soundness baseline of Section IV"
+    )
+    default_severity = Severity.NOTE
+
+    def __init__(self, cross_check: bool = True) -> None:
+        self.cross_check = cross_check
+
+    def _pairs(self, ctx) -> Dict[str, List[Tuple[str, int]]]:
+        """method qualified name -> deref bases [(name, rep node)],
+        deduplicated, ``this`` excluded."""
+        by_method: Dict[str, List[Tuple[str, int]]] = {}
+        for site in ctx.deref_sites():
+            if site.base == THIS or site.base_node is None:
+                continue
+            bases = by_method.setdefault(site.method.qualified_name, [])
+            if (site.base, site.base_node) not in bases:
+                bases.append((site.base, site.base_node))
+        return by_method
+
+    def demands(self, ctx) -> Iterable[Query]:
+        for bases in self._pairs(ctx).values():
+            if len(bases) < 2:
+                continue
+            for _name, node in bases:
+                yield Query(node)
+
+    def finish(self, ctx) -> List[Finding]:
+        findings: List[Finding] = []
+        andersen = None
+        if self.cross_check:
+            from repro.andersen.solver import AndersenSolver
+
+            andersen = AndersenSolver(ctx.pag).solve()
+        for mname, bases in self._pairs(ctx).items():
+            for (a_name, a_node), (b_name, b_node) in combinations(bases, 2):
+                if a_node == b_node:
+                    # Collapsed into one assign-SCC: trivially aliased.
+                    continue
+                ra, rb = ctx.answer(a_node), ctx.answer(b_node)
+                if ra is None or rb is None:
+                    continue
+                shared = ra.objects & rb.objects
+                if shared:
+                    obj = min(shared)
+                    findings.append(
+                        self.finding(
+                            f"{a_name!r} and {b_name!r} may alias: both may "
+                            f"point to {ctx.pag.name(obj)}",
+                            method=mname,
+                            extra={
+                                "bases": [a_name, b_name],
+                                "shared_objects": sorted(
+                                    ctx.pag.name(o) for o in shared
+                                ),
+                            },
+                        )
+                    )
+                elif (
+                    andersen is not None
+                    and not ra.exhausted
+                    and not rb.exhausted
+                    and andersen.may_alias(a_node, b_node)
+                ):
+                    findings.append(
+                        self.finding(
+                            f"unsound demand answer: {a_name!r} and "
+                            f"{b_name!r} proven disjoint on demand but the "
+                            f"Andersen oracle says they may alias",
+                            severity=Severity.ERROR,
+                            method=mname,
+                            extra={"bases": [a_name, b_name]},
+                        )
+                    )
+        return findings

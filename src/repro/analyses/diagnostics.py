@@ -1,0 +1,136 @@
+"""Diagnostic rendering: plain text, JSON, and SARIF 2.1.0.
+
+SARIF output follows the minimal valid shape most ingestors (GitHub
+code scanning, VS Code SARIF viewer) accept: one run, tool rules from
+the checker registry (with the motivating paper section in rule
+properties), one result per finding with an optional ``flowsTo``
+witness in the result properties.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro._version import __version__
+from repro.analyses.base import make_checkers
+from repro.analyses.driver import CheckReport
+
+__all__ = ["render_text", "render_json", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def render_text(report: CheckReport) -> str:
+    """Human-readable listing, one block per finding."""
+    lines: List[str] = []
+    for f in report.findings:
+        lines.append(
+            f"{f.location}: {f.severity.name.lower()}: [{f.checker}] {f.message}"
+        )
+        if f.method and f.statement:
+            lines.append(f"    in {f.method}: {f.statement}")
+        if f.witness:
+            certified = "certified" if f.witness_certified else "uncertified"
+            lines.append(f"    witness ({certified}):")
+            for wline in f.witness.splitlines():
+                lines.append(f"      {wline}")
+    counts = report.counts_by_severity()
+    summary = ", ".join(f"{n} {name}" for name, n in counts.items() if n)
+    lines.append(
+        f"{len(report.findings)} finding(s)"
+        + (f" ({summary})" if summary else "")
+        + f" from {len(report.checkers)} checker(s), "
+        f"{report.n_queries} unique points-to queries "
+        f"({report.n_demanded} demanded) in one batch"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: CheckReport) -> str:
+    """Machine-readable JSON document."""
+    doc: Dict[str, object] = {
+        "tool": {"name": "repro-check", "version": __version__},
+        "file": report.file,
+        "checkers": report.checkers,
+        "queries": {
+            "demanded": report.n_demanded,
+            "unique": report.n_queries,
+        },
+        "summary": report.counts_by_severity(),
+        "findings": [f.to_dict() for f in report.findings],
+    }
+    if report.batch is not None:
+        doc["batch"] = {
+            "mode": report.batch.mode,
+            "n_threads": report.batch.n_threads,
+            "total_steps": report.batch.total_steps,
+            "saved_ratio": report.batch.saved_ratio,
+            "early_terminations": report.batch.n_early_terminations,
+        }
+    return json.dumps(doc, indent=2)
+
+
+def render_sarif(report: CheckReport) -> str:
+    """SARIF 2.1.0 document."""
+    rules = []
+    for checker in make_checkers(report.checkers):
+        rules.append(
+            {
+                "id": checker.id,
+                "shortDescription": {"text": checker.description},
+                "defaultConfiguration": {
+                    "level": checker.default_severity.sarif_level
+                },
+                "properties": {"paperSection": checker.paper_section},
+            }
+        )
+    results = []
+    for f in report.findings:
+        result: Dict[str, object] = {
+            "ruleId": f.checker,
+            "level": f.severity.sarif_level,
+            "message": {"text": f.message},
+        }
+        location: Dict[str, object] = {}
+        if f.file is not None:
+            physical: Dict[str, object] = {
+                "artifactLocation": {"uri": f.file}
+            }
+            if f.line is not None:
+                physical["region"] = {"startLine": f.line}
+            location["physicalLocation"] = physical
+        if f.method is not None:
+            location["logicalLocations"] = [
+                {"fullyQualifiedName": f.method, "kind": "function"}
+            ]
+        if location:
+            result["locations"] = [location]
+        properties: Dict[str, object] = dict(f.extra)
+        if f.witness is not None:
+            properties["witness"] = f.witness
+            properties["witnessCertified"] = f.witness_certified
+        if properties:
+            result["properties"] = properties
+        results.append(result)
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "version": __version__,
+                        "informationUri": (
+                            "https://github.com/paper-repro/parallel-cfl"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)

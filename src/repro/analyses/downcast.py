@@ -1,0 +1,136 @@
+"""Downcast safety checker (refinement-driven querying, Section V-A).
+
+A cast ``x = (T) y`` is safe when every object ``y`` may point to is a
+subtype of ``T``.  This is the classic client for *refinement-based*
+analysis (Sridharan & Bodík): most casts are verified by the cheap
+field-based match stage, and only the rest need the field-sensitive
+answer.  Here the precise stage is served **from the shared batch**:
+the checker demands its queries into the driver's single scheduled
+``ParallelCFL`` pass and hands the answer table to
+:class:`~repro.core.refinement.RefinementDriver` via its
+``precise_lookup`` hook, so refinement never re-traverses what the
+batch already computed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple, Optional
+
+from repro.analyses.base import Checker, Finding, Severity, register
+from repro.core.query import Query, QueryResult
+from repro.core.refinement import RefinementDriver
+from repro.ir.statements import Cast
+
+__all__ = ["DowncastChecker"]
+
+
+class _CastSite(NamedTuple):
+    method: object
+    stmt: Cast
+    source_node: Optional[int]
+
+
+@register
+class DowncastChecker(Checker):
+    id = "downcast"
+    description = (
+        "Checked downcast whose source may point to an object that is "
+        "not a subtype of the target type."
+    )
+    paper_section = (
+        "Section V-A (refinement-based analysis; casting listed as the "
+        "client refinement suits)"
+    )
+    default_severity = Severity.WARNING
+
+    def _sites(self, ctx) -> List[_CastSite]:
+        sites: List[_CastSite] = []
+        for method in ctx.program.methods():
+            if not method.is_app:
+                continue
+            for stmt in method.body:
+                if isinstance(stmt, Cast):
+                    sites.append(
+                        _CastSite(method, stmt, ctx.node_for(method, stmt.source))
+                    )
+        return sites
+
+    def demands(self, ctx) -> Iterable[Query]:
+        for site in self._sites(ctx):
+            if site.source_node is not None:
+                yield Query(site.source_node)
+
+    def finish(self, ctx) -> List[Finding]:
+        findings: List[Finding] = []
+        sites = self._sites(ctx)
+        if not sites:
+            return findings
+        driver = RefinementDriver(
+            ctx.pag, ctx.engine_config, precise_lookup=ctx.precise_lookup
+        )
+        types = ctx.types
+        pag = ctx.pag
+        for site in sites:
+            if site.source_node is None:
+                continue
+            cast_type = site.stmt.type_name
+
+            def safe(res: QueryResult) -> bool:
+                return all(
+                    (t := pag.type_name(o)) is not None
+                    and types.is_subtype(t, cast_type)
+                    for o, _c in res.points_to
+                )
+
+            answer = driver.points_to(site.source_node, check=safe)
+            if answer.satisfied:
+                continue
+            stats = {
+                "refined": answer.refined,
+                "reused_batch_answer": answer.refined
+                and driver.n_precise_reused > 0,
+            }
+            if answer.result.exhausted:
+                findings.append(
+                    self.finding(
+                        f"cast to {cast_type!r} unverified: points-to query "
+                        f"for {site.stmt.source!r} exhausted its budget",
+                        severity=Severity.NOTE,
+                        method=site.method.qualified_name,
+                        statement=repr(site.stmt),
+                        line=ctx.loc_of(site.stmt),
+                        extra=stats,
+                    )
+                )
+                continue
+            # Name one offending object and certify how it reaches the
+            # cast source.
+            bad = next(
+                (o, c)
+                for o, c in sorted(answer.result.points_to)
+                if (t := pag.type_name(o)) is None
+                or not types.is_subtype(t, cast_type)
+            )
+            witness = ctx.witness_for(site.source_node, bad[0], bad[1])
+            findings.append(
+                self.finding(
+                    f"unsafe downcast: {site.stmt.source!r} may point to "
+                    f"{pag.name(bad[0])} of type "
+                    f"{pag.type_name(bad[0])!r}, not a subtype of "
+                    f"{cast_type!r}",
+                    method=site.method.qualified_name,
+                    statement=repr(site.stmt),
+                    line=ctx.loc_of(site.stmt),
+                    witness=witness.pretty() if witness is not None else None,
+                    witness_certified=(
+                        witness.certify() if witness is not None else None
+                    ),
+                    extra={
+                        **stats,
+                        "object": pag.name(bad[0]),
+                        "object_type": pag.type_name(bad[0]),
+                        "cast_type": cast_type,
+                    },
+                )
+            )
+        return findings

@@ -1,0 +1,75 @@
+"""Null-dereference checker (the paper's motivating client, Section I).
+
+A dereference ``base.f`` whose base has a *proven empty* points-to set
+can only ever dereference null: no allocation site flows to the base.
+The demand analysis answers exactly this — and an **exhausted** empty
+answer is *unknown*, not a bug, which is why
+:attr:`~repro.core.query.QueryResult.definitely_empty` checks the
+budget flag.
+
+Bases named ``this`` are skipped: the receiver of a never-called method
+trivially has an empty set and would drown real findings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analyses.base import Checker, Finding, Severity, register
+from repro.core.query import Query
+
+__all__ = ["NullDerefChecker"]
+
+THIS = "this"
+
+
+@register
+class NullDerefChecker(Checker):
+    id = "null-deref"
+    description = (
+        "Dereference whose base provably points to no allocation site "
+        "(guaranteed null dereference)."
+    )
+    paper_section = (
+        "Section I (null-pointer debugging as the motivating demand client)"
+    )
+    default_severity = Severity.ERROR
+
+    def demands(self, ctx) -> Iterable[Query]:
+        for site in ctx.deref_sites():
+            if site.base != THIS and site.base_node is not None:
+                yield Query(site.base_node)
+
+    def finish(self, ctx) -> List[Finding]:
+        findings: List[Finding] = []
+        for site in ctx.deref_sites():
+            if site.base == THIS or site.base_node is None:
+                continue
+            res = ctx.answer(site.base_node)
+            if res is None:
+                continue
+            if res.definitely_empty:
+                findings.append(
+                    self.finding(
+                        f"null dereference: {site.base!r} points to no object "
+                        f"at {site.kind} of field {site.field!r}",
+                        method=site.method.qualified_name,
+                        statement=repr(site.stmt),
+                        line=ctx.loc_of(site.stmt),
+                        extra={"base": site.base, "field": site.field},
+                    )
+                )
+            elif res.exhausted and not res.points_to:
+                findings.append(
+                    self.finding(
+                        f"possible null dereference: points-to query for "
+                        f"{site.base!r} exhausted its budget before finding "
+                        f"any object",
+                        severity=Severity.NOTE,
+                        method=site.method.qualified_name,
+                        statement=repr(site.stmt),
+                        line=ctx.loc_of(site.stmt),
+                        extra={"base": site.base, "field": site.field},
+                    )
+                )
+        return findings

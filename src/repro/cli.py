@@ -19,11 +19,26 @@ Commands
     Run the batch-parallel analysis over all application locals and
     print the mode ladder (seq / naive / D / DQ).
 
+``check FILE``
+    Run the client checkers (``repro.analyses``) — null-deref, downcast,
+    may-alias, shared-field-race — dispatching all demanded points-to
+    queries in one scheduled batch.
+
+    * ``--checker ID`` (repeatable) — subset of checkers to run.
+    * ``--format text|json|sarif`` — output format.
+    * ``--severity note|warning|error`` — exit nonzero only when a
+      finding at or above this level exists (default: warning).
+    * ``--mode`` / ``--threads`` — batch configuration.
+
 ``graph FILE``
     Emit the program's PAG in Graphviz DOT form.
 
 ``bench``
     Shortcut for ``python -m repro.harness`` (tables and figures).
+
+Exit codes: 0 success (for ``check``: no finding at/above the
+threshold), 1 analysis error or findings at/above the threshold, 2 the
+input file could not be read.
 """
 
 from __future__ import annotations
@@ -33,15 +48,25 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Tuple
 
-from repro.errors import ReproError
+from repro.errors import InputError, ReproError
 
 __all__ = ["main"]
 
 
 def _load(path: Path, language: Optional[str]):
     """Parse+lower a program file; returns (build, kind) where kind is
-    'java' or 'c'."""
-    text = path.read_text()
+    'java' or 'c'.  Unreadable input raises :class:`InputError` (exit
+    code 2), never a raw traceback."""
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        raise InputError(f"input file not found: {path}") from None
+    except IsADirectoryError:
+        raise InputError(f"input path is a directory, not a file: {path}") from None
+    except UnicodeDecodeError:
+        raise InputError(f"input file is not valid text: {path}") from None
+    except OSError as exc:
+        raise InputError(f"cannot read input file {path}: {exc.strerror or exc}") from None
     lang = language or ("c" if path.suffix == ".c" else "java")
     if lang == "c":
         from repro.cfront import lower_c, parse_c
@@ -132,6 +157,37 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.analyses import (
+        Severity,
+        checker_ids,
+        render_json,
+        render_sarif,
+        render_text,
+        run_checkers,
+    )
+    from repro.core import EngineConfig
+
+    build, kind = _load(args.file, args.language)
+    if kind != "java":
+        raise ReproError(
+            "check requires the mini-Java front-end; the C front-end has "
+            "no class/statement structure for the checkers to walk"
+        )
+    threshold = Severity.parse(args.severity)
+    report = run_checkers(
+        build,
+        args.checker or None,
+        file=str(args.file),
+        mode=args.mode,
+        n_threads=args.threads,
+        engine_config=EngineConfig(budget=args.budget),
+    )
+    renderer = {"text": render_text, "json": render_json, "sarif": render_sarif}
+    print(renderer[args.format](report))
+    return 1 if report.count_at_or_above(threshold) else 0
+
+
 def _cmd_bench(args) -> int:
     from repro.harness.run_all import main as harness_main
 
@@ -179,6 +235,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     batch.add_argument("--threads", type=int, default=16)
     batch.set_defaults(func=_cmd_batch)
 
+    check = sub.add_parser("check", help="run the client checkers")
+    add_common(check)
+    check.add_argument(
+        "--checker", action="append", metavar="ID",
+        help="checker id to run (repeatable; default: all registered)",
+    )
+    check.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+    )
+    check.add_argument(
+        "--severity", choices=("note", "warning", "error"), default="warning",
+        help="exit nonzero when a finding at/above this level exists",
+    )
+    check.add_argument("--mode", choices=("seq", "naive", "D", "DQ"), default="DQ")
+    check.add_argument("--threads", type=int, default=8)
+    check.set_defaults(func=_cmd_check)
+
     graph = sub.add_parser("graph", help="emit the PAG as Graphviz DOT")
     add_common(graph)
     graph.set_defaults(func=_cmd_graph)
@@ -193,6 +266,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except InputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except (ReproError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -25,6 +25,7 @@ from repro.core.scheduling import (
     QueryGroup,
     ScheduleConfig,
     connection_distances,
+    dedupe_queries,
     schedule_queries,
 )
 
@@ -37,6 +38,7 @@ __all__ = [
     "QueryGroup",
     "ScheduleConfig",
     "connection_distances",
+    "dedupe_queries",
     "schedule_queries",
     "CFLEngine",
     "EMPTY_CTX",

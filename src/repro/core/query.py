@@ -75,6 +75,15 @@ class QueryResult:
         """The plain points-to set (contexts stripped)."""
         return frozenset(o for o, _c in self.points_to)
 
+    @property
+    def definitely_empty(self) -> bool:
+        """True when the analysis *proved* the points-to set empty — the
+        budget did not run out, so no allocation can reach the variable.
+        This is the null-dereference client's verdict (Section I): an
+        exhausted empty result is merely *unknown*, not a bug.
+        """
+        return not self.exhausted and not self.points_to
+
 
 # Frame of an in-flight REACHABLENODES round: (node, ctx, steps-at-entry,
 # direction) — the paper's S entries (x, c, s).

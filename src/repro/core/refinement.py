@@ -56,17 +56,33 @@ class RefinedAnswer:
     _satisfied: Optional[bool] = None
 
 
+#: Batch-entry hook: ``(var, ctx) -> QueryResult | None``.  When the
+#: precise answer was already computed by a batch run (the checker
+#: driver dispatches all demanded queries through one scheduled
+#: ``ParallelCFL`` pass), the refined stage reuses it instead of
+#: re-traversing.
+PreciseLookup = Callable[[int, Context], Optional[QueryResult]]
+
+
 class RefinementDriver:
     """Two-stage demand queries over one PAG."""
 
-    def __init__(self, pag: PAG, config: Optional[EngineConfig] = None) -> None:
+    def __init__(
+        self,
+        pag: PAG,
+        config: Optional[EngineConfig] = None,
+        precise_lookup: Optional[PreciseLookup] = None,
+    ) -> None:
         cfg = config or EngineConfig()
         self.pag = pag
         self.match_engine = CFLEngine(pag, replace(cfg, field_mode="match"))
         self.full_engine = CFLEngine(pag, replace(cfg, field_mode="sensitive"))
+        self.precise_lookup = precise_lookup
         #: queries answered without refinement / total (client report)
         self.n_queries = 0
         self.n_refined = 0
+        #: refined queries answered from a shared batch result
+        self.n_precise_reused = 0
 
     def points_to(
         self,
@@ -90,7 +106,13 @@ class RefinementDriver:
             # empty over-approximation == exact empty answer
             return RefinedAnswer(coarse, coarse, refined=False)
         self.n_refined += 1
-        precise = self.full_engine.points_to(var, ctx)
+        precise = None
+        if self.precise_lookup is not None:
+            precise = self.precise_lookup(self.pag.rep(var), ctx)
+            if precise is not None:
+                self.n_precise_reused += 1
+        if precise is None:
+            precise = self.full_engine.points_to(var, ctx)
         answer = RefinedAnswer(precise, coarse, refined=True)
         if check is not None:
             answer._satisfied = (not precise.exhausted) and check(precise)

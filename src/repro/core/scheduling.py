@@ -32,7 +32,33 @@ from repro.errors import SchedulingError
 from repro.ir.types import TypeTable, _tarjan_scc
 from repro.pag.graph import PAG
 
-__all__ = ["ScheduleConfig", "QueryGroup", "schedule_queries", "connection_distances"]
+__all__ = [
+    "ScheduleConfig",
+    "QueryGroup",
+    "schedule_queries",
+    "connection_distances",
+    "dedupe_queries",
+]
+
+
+def dedupe_queries(pag: PAG, queries: Sequence[Query]) -> List[Query]:
+    """Canonicalise a demanded-query list for batch entry.
+
+    Multiple clients demanding the same variable (the checker framework
+    does this constantly: the null-dereference and race checkers both
+    query every dereferenced base) must share one traversal, so queries
+    are rewritten onto their cycle-collapsed representative node and
+    deduplicated on ``(rep(var), ctx)``, preserving first-demand order.
+    """
+    seen: Set[Tuple[int, Tuple[int, ...]]] = set()
+    out: List[Query] = []
+    for q in queries:
+        key = (pag.rep(q.var), q.ctx)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(Query(key[0], q.ctx))
+    return out
 
 
 @dataclass

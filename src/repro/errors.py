@@ -9,6 +9,7 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "InputError",
     "IRError",
     "ParseError",
     "ValidationError",
@@ -22,6 +23,12 @@ __all__ = [
 
 class ReproError(Exception):
     """Base class for every error raised by this library."""
+
+
+class InputError(ReproError):
+    """An input file could not be read (missing, unreadable, a
+    directory, not valid text).  CLI front-ends map this to exit code 2
+    so that CI can distinguish bad invocations from analysis findings."""
 
 
 class IRError(ReproError):

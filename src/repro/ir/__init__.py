@@ -20,6 +20,7 @@ from repro.ir.statements import (
     Alloc,
     Assign,
     Call,
+    Cast,
     Load,
     Return,
     Statement,
@@ -35,6 +36,7 @@ __all__ = [
     "Alloc",
     "Assign",
     "Call",
+    "Cast",
     "ClassType",
     "Clazz",
     "Load",

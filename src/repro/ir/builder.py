@@ -22,7 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import IRError
 from repro.ir.program import Clazz, Method, Program, THIS_VAR
-from repro.ir.statements import Alloc, Assign, Call, Load, Return, Store
+from repro.ir.statements import Alloc, Assign, Call, Cast, Load, Return, Store
 from repro.ir.types import OBJECT
 
 __all__ = ["ProgramBuilder", "ClassBuilder", "MethodBuilder"]
@@ -50,24 +50,39 @@ class MethodBuilder:
     # ------------------------------------------------------------------
     # statements
     # ------------------------------------------------------------------
-    def alloc(self, target: str, type_name: str) -> "MethodBuilder":
+    def alloc(
+        self, target: str, type_name: str, loc: Optional[int] = None
+    ) -> "MethodBuilder":
         """``target = new type_name``."""
-        self._method.add_statement(Alloc(target, type_name))
+        self._method.add_statement(Alloc(target, type_name, loc=loc))
         return self
 
-    def assign(self, target: str, source: str) -> "MethodBuilder":
+    def assign(
+        self, target: str, source: str, loc: Optional[int] = None
+    ) -> "MethodBuilder":
         """``target = source``."""
-        self._method.add_statement(Assign(target, source))
+        self._method.add_statement(Assign(target, source, loc=loc))
         return self
 
-    def load(self, target: str, base: str, field: str) -> "MethodBuilder":
+    def cast(
+        self, target: str, type_name: str, source: str, loc: Optional[int] = None
+    ) -> "MethodBuilder":
+        """``target = (type_name) source`` — a checked downcast."""
+        self._method.add_statement(Cast(target, type_name, source, loc=loc))
+        return self
+
+    def load(
+        self, target: str, base: str, field: str, loc: Optional[int] = None
+    ) -> "MethodBuilder":
         """``target = base.field``."""
-        self._method.add_statement(Load(target, base, field))
+        self._method.add_statement(Load(target, base, field, loc=loc))
         return self
 
-    def store(self, base: str, field: str, source: str) -> "MethodBuilder":
+    def store(
+        self, base: str, field: str, source: str, loc: Optional[int] = None
+    ) -> "MethodBuilder":
         """``base.field = source``."""
-        self._method.add_statement(Store(base, field, source))
+        self._method.add_statement(Store(base, field, source, loc=loc))
         return self
 
     def call(
@@ -76,9 +91,12 @@ class MethodBuilder:
         method_name: str,
         args: Sequence[str] = (),
         result: Optional[str] = None,
+        loc: Optional[int] = None,
     ) -> "MethodBuilder":
         """Virtual call ``[result =] receiver.method_name(args)``."""
-        self._method.add_statement(Call(result, receiver, method_name, tuple(args)))
+        self._method.add_statement(
+            Call(result, receiver, method_name, tuple(args), loc=loc)
+        )
         return self
 
     def call_static(
@@ -87,16 +105,17 @@ class MethodBuilder:
         method_name: str,
         args: Sequence[str] = (),
         result: Optional[str] = None,
+        loc: Optional[int] = None,
     ) -> "MethodBuilder":
         """Static call ``[result =] Class.method_name(args)``."""
         self._method.add_statement(
-            Call(result, None, method_name, tuple(args), class_name=class_name)
+            Call(result, None, method_name, tuple(args), class_name=class_name, loc=loc)
         )
         return self
 
-    def ret(self, value: str) -> "MethodBuilder":
+    def ret(self, value: str, loc: Optional[int] = None) -> "MethodBuilder":
         """``return value``."""
-        self._method.add_statement(Return(value))
+        self._method.add_statement(Return(value, loc=loc))
         return self
 
 

@@ -32,6 +32,7 @@ Grammar (EBNF)::
     stmt       := "var" NAME ":" type
                 | NAME "=" "new" type
                 | NAME "=" NAME
+                | NAME "=" "(" type ")" NAME                  # checked downcast
                 | NAME "=" NAME "." NAME                      # load
                 | NAME "." NAME "=" NAME                      # store
                 | [NAME "="] NAME "." NAME "(" args ")"       # virtual call
@@ -41,6 +42,10 @@ Grammar (EBNF)::
 
 ``//`` and ``#`` start comments that run to end of line.  A class marked
 ``library`` contributes no queries (Table I's app/library distinction).
+
+Every parsed statement records its 1-based source line in
+``Statement.loc`` so that client diagnostics (``repro check``) can cite
+``file:line`` locations.
 """
 
 from __future__ import annotations
@@ -223,6 +228,7 @@ def _parse_statement(cur: _Cursor, mb: MethodBuilder) -> None:
     tok = cur.peek()
     if tok is None:
         raise ParseError("unterminated method body", cur.line)
+    line = tok.line
     if tok.text == "var":
         cur.next()
         name = cur.expect_name("local name")
@@ -232,35 +238,42 @@ def _parse_statement(cur: _Cursor, mb: MethodBuilder) -> None:
         return
     if tok.text == "return":
         cur.next()
-        mb.ret(cur.expect_name("return value"))
+        mb.ret(cur.expect_name("return value"), loc=line)
         return
 
     first = cur.expect_name()
     sep = cur.next()
     if sep.text == "=":
-        _parse_assignment_rhs(cur, mb, target=first)
+        _parse_assignment_rhs(cur, mb, target=first, line=line)
     elif sep.text == ".":
         member = cur.expect_name("member name")
         after = cur.next()
         if after.text == "(":
             args = _parse_args(cur)
-            mb.call(first, member, args)
+            mb.call(first, member, args, loc=line)
         elif after.text == "=":
-            mb.store(first, member, cur.expect_name("stored value"))
+            mb.store(first, member, cur.expect_name("stored value"), loc=line)
         else:
             raise ParseError(f"expected '(' or '=' after member access, got {after.text!r}", after.line)
     elif sep.text == "::":
         member = cur.expect_name("method name")
         cur.expect("(")
         args = _parse_args(cur)
-        mb.call_static(first, member, args)
+        mb.call_static(first, member, args, loc=line)
     else:
         raise ParseError(f"expected '=', '.' or '::' after {first!r}, got {sep.text!r}", sep.line)
 
 
-def _parse_assignment_rhs(cur: _Cursor, mb: MethodBuilder, target: str) -> None:
+def _parse_assignment_rhs(
+    cur: _Cursor, mb: MethodBuilder, target: str, line: int
+) -> None:
     if cur.accept("new"):
-        mb.alloc(target, cur.expect_name("type name"))
+        mb.alloc(target, cur.expect_name("type name"), loc=line)
+        return
+    if cur.accept("("):
+        type_name = cur.expect_name("cast type name")
+        cur.expect(")")
+        mb.cast(target, type_name, cur.expect_name("cast operand"), loc=line)
         return
     src = cur.expect_name("source expression")
     tok = cur.peek()
@@ -271,17 +284,17 @@ def _parse_assignment_rhs(cur: _Cursor, mb: MethodBuilder, target: str) -> None:
         if nxt is not None and nxt.text == "(":
             cur.next()
             args = _parse_args(cur)
-            mb.call(src, member, args, result=target)
+            mb.call(src, member, args, result=target, loc=line)
         else:
-            mb.load(target, src, member)
+            mb.load(target, src, member, loc=line)
     elif tok is not None and tok.text == "::":
         cur.next()
         member = cur.expect_name("method name")
         cur.expect("(")
         args = _parse_args(cur)
-        mb.call_static(src, member, args, result=target)
+        mb.call_static(src, member, args, result=target, loc=line)
     else:
-        mb.assign(target, src)
+        mb.assign(target, src, loc=line)
 
 
 def _parse_args(cur: _Cursor) -> List[str]:

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.ir.program import Method, Program, RET_VAR, THIS_VAR
-from repro.ir.statements import Alloc, Assign, Call, Load, Return, Store
+from repro.ir.statements import Alloc, Assign, Call, Cast, Load, Return, Store
 
 __all__ = ["program_to_source"]
 
@@ -20,6 +20,8 @@ def _stmt_src(stmt) -> str:
         return f"{stmt.target} = new {stmt.type_name}"
     if isinstance(stmt, Assign):
         return f"{stmt.target} = {stmt.source}"
+    if isinstance(stmt, Cast):
+        return f"{stmt.target} = ({stmt.type_name}) {stmt.source}"
     if isinstance(stmt, Load):
         return f"{stmt.target} = {stmt.base}.{stmt.field}"
     if isinstance(stmt, Store):

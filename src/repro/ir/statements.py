@@ -14,23 +14,33 @@ IR statement                     PAG edge(s)
                                  recv``, ``formal_k <-param_i- arg_k``,
                                  ``r <-ret_i- $ret``
 ``Return(y)``                    ``$ret <-assign_l- y``
+``Cast(x, T, y)``                ``x <-assign_l- y`` (value flow is
+                                 unchanged; the cast is a *claim* that
+                                 client analyses — Section V-A's
+                                 downcast checker — can verify)
 ===============================  =======================================
 
 Statements are immutable value objects; the lowering itself lives in
-:mod:`repro.pag.build`.
+:mod:`repro.pag.build`.  Every statement carries an optional ``loc``
+(1-based source line, ``None`` for programmatically built programs) so
+client diagnostics can cite ``file:line``.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Tuple
 
-__all__ = ["Statement", "Alloc", "Assign", "Load", "Store", "Call", "Return"]
+__all__ = ["Statement", "Alloc", "Assign", "Cast", "Load", "Store", "Call", "Return"]
 
 
 class Statement:
-    """Abstract base class for IR statements."""
+    """Abstract base class for IR statements.
 
-    __slots__ = ()
+    ``loc`` is the 1-based source line the statement came from, or
+    ``None`` when the program was assembled through the builder API.
+    """
+
+    __slots__ = ("loc",)
 
     def operands(self) -> Tuple[str, ...]:
         """Variable names read or written by this statement."""
@@ -46,9 +56,10 @@ class Alloc(Statement):
 
     __slots__ = ("target", "type_name")
 
-    def __init__(self, target: str, type_name: str) -> None:
+    def __init__(self, target: str, type_name: str, loc: Optional[int] = None) -> None:
         self.target = target
         self.type_name = type_name
+        self.loc = loc
 
     def operands(self) -> Tuple[str, ...]:
         return (self.target,)
@@ -62,9 +73,10 @@ class Assign(Statement):
 
     __slots__ = ("target", "source")
 
-    def __init__(self, target: str, source: str) -> None:
+    def __init__(self, target: str, source: str, loc: Optional[int] = None) -> None:
         self.target = target
         self.source = source
+        self.loc = loc
 
     def operands(self) -> Tuple[str, ...]:
         return (self.target, self.source)
@@ -73,15 +85,44 @@ class Assign(Statement):
         return f"{self.target} = {self.source}"
 
 
+class Cast(Statement):
+    """``target = (type_name) source`` — a checked downcast.
+
+    Value flow is identical to :class:`Assign` (the PAG lowering emits a
+    plain ``assign`` edge); the declared ``type_name`` is the claim the
+    downcast checker discharges: every object in ``pts(source)`` must be
+    a subtype of ``type_name``.
+    """
+
+    __slots__ = ("target", "type_name", "source")
+
+    def __init__(
+        self, target: str, type_name: str, source: str, loc: Optional[int] = None
+    ) -> None:
+        self.target = target
+        self.type_name = type_name
+        self.source = source
+        self.loc = loc
+
+    def operands(self) -> Tuple[str, ...]:
+        return (self.target, self.source)
+
+    def __repr__(self) -> str:
+        return f"{self.target} = ({self.type_name}) {self.source}"
+
+
 class Load(Statement):
     """``target = base.field``."""
 
     __slots__ = ("target", "base", "field")
 
-    def __init__(self, target: str, base: str, field: str) -> None:
+    def __init__(
+        self, target: str, base: str, field: str, loc: Optional[int] = None
+    ) -> None:
         self.target = target
         self.base = base
         self.field = field
+        self.loc = loc
 
     def operands(self) -> Tuple[str, ...]:
         return (self.target, self.base)
@@ -95,10 +136,13 @@ class Store(Statement):
 
     __slots__ = ("base", "field", "source")
 
-    def __init__(self, base: str, field: str, source: str) -> None:
+    def __init__(
+        self, base: str, field: str, source: str, loc: Optional[int] = None
+    ) -> None:
         self.base = base
         self.field = field
         self.source = source
+        self.loc = loc
 
     def operands(self) -> Tuple[str, ...]:
         return (self.base, self.source)
@@ -127,12 +171,14 @@ class Call(Statement):
         method_name: str,
         args: Tuple[str, ...],
         class_name: Optional[str] = None,
+        loc: Optional[int] = None,
     ) -> None:
         self.result = result
         self.receiver = receiver
         self.class_name = class_name
         self.method_name = method_name
         self.args = tuple(args)
+        self.loc = loc
         #: Unique call-site id, assigned by ``Program.seal()``.
         self.site_id: Optional[int] = None
 
@@ -164,8 +210,9 @@ class Return(Statement):
 
     __slots__ = ("value",)
 
-    def __init__(self, value: str) -> None:
+    def __init__(self, value: str, loc: Optional[int] = None) -> None:
         self.value = value
+        self.loc = loc
 
     def operands(self) -> Tuple[str, ...]:
         return (self.value,)

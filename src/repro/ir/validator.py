@@ -23,7 +23,7 @@ from typing import List
 
 from repro.errors import ValidationError
 from repro.ir.program import Method, Program, Variable
-from repro.ir.statements import Alloc, Assign, Call, Load, Return, Store
+from repro.ir.statements import Alloc, Assign, Call, Cast, Load, Return, Store
 
 __all__ = ["validate_program"]
 
@@ -98,6 +98,15 @@ def _check_method(program: Program, method: Method, problems: List[str]) -> None
             if tgt is not None and not program.types.resolve(tgt.type_name).is_reference:
                 problems.append(
                     f"{where}: allocation target {stmt.target!r} is not reference-typed"
+                )
+        elif isinstance(stmt, Cast):
+            var_of(stmt.target, "cast target")
+            var_of(stmt.source, "cast operand")
+            if stmt.type_name not in program.types:
+                problems.append(f"{where}: cast to unknown type {stmt.type_name!r}")
+            elif not program.types.resolve(stmt.type_name).is_reference:
+                problems.append(
+                    f"{where}: cannot cast to primitive type {stmt.type_name!r}"
                 )
         elif isinstance(stmt, Assign):
             var_of(stmt.target, "assignment target")

@@ -25,7 +25,7 @@ from typing import Dict, Optional, Tuple
 from repro.callgraph import CallGraph, build_call_graph
 from repro.errors import PAGError
 from repro.ir.program import Method, Program, Variable
-from repro.ir.statements import Alloc, Assign, Call, Load, Return, Store
+from repro.ir.statements import Alloc, Assign, Call, Cast, Load, Return, Store
 from repro.pag.graph import PAG
 
 __all__ = ["build_pag", "BuildResult"]
@@ -108,7 +108,8 @@ class _Lowering:
                 if isinstance(stmt, Alloc):
                     self._lower_alloc(method, stmt, alloc_idx)
                     alloc_idx += 1
-                elif isinstance(stmt, Assign):
+                elif isinstance(stmt, (Assign, Cast)):
+                    # Casts do not change value flow: same assign edge.
                     self._lower_assign(method, stmt)
                 elif isinstance(stmt, Load):
                     self._lower_load(method, stmt)

@@ -125,6 +125,16 @@ class BatchResult:
             for e in self.executions
         }
 
+    def results_by_query(self) -> Dict[Tuple[int, tuple], QueryResult]:
+        """(var, ctx) -> full :class:`QueryResult` — the answer table
+        clients (the checker framework) read batch answers back from.
+        Keys are representative node ids, as recorded on the executed
+        query."""
+        return {
+            (e.result.query.var, e.result.query.ctx): e.result
+            for e in self.executions
+        }
+
     def __repr__(self) -> str:
         return (
             f"BatchResult(mode={self.mode!r}, t={self.n_threads}, "

@@ -1,0 +1,100 @@
+"""Shape tests for the JSON and SARIF renderers."""
+
+import json
+
+import pytest
+
+from repro import build_pag, parse_program
+from repro.analyses import render_json, render_sarif, render_text, run_checkers
+
+BUGGY = """
+class Base { field f: Object }
+class Sub extends Base { }
+class App {
+  static method main() {
+    var b: Base
+    var s: Sub
+    b = new Base
+    s = (Sub) b
+  }
+  static method broken() {
+    var ghost: Base
+    var got: Object
+    got = ghost.f
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_checkers(build_pag(parse_program(BUGGY)), file="buggy.mj")
+
+
+class TestText:
+    def test_one_line_per_finding_plus_summary(self, report):
+        text = render_text(report)
+        assert "buggy.mj" in text
+        assert "in one batch" in text
+        for f in report.findings:
+            assert f.message in text
+
+
+class TestJson:
+    def test_document_shape(self, report):
+        doc = json.loads(render_json(report))
+        assert doc["tool"]["name"] == "repro-check"
+        assert doc["file"] == "buggy.mj"
+        assert set(doc["queries"]) == {"demanded", "unique"}
+        assert set(doc["summary"]) == {"note", "warning", "error"}
+        assert doc["batch"]["mode"] == "DQ"
+
+    def test_findings_entries(self, report):
+        doc = json.loads(render_json(report))
+        assert len(doc["findings"]) == len(report.findings)
+        for entry in doc["findings"]:
+            assert {"checker", "severity", "message", "file", "line"} <= set(entry)
+        witnessed = [e for e in doc["findings"] if "witness" in e]
+        assert witnessed and all(e["witness_certified"] for e in witnessed)
+
+
+class TestSarif:
+    def test_top_level_shape(self, report):
+        doc = json.loads(render_sarif(report))
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-2.1.0.json")
+        assert len(doc["runs"]) == 1
+
+    def test_rules_cover_run_checkers(self, report):
+        doc = json.loads(render_sarif(report))
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-check"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert rule_ids == report.checkers
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "note", "warning", "error",
+            )
+            assert "paperSection" in rule["properties"]
+
+    def test_results_reference_rules_and_locations(self, report):
+        doc = json.loads(render_sarif(report))
+        run = doc["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert len(run["results"]) == len(report.findings)
+        for res in run["results"]:
+            assert res["ruleId"] in rule_ids
+            assert res["level"] in ("note", "warning", "error")
+            assert res["message"]["text"]
+            phys = res["locations"][0]["physicalLocation"]
+            assert phys["artifactLocation"]["uri"] == "buggy.mj"
+
+    def test_witness_lands_in_result_properties(self, report):
+        doc = json.loads(render_sarif(report))
+        downcast = [
+            r for r in doc["runs"][0]["results"] if r["ruleId"] == "downcast"
+        ]
+        assert downcast
+        props = downcast[0]["properties"]
+        assert "witness" in props and props["witnessCertified"] is True

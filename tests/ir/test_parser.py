@@ -244,3 +244,88 @@ class TestValidator:
         with pytest.raises(ValidationError) as info:
             parse_program(src)
         assert "4 validation error" in str(info.value)
+
+
+class TestSourceLocations:
+    def test_loc_recorded_per_statement(self):
+        p = parse_program(VECTOR_SRC)
+        add = p.method("Vector.add")
+        # 1-based lines within VECTOR_SRC (its first line is the blank
+        # before the comment): `t = this.elems` is line 12, `t.arr = e` 13.
+        assert [s.loc for s in add.body] == [12, 13]
+
+    def test_loc_on_every_statement_kind(self):
+        p = parse_program(VECTOR_SRC)
+        for method in p.methods():
+            for stmt in method.body:
+                assert isinstance(stmt.loc, int) and stmt.loc > 0
+
+    def test_builder_default_loc_is_none(self):
+        from repro.ir import ProgramBuilder
+
+        pb = ProgramBuilder()
+        cb = pb.clazz("A")
+        mb = cb.method("m", static=True)
+        mb.local("x", "A")
+        mb.alloc("x", "A")
+        program = pb.build()
+        (stmt,) = program.method("A.m").body
+        assert stmt.loc is None
+
+
+class TestCastStatements:
+    SRC = """
+    class Animal { }
+    class Dog extends Animal { }
+    class Main {
+      static method main() {
+        var a: Animal
+        var d: Dog
+        a = new Dog
+        d = (Dog) a
+      }
+    }
+    """
+
+    def test_cast_parses(self):
+        from repro.ir.statements import Cast
+
+        p = parse_program(self.SRC)
+        casts = [s for s in p.method("Main.main").body if isinstance(s, Cast)]
+        assert len(casts) == 1
+        assert casts[0].target == "d"
+        assert casts[0].type_name == "Dog"
+        assert casts[0].source == "a"
+
+    def test_cast_roundtrips_through_printer(self):
+        from repro.ir.printer import program_to_source
+
+        p = parse_program(self.SRC)
+        text = program_to_source(p)
+        assert "d = (Dog) a" in text
+        reparsed = parse_program(text)
+        assert reparsed.counts() == p.counts()
+
+    def test_cast_to_unknown_type_rejected(self):
+        src = """
+        class A { }
+        class M { static method m() { var a: A \n var b: A \n a = new A \n b = (Ghost) a } }
+        """
+        with pytest.raises(ValidationError, match="Ghost"):
+            parse_program(src)
+
+    def test_cast_of_undeclared_source_rejected(self):
+        src = "class A { static method m() { var b: A \n b = (A) ghost } }"
+        with pytest.raises(ValidationError, match="ghost"):
+            parse_program(src)
+
+    def test_cast_is_value_preserving_in_pag(self):
+        from repro.pag import build_pag
+
+        build = build_pag(parse_program(self.SRC))
+        from repro.core import CFLEngine
+
+        engine = CFLEngine(build.pag)
+        d = build.var("d", "Main.main")
+        a = build.var("a", "Main.main")
+        assert engine.points_to(d).objects == engine.points_to(a).objects

@@ -1,0 +1,71 @@
+"""Tier-2 smoke jobs: run every example script and ``repro check`` over
+the example inputs.
+
+Excluded from the default (tier-1) run via the ``smoke`` marker — see
+``[tool.pytest.ini_options]`` in pyproject.toml.  Run explicitly with::
+
+    PYTHONPATH=src python -m pytest -m smoke -q
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.smoke
+
+REPO = Path(__file__).resolve().parents[2]
+EXAMPLES = REPO / "examples"
+
+
+def _run(argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        argv, cwd=REPO, env=env, capture_output=True, text=True, timeout=300
+    )
+
+
+@pytest.mark.parametrize(
+    "script",
+    sorted(p.name for p in EXAMPLES.glob("*.py")),
+)
+def test_example_script_runs(script):
+    proc = _run([sys.executable, str(EXAMPLES / script)])
+    assert proc.returncode == 0, (
+        f"{script} failed:\n{proc.stdout}\n{proc.stderr}"
+    )
+
+
+def test_check_on_seeded_bug_program():
+    proc = _run(
+        [sys.executable, "-m", "repro", "check",
+         str(EXAMPLES / "account_race.mj")]
+    )
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    for rule in ("null-deref", "downcast", "may-alias", "shared-field-race"):
+        assert rule in proc.stdout, f"{rule} missing from:\n{proc.stdout}"
+    assert "witness (certified)" in proc.stdout
+
+
+def test_check_on_clean_program():
+    proc = _run(
+        [sys.executable, "-m", "repro", "check",
+         str(EXAMPLES / "box_clean.mj")]
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 finding(s)" in proc.stdout
+
+
+@pytest.mark.parametrize("fmt", ["json", "sarif"])
+def test_check_formats_parse(fmt):
+    import json
+
+    proc = _run(
+        [sys.executable, "-m", "repro", "check",
+         str(EXAMPLES / "account_race.mj"), "--format", fmt]
+    )
+    assert proc.returncode == 1
+    json.loads(proc.stdout)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -108,13 +110,111 @@ class TestAnalyze:
         assert "error:" in capsys.readouterr().err
 
     def test_missing_file(self, tmp_path, capsys):
-        assert main(["analyze", str(tmp_path / "nope.mj")]) == 1
+        # Unreadable input is a usage problem, not an analysis failure:
+        # exit code 2, clean message, no traceback.
+        assert main(["analyze", str(tmp_path / "nope.mj")]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "not found" in err
+
+    def test_directory_input(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path)]) == 2
+        assert "directory" in capsys.readouterr().err
+
+    def test_binary_input(self, tmp_path, capsys):
+        blob = tmp_path / "blob.mj"
+        blob.write_bytes(b"\xff\xfe\x00\x80garbage")
+        assert main(["analyze", str(blob)]) == 2
+        assert "not valid text" in capsys.readouterr().err
 
     def test_parse_error_reported(self, tmp_path, capsys):
         bad = tmp_path / "bad.mj"
         bad.write_text("klass A { }")
         assert main(["analyze", str(bad)]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+BUGGY_SRC = """
+class Base {
+  field f: Object
+}
+class Sub extends Base { }
+class App {
+  static method main() {
+    var b: Base
+    var s: Sub
+    b = new Base
+    s = (Sub) b                 // unsafe downcast
+  }
+  static method broken() {
+    var ghost: Base
+    var got: Object
+    got = ghost.f               // null dereference
+  }
+}
+"""
+
+
+@pytest.fixture
+def buggy_file(tmp_path):
+    f = tmp_path / "buggy.mj"
+    f.write_text(BUGGY_SRC)
+    return f
+
+
+class TestCheck:
+    def test_clean_program_exits_zero(self, java_file, capsys):
+        assert main(["check", str(java_file)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_buggy_program_exits_one(self, buggy_file, capsys):
+        assert main(["check", str(buggy_file)]) == 1
+        out = capsys.readouterr().out
+        assert "null-deref" in out
+        assert "downcast" in out
+
+    def test_severity_threshold(self, buggy_file, capsys):
+        # Only the null-deref is an ERROR; raising the bar above the
+        # downcast WARNING still trips on it...
+        assert main(["check", str(buggy_file), "--severity", "error"]) == 1
+        capsys.readouterr()
+
+    def test_checker_subset(self, buggy_file, capsys):
+        # ...and restricting to the downcast checker with an error bar
+        # leaves only warnings: exit 0.
+        assert main(
+            ["check", str(buggy_file), "--checker", "downcast",
+             "--severity", "error"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "downcast" in out
+        assert "null-deref" not in out
+
+    def test_json_format(self, buggy_file, capsys):
+        assert main(["check", str(buggy_file), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"]["name"] == "repro-check"
+        assert doc["queries"]["unique"] <= doc["queries"]["demanded"]
+        assert any(f["checker"] == "null-deref" for f in doc["findings"])
+
+    def test_sarif_format(self, buggy_file, capsys):
+        assert main(["check", str(buggy_file), "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-check"
+        assert {r["ruleId"] for r in run["results"]} >= {"null-deref", "downcast"}
+
+    def test_unknown_checker_errors(self, java_file, capsys):
+        assert main(["check", str(java_file), "--checker", "no-such"]) == 1
+        assert "unknown checker" in capsys.readouterr().err
+
+    def test_c_input_rejected(self, c_file, capsys):
+        assert main(["check", str(c_file)]) == 1
+        assert "mini-Java" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["check", str(tmp_path / "gone.mj")]) == 2
 
 
 class TestBatchAndGraph:
