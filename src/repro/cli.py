@@ -34,7 +34,16 @@ Commands
     Emit the program's PAG in Graphviz DOT form.
 
 ``bench``
-    Shortcut for ``python -m repro.harness`` (tables and figures).
+    Wall-clock seq-vs-mp benchmark over the benchgen suite: runs the
+    share-nothing sequential baseline and the multiprocess backend at
+    several worker counts, prints the speedup table and writes
+    ``BENCH_parallel.json``.
+
+    * ``--smoke`` — CI-sized run (3 small suites, 1-2 workers).
+    * ``--suite NAME`` (repeatable) / ``--workers 1,2,4`` /
+      ``--repeat N`` / ``--mode naive|D|DQ`` / ``--out PATH``.
+    * With a positional experiment name (``table1``, ``fig6``, ...)
+      it instead forwards to ``python -m repro.harness``.
 
 Exit codes: 0 success (for ``check``: no finding at/above the
 threshold), 1 analysis error or findings at/above the threshold, 2 the
@@ -189,9 +198,44 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.harness.run_all import main as harness_main
+    # Positional experiment names (table1/fig6/...) keep forwarding to
+    # the simulator harness; without them, run the wall-clock seq-vs-mp
+    # benchmark and write BENCH_parallel.json.
+    if args.harness_args:
+        from repro.harness.run_all import main as harness_main
 
-    return harness_main(args.harness_args or ["table2"])
+        return harness_main(args.harness_args)
+
+    from repro.harness import wallclock
+
+    workers = _parse_workers(args.workers) if args.workers else (
+        wallclock.SMOKE_WORKERS if args.smoke else wallclock.DEFAULT_WORKERS
+    )
+    payload = wallclock.run(
+        benchmarks=args.suite or None,
+        workers=workers,
+        repeat=args.repeat,
+        mode=args.mode,
+        verify=not args.no_verify,
+        smoke=args.smoke,
+    )
+    print(wallclock.render(payload))
+    out = wallclock.write_json(payload, args.out)
+    print(f"[written {out}]")
+    if not payload["all_identical"]:
+        print("error: mp answers diverged from seq", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _parse_workers(text: str) -> Tuple[int, ...]:
+    try:
+        workers = tuple(int(p) for p in text.split(",") if p.strip())
+    except ValueError:
+        raise ReproError(f"bad worker list {text!r}: expected e.g. '1,2,4'")
+    if not workers or any(w < 1 for w in workers):
+        raise ReproError(f"bad worker list {text!r}: counts must be >= 1")
+    return workers
 
 
 def _cmd_graph(args) -> int:
@@ -257,10 +301,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     graph.set_defaults(func=_cmd_graph)
 
     bench = sub.add_parser(
-        "bench", help="regenerate the paper's tables/figures (repro.harness)"
+        "bench",
+        help="wall-clock seq-vs-mp benchmark (default) or, with an "
+             "experiment name, the paper's tables/figures",
     )
+    bench.add_argument("--smoke", action="store_true",
+                       help="CI-sized run: 3 small suites, 1-2 workers")
+    bench.add_argument("--suite", action="append", metavar="NAME",
+                       help="restrict to this suite entry (repeatable)")
+    bench.add_argument("--workers", default=None, metavar="LIST",
+                       help="comma-separated worker counts (default 1,2,4,8)")
+    bench.add_argument("--repeat", type=int, default=1,
+                       help="timing repetitions per configuration (best-of)")
+    bench.add_argument("--mode", choices=("naive", "D", "DQ"), default="D",
+                       help="parallel configuration for the mp runs")
+    bench.add_argument("--no-verify", action="store_true",
+                       help="skip the seq-vs-mp identity check")
+    bench.add_argument("--out", type=Path, default=Path("BENCH_parallel.json"),
+                       help="output JSON path")
     bench.add_argument("harness_args", nargs=argparse.REMAINDER,
-                       help="arguments passed to repro.harness")
+                       help="table1/table2/fig6/... forwards to repro.harness")
     bench.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)

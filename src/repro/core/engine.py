@@ -124,6 +124,13 @@ class CFLEngine:
         #: Optional witness recorder (see repro.core.tracing); set by
         #: TracingEngine.  Adds provenance bookkeeping to every sweep.
         self.tracer = None
+        #: Context interning caches: the sweeps perform the same
+        #: call-string pushes/pops millions of times, so each distinct
+        #: extended context is materialised once and the same tuple
+        #: object is reused for every later push (cheaper allocation,
+        #: identity-fast-path equality in the visited/memo sets).
+        self._ctx_push_cache: Dict[Tuple[Context, int], Context] = {}
+        self._ctx_pop_cache: Dict[Context, Context] = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -243,14 +250,58 @@ class CFLEngine:
         result: Set[Tuple[int, Context]],
         key: Tuple[bool, int, Context],
     ) -> None:
-        """One worklist sweep of Algorithm 1, in the given direction."""
+        """One worklist sweep of Algorithm 1, in the given direction.
+
+        Hot path: pushes are inlined into the sweeps (a visited-set
+        membership test and list append per edge, no per-push closure
+        call) and call-string math goes through the interning caches.
+        The traced variant keeps the closure the provenance hooks need.
+        """
+        if self.tracer is not None:
+            return self._run_worklist_traced(direction, start, ctx0, q, result, key)
+        if self.pag.is_global(start):
+            ctx0 = EMPTY_CTX
+        visited: Set[Tuple[int, Context]] = {(start, ctx0)}
+        worklist: List[Tuple[int, Context]] = [(start, ctx0)]
+        q.note_live(1)
+        try:
+            if direction == POINTS_TO:
+                self._sweep_backwards(worklist, visited, q, result)
+            else:
+                self._sweep_forwards(worklist, visited, q, result)
+        finally:
+            q.note_live(-len(visited))
+
+    def _ctx_push(self, c: Context, site: int) -> Context:
+        """Interned ``ctx_push``: one tuple per distinct extension."""
+        cache = self._ctx_push_cache
+        got = cache.get((c, site))
+        if got is None:
+            got = cache[(c, site)] = c + (site,)
+        return got
+
+    def _ctx_pop(self, c: Context) -> Context:
+        """Interned ``ctx_pop`` (callers guarantee ``c`` is non-empty)."""
+        cache = self._ctx_pop_cache
+        got = cache.get(c)
+        if got is None:
+            got = cache[c] = c[:-1]
+        return got
+
+    def _run_worklist_traced(
+        self,
+        direction: bool,
+        start: int,
+        ctx0: Context,
+        q: QueryState,
+        result: Set[Tuple[int, Context]],
+        key: Tuple[bool, int, Context],
+    ) -> None:
+        """Sweep with provenance recording (TracingEngine path)."""
         pag = self.pag
-        cfg = self.cfg
-        cs = cfg.context_sensitive
         is_global = pag.is_global
         tracer = self.tracer
-        if tracer is not None:
-            tracer.begin_run(key)
+        tracer.begin_run(key)
         visited: Set[Tuple[int, Context]] = set()
         worklist: List[Tuple[int, Context]] = []
 
@@ -262,15 +313,14 @@ class CFLEngine:
                 visited.add(item)
                 q.note_live(1)
                 worklist.append(item)
-                if tracer is not None:
-                    tracer.parent(key, item, src, label, site)
+                tracer.parent(key, item, src, label, site)
 
         push(start, ctx0)
         try:
             if direction == POINTS_TO:
-                self._sweep_backwards(worklist, push, q, result, key)
+                self._sweep_backwards_traced(worklist, push, q, result, key)
             else:
-                self._sweep_forwards(worklist, push, q, result, key)
+                self._sweep_forwards_traced(worklist, push, q, result, key)
         finally:
             q.note_live(-len(visited))
 
@@ -281,8 +331,183 @@ class CFLEngine:
         if q.steps > q.budget:
             self._out_of_budget(q, 0)
 
-    def _sweep_backwards(self, worklist, push, q: QueryState, result, key) -> None:
-        """``POINTSTO`` direction: incoming edges (Algorithm 1 lines 3-15)."""
+    def _sweep_backwards(
+        self,
+        worklist: List[Tuple[int, Context]],
+        visited: Set[Tuple[int, Context]],
+        q: QueryState,
+        result: Set[Tuple[int, Context]],
+    ) -> None:
+        """``POINTSTO`` direction: incoming edges (Algorithm 1 lines
+        3-15), with pushes inlined and adjacency tables bound to locals."""
+        pag = self.pag
+        cs = self.cfg.context_sensitive
+        heap = self._field_mode != "none"
+        is_global = pag.is_global
+        new_in = pag.new_in
+        assign_in = pag.assign_in
+        gassign_in = pag.gassign_in
+        param_in = pag.param_in
+        ret_in = pag.ret_in
+        visited_add = visited.add
+        append = worklist.append
+        note_live = q.note_live
+        result_add = result.add
+        budget = q.budget
+        while worklist:
+            q.frontier_sum += len(worklist)
+            x, c = worklist.pop()
+            q.steps += 1
+            q.work += 1
+            if q.steps > budget:
+                self._out_of_budget(q, 0)
+            for o in new_in.get(x, ()):
+                result_add((o, c))
+            for y in assign_in.get(x, ()):
+                item = (y, EMPTY_CTX) if is_global(y) else (y, c)
+                if item not in visited:
+                    visited_add(item)
+                    note_live(1)
+                    append(item)
+            for y in gassign_in.get(x, ()):
+                item = (y, EMPTY_CTX)
+                if item not in visited:
+                    visited_add(item)
+                    note_live(1)
+                    append(item)
+            if heap:
+                for y, cy in self._reachable_nodes(POINTS_TO, x, c, q):
+                    item = (y, EMPTY_CTX) if is_global(y) else (y, cy)
+                    if item not in visited:
+                        visited_add(item)
+                        note_live(1)
+                        append(item)
+            if cs:
+                for y, i in param_in.get(x, ()):
+                    # exit the callee back to call site i
+                    if not c:
+                        cy = c
+                    elif c[-1] == i:
+                        cy = self._ctx_pop(c)
+                    else:
+                        continue
+                    item = (y, EMPTY_CTX) if is_global(y) else (y, cy)
+                    if item not in visited:
+                        visited_add(item)
+                        note_live(1)
+                        append(item)
+                for y, i in ret_in.get(x, ()):
+                    # enter the callee through its return
+                    item = (
+                        (y, EMPTY_CTX) if is_global(y)
+                        else (y, self._ctx_push(c, i))
+                    )
+                    if item not in visited:
+                        visited_add(item)
+                        note_live(1)
+                        append(item)
+            else:
+                for pairs in (param_in.get(x, ()), ret_in.get(x, ())):
+                    for y, _i in pairs:
+                        item = (y, EMPTY_CTX) if is_global(y) else (y, c)
+                        if item not in visited:
+                            visited_add(item)
+                            note_live(1)
+                            append(item)
+
+    def _sweep_forwards(
+        self,
+        worklist: List[Tuple[int, Context]],
+        visited: Set[Tuple[int, Context]],
+        q: QueryState,
+        result: Set[Tuple[int, Context]],
+    ) -> None:
+        """``FLOWSTO`` direction: outgoing edges (mirror of the above)."""
+        pag = self.pag
+        cs = self.cfg.context_sensitive
+        heap = self._field_mode != "none"
+        is_global = pag.is_global
+        is_object = pag.is_object
+        new_out = pag.new_out
+        assign_out = pag.assign_out
+        gassign_out = pag.gassign_out
+        param_out = pag.param_out
+        ret_out = pag.ret_out
+        visited_add = visited.add
+        append = worklist.append
+        note_live = q.note_live
+        result_add = result.add
+        budget = q.budget
+        while worklist:
+            q.frontier_sum += len(worklist)
+            x, c = worklist.pop()
+            q.steps += 1
+            q.work += 1
+            if q.steps > budget:
+                self._out_of_budget(q, 0)
+            if is_object(x):
+                for v in new_out.get(x, ()):
+                    item = (v, EMPTY_CTX) if is_global(v) else (v, c)
+                    if item not in visited:
+                        visited_add(item)
+                        note_live(1)
+                        append(item)
+                continue
+            result_add((x, c))
+            for y in assign_out.get(x, ()):
+                item = (y, EMPTY_CTX) if is_global(y) else (y, c)
+                if item not in visited:
+                    visited_add(item)
+                    note_live(1)
+                    append(item)
+            for y in gassign_out.get(x, ()):
+                item = (y, EMPTY_CTX)
+                if item not in visited:
+                    visited_add(item)
+                    note_live(1)
+                    append(item)
+            if heap:
+                for y, cy in self._reachable_nodes(FLOWS_TO, x, c, q):
+                    item = (y, EMPTY_CTX) if is_global(y) else (y, cy)
+                    if item not in visited:
+                        visited_add(item)
+                        note_live(1)
+                        append(item)
+            if cs:
+                for y, i in param_out.get(x, ()):
+                    # enter the callee through its formal
+                    item = (
+                        (y, EMPTY_CTX) if is_global(y)
+                        else (y, self._ctx_push(c, i))
+                    )
+                    if item not in visited:
+                        visited_add(item)
+                        note_live(1)
+                        append(item)
+                for y, i in ret_out.get(x, ()):
+                    # exit to call site i through the return value
+                    if not c:
+                        cy = c
+                    elif c[-1] == i:
+                        cy = self._ctx_pop(c)
+                    else:
+                        continue
+                    item = (y, EMPTY_CTX) if is_global(y) else (y, cy)
+                    if item not in visited:
+                        visited_add(item)
+                        note_live(1)
+                        append(item)
+            else:
+                for pairs in (param_out.get(x, ()), ret_out.get(x, ())):
+                    for y, _i in pairs:
+                        item = (y, EMPTY_CTX) if is_global(y) else (y, c)
+                        if item not in visited:
+                            visited_add(item)
+                            note_live(1)
+                            append(item)
+
+    def _sweep_backwards_traced(self, worklist, push, q: QueryState, result, key) -> None:
+        """Traced ``POINTSTO`` sweep (closure pushes feed the recorder)."""
         pag = self.pag
         cfg = self.cfg
         cs = cfg.context_sensitive
@@ -309,18 +534,18 @@ class CFLEngine:
                     if not c:
                         push(y, c, cur, "param", i)
                     elif c[-1] == i:
-                        push(y, c[:-1], cur, "param", i)
+                        push(y, self._ctx_pop(c), cur, "param", i)
                 for y, i in pag.ret_in.get(x, ()):
                     # enter the callee through its return
-                    push(y, c + (i,), cur, "ret", i)
+                    push(y, self._ctx_push(c, i), cur, "ret", i)
             else:
                 for y, i in pag.param_in.get(x, ()):
                     push(y, c, cur, "param", i)
                 for y, i in pag.ret_in.get(x, ()):
                     push(y, c, cur, "ret", i)
 
-    def _sweep_forwards(self, worklist, push, q: QueryState, result, key) -> None:
-        """``FLOWSTO`` direction: outgoing edges (mirror of the above)."""
+    def _sweep_forwards_traced(self, worklist, push, q: QueryState, result, key) -> None:
+        """Traced ``FLOWSTO`` sweep (mirror of the above)."""
         pag = self.pag
         cfg = self.cfg
         cs = cfg.context_sensitive
@@ -344,13 +569,13 @@ class CFLEngine:
             if cs:
                 for y, i in pag.param_out.get(x, ()):
                     # enter the callee through its formal
-                    push(y, c + (i,), cur, "param", i)
+                    push(y, self._ctx_push(c, i), cur, "param", i)
                 for y, i in pag.ret_out.get(x, ()):
                     # exit to call site i through the return value
                     if not c:
                         push(y, c, cur, "ret", i)
                     elif c[-1] == i:
-                        push(y, c[:-1], cur, "ret", i)
+                        push(y, self._ctx_pop(c), cur, "ret", i)
             else:
                 for y, i in pag.param_out.get(x, ()):
                     push(y, c, cur, "param", i)

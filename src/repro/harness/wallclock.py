@@ -1,0 +1,264 @@
+"""Wall-clock benchmark: SeqCFL vs the true multiprocess backend.
+
+Unlike the simulator-driven tables/figures (whose clock is the cost
+model), everything here is measured in **real seconds** on the host:
+the sequential baseline is a plain single-process engine run over the
+benchmark workload, and each parallel run is ``backend="mp"`` with the
+requested worker counts.  Results go to ``BENCH_parallel.json`` so the
+repo accumulates a perf trajectory PR over PR.
+
+Per suite entry the record holds:
+
+* ``seq_wall_s`` — best-of-``repeat`` share-nothing sequential wall;
+* ``mp_wall_s``/``speedup`` — wall and speedup per worker count;
+* jump-map counters for the sharing run (hits taken, steps saved,
+  entries committed, early terminations);
+* ``identical`` — byte-identity of the share-nothing mp answers
+  against the sequential baseline (the deterministic contract; with
+  sharing on, budget-exhausted queries may legitimately differ, so the
+  sharing run is checked with subset/exact-on-complete invariants by
+  the test suite instead).
+
+``python -m repro bench`` is the CLI entry point (``--smoke`` for the
+CI-sized variant).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.benchgen.suites import load_benchmark, spec_of, suite_names
+from repro.core.engine import CFLEngine
+from repro.runtime.executor import ParallelCFL
+
+__all__ = [
+    "SuiteBench",
+    "run",
+    "render",
+    "write_json",
+    "DEFAULT_WORKERS",
+    "SMOKE_SUITES",
+    "SMOKE_WORKERS",
+]
+
+DEFAULT_WORKERS: Tuple[int, ...] = (1, 2, 4, 8)
+
+#: The CI-sized subset: the three smallest entries by budget/queries.
+SMOKE_SUITES: Tuple[str, ...] = ("_200_check", "_999_checkit", "_209_db")
+SMOKE_WORKERS: Tuple[int, ...] = (1, 2)
+
+
+@dataclass
+class SuiteBench:
+    """Wall-clock record for one suite entry."""
+
+    name: str
+    n_queries: int
+    n_nodes: int
+    n_edges: int
+    budget: int
+    seq_wall_s: float
+    #: worker count -> wall seconds (sharing on, mode D).
+    mp_wall_s: Dict[int, float] = field(default_factory=dict)
+    #: worker count -> seq_wall_s / mp_wall_s.
+    speedup: Dict[int, float] = field(default_factory=dict)
+    #: Sharing-run counters at the largest worker count.
+    jmp_taken: int = 0
+    saved_steps: int = 0
+    n_jumps: int = 0
+    early_terminations: int = 0
+    #: Share-nothing mp answers byte-identical to the seq baseline?
+    identical: Optional[bool] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "n_queries": self.n_queries,
+            "n_nodes": self.n_nodes,
+            "n_edges": self.n_edges,
+            "budget": self.budget,
+            "seq_wall_s": round(self.seq_wall_s, 6),
+            "mp_wall_s": {str(w): round(t, 6) for w, t in self.mp_wall_s.items()},
+            "speedup": {str(w): round(s, 3) for w, s in self.speedup.items()},
+            "jump_stats": {
+                "jmp_taken": self.jmp_taken,
+                "saved_steps": self.saved_steps,
+                "n_jumps": self.n_jumps,
+                "early_terminations": self.early_terminations,
+            },
+            "identical": self.identical,
+        }
+
+
+def _seq_wall(build, spec, queries, repeat: int) -> float:
+    """Best-of-``repeat`` wall time of a share-nothing sequential run
+    (the honest SeqCFL baseline: one engine, program order, no
+    simulator in the loop)."""
+    best = float("inf")
+    cfg = spec.engine_config()
+    for _ in range(repeat):
+        engine = CFLEngine(build.pag, cfg)
+        t0 = time.perf_counter()
+        for query in queries:
+            engine.run_query(query)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_suite(
+    name: str,
+    workers: Sequence[int] = DEFAULT_WORKERS,
+    repeat: int = 1,
+    mode: str = "D",
+    verify: bool = True,
+) -> SuiteBench:
+    """Benchmark one suite entry; see the module docstring."""
+    spec = spec_of(name)
+    build = load_benchmark(name)
+    queries = spec.workload()
+    cfg = spec.engine_config()
+    row = SuiteBench(
+        name=name,
+        n_queries=len(queries),
+        n_nodes=build.pag.n_nodes,
+        n_edges=build.pag.n_edges,
+        budget=spec.budget,
+        seq_wall_s=_seq_wall(build, spec, queries, repeat),
+    )
+
+    if verify:
+        seq_map = ParallelCFL(build, mode="seq", engine_config=cfg).run(
+            queries
+        ).points_to_map()
+        mp_map = ParallelCFL(
+            build, mode="naive", n_threads=max(workers), engine_config=cfg,
+            backend="mp",
+        ).run(queries).points_to_map()
+        row.identical = seq_map == mp_map
+
+    for w in sorted(set(workers)):
+        best = float("inf")
+        batch = None
+        for _ in range(repeat):
+            runner = ParallelCFL(
+                build, mode=mode, n_threads=w, engine_config=cfg, backend="mp"
+            )
+            candidate = runner.run(queries)
+            if candidate.makespan < best:
+                best = candidate.makespan
+                batch = candidate
+        row.mp_wall_s[w] = best
+        row.speedup[w] = row.seq_wall_s / best if best > 0 else float("inf")
+        if w == max(workers):
+            row.jmp_taken = sum(
+                e.result.costs.jmp_taken for e in batch.executions
+            )
+            row.saved_steps = batch.total_saved
+            row.n_jumps = batch.n_jumps
+            row.early_terminations = batch.n_early_terminations
+    return row
+
+
+def run(
+    benchmarks: Optional[Sequence[str]] = None,
+    workers: Sequence[int] = DEFAULT_WORKERS,
+    repeat: int = 1,
+    mode: str = "D",
+    verify: bool = True,
+    smoke: bool = False,
+) -> dict:
+    """Run the wall-clock comparison; returns the JSON-ready payload."""
+    if smoke:
+        benchmarks = list(benchmarks or SMOKE_SUITES)
+        workers = list(workers if tuple(workers) != DEFAULT_WORKERS else SMOKE_WORKERS)
+    names = list(benchmarks) if benchmarks else suite_names()
+    rows = [
+        bench_suite(name, workers=workers, repeat=repeat, mode=mode, verify=verify)
+        for name in names
+    ]
+    best = None
+    for row in rows:
+        for w, s in row.speedup.items():
+            if best is None or s > best[2]:
+                best = (row.name, w, s)
+    return {
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "host_cpus": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "mode": mode,
+            "workers": sorted(set(workers)),
+            "repeat": repeat,
+            "smoke": smoke,
+        },
+        "suites": [row.as_dict() for row in rows],
+        "best_speedup": (
+            {"suite": best[0], "workers": best[1], "speedup": round(best[2], 3)}
+            if best
+            else None
+        ),
+        "all_identical": all(r.identical in (True, None) for r in rows),
+    }
+
+
+def render(payload: dict) -> str:
+    """Human-readable table of the payload."""
+    meta = payload["meta"]
+    workers = meta["workers"]
+    head = (
+        f"WALL-CLOCK seq vs mp (mode {meta['mode']}, "
+        f"{meta['host_cpus']} host cpus, repeat {meta['repeat']})"
+    )
+    cols = "".join(f"  mp x{w:<3d}" for w in workers)
+    lines = [head, f"{'benchmark':16s} {'queries':>7s} {'seq (s)':>9s}{cols}  {'ident':>5s}"]
+    for row in payload["suites"]:
+        cells = ""
+        for w in workers:
+            wall = row["mp_wall_s"].get(str(w))
+            sp = row["speedup"].get(str(w))
+            cells += f"  {sp:5.2f}x " if wall is not None else "      - "
+        ident = {True: "yes", False: "NO", None: "-"}[row["identical"]]
+        lines.append(
+            f"{row['name']:16s} {row['n_queries']:7d} {row['seq_wall_s']:9.3f}"
+            f"{cells}  {ident:>5s}"
+        )
+    best = payload.get("best_speedup")
+    if best:
+        lines.append(
+            f"best speedup: {best['speedup']:.2f}x on {best['suite']} "
+            f"with {best['workers']} workers"
+        )
+    return "\n".join(lines)
+
+
+def write_json(payload: dict, path: Path) -> Path:
+    """Write the payload to ``path`` (default location: repo root's
+    ``BENCH_parallel.json``); returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro-wallclock")
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_parallel.json"))
+    args = parser.parse_args(argv)
+    payload = run(smoke=args.smoke)
+    print(render(payload))
+    write_json(payload, args.out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

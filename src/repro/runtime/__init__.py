@@ -1,14 +1,19 @@
 """Parallel runtime — the reproduction's multicore substrate.
 
-CPython's GIL makes wall-clock parallel speedups unmeasurable, so the
-paper's 16-core Xeon testbed is replaced by a **deterministic
-discrete-event simulator** (:mod:`repro.runtime.simclock`): workers own
-simulated clocks, query costs come from the step/jump-op accounting of
-the engine through a calibrated :class:`~repro.runtime.contention.CostModel`,
-and jump-map visibility follows commit order — a query sees exactly the
-edges published by queries that finished before it started.  A real
-``threading`` executor (:mod:`repro.runtime.threaded`) exercises genuine
-shared-state concurrency for correctness testing.
+Three backends behind one facade:
+
+* **sim** (:mod:`repro.runtime.simclock`) — a deterministic
+  discrete-event simulator: workers own simulated clocks, query costs
+  come from the step/jump-op accounting of the engine through a
+  calibrated :class:`~repro.runtime.contention.CostModel`, and jump-map
+  visibility follows commit order.  Deterministic and measurable, the
+  default for the paper's tables/figures.
+* **threads** (:mod:`repro.runtime.threaded`) — genuine ``threading``
+  threads against the lock-striped jump map; GIL-serialised, so it
+  validates concurrency *semantics* rather than wall-clock speedup.
+* **mp** (:mod:`repro.runtime.mp`) — true OS processes over a frozen
+  PAG snapshot with epoch-synchronised jump-map sharing: the backend
+  that demonstrates real wall-clock parallel speedups.
 
 :class:`~repro.runtime.executor.ParallelCFL` is the user-facing facade
 with the paper's four configurations: ``seq`` (SeqCFL), ``naive``
@@ -19,6 +24,7 @@ scheduling).
 from repro.runtime.contention import CostModel
 from repro.runtime.intraquery import intra_query_makespan, intra_query_speedup
 from repro.runtime.executor import ParallelCFL
+from repro.runtime.mp import MPExecutor, WorkerCrash
 from repro.runtime.results import BatchResult
 from repro.runtime.simclock import SimulatedExecutor
 from repro.runtime.threaded import ConcurrentJumpMap, ThreadedExecutor
@@ -29,7 +35,9 @@ __all__ = [
     "CostModel",
     "intra_query_makespan",
     "intra_query_speedup",
+    "MPExecutor",
     "ParallelCFL",
     "SimulatedExecutor",
     "ThreadedExecutor",
+    "WorkerCrash",
 ]

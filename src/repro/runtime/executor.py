@@ -12,7 +12,10 @@ mode       meaning (Section IV-C)
 =========  ==========================================================
 
 Executors are simulated by default (deterministic, measurable); pass
-``backend="threads"`` for the real-thread correctness mode.
+``backend="threads"`` for the real-thread correctness mode, or
+``backend="mp"`` for the true multiprocess backend
+(:mod:`repro.runtime.mp`) that delivers wall-clock parallel speedups
+with epoch-synchronised jump-map sharing.
 """
 
 from __future__ import annotations
@@ -27,13 +30,15 @@ from repro.ir.types import TypeTable
 from repro.pag.build import BuildResult
 from repro.pag.graph import PAG
 from repro.runtime.contention import CostModel
+from repro.runtime.mp import MPExecutor
 from repro.runtime.results import BatchResult
 from repro.runtime.simclock import SimulatedExecutor
 from repro.runtime.threaded import ThreadedExecutor
 
-__all__ = ["ParallelCFL", "MODES"]
+__all__ = ["ParallelCFL", "MODES", "BACKENDS"]
 
 MODES = ("seq", "naive", "D", "DQ")
+BACKENDS = ("sim", "threads", "mp")
 
 
 class ParallelCFL:
@@ -49,11 +54,14 @@ class ParallelCFL:
         schedule_config: Optional[ScheduleConfig] = None,
         types: Optional[TypeTable] = None,
         backend: str = "sim",
+        chunk_size: Optional[int] = None,
     ) -> None:
         if mode not in MODES:
             raise RuntimeConfigError(f"mode must be one of {MODES}, got {mode!r}")
-        if backend not in ("sim", "threads"):
-            raise RuntimeConfigError(f"backend must be 'sim' or 'threads', got {backend!r}")
+        if backend not in BACKENDS:
+            raise RuntimeConfigError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
         if isinstance(target, BuildResult):
             self.pag = target.pag
             if types is None:
@@ -67,6 +75,7 @@ class ParallelCFL:
         self.schedule_config = schedule_config
         self.types = types
         self.backend = backend
+        self.chunk_size = chunk_size
 
     # ------------------------------------------------------------------
     @property
@@ -96,6 +105,16 @@ class ParallelCFL:
         if queries is None:
             queries = self.default_queries()
         units = self.work_units(queries)
+        if self.backend == "mp":
+            mexec = MPExecutor(
+                self.pag,
+                self.n_threads,
+                engine_config=self.engine_config,
+                sharing=self.sharing,
+                mode=self.mode,
+                chunk_size=self.chunk_size,
+            )
+            return mexec.run_units(units)
         if self.backend == "threads":
             texec = ThreadedExecutor(
                 self.pag,

@@ -1,0 +1,311 @@
+"""True multiprocess executor — wall-clock parallel CFL-reachability.
+
+This is the backend that escapes the GIL: each worker is an OS process
+owning a private :class:`~repro.core.engine.CFLEngine` over one
+:class:`~repro.pag.graph.FrozenPAG` snapshot.  The snapshot travels to
+each worker exactly once — inherited copy-on-write under the ``fork``
+start method, or pickled one time as a process argument under
+``spawn`` — and is never re-serialised per work unit.
+
+Data sharing (the paper's ``ConcurrentHashMap``, Section IV-A) becomes
+**epoch-based jump-map synchronisation**:
+
+* the coordinator owns the authoritative :class:`JumpMap` plus an
+  append-only **commit log** of accepted entries; the log length is the
+  *epoch*;
+* each worker keeps a local base map and, per query, a
+  :class:`LayeredJumpMap` overlay; entries the worker accepts locally
+  are accumulated into an outgoing **delta**;
+* a completed work unit ships its delta back with the results; the
+  coordinator merges it (:meth:`JumpMap.merge_from` semantics — the
+  first writer wins, finished clears unfinished) and appends the
+  *accepted* entries to the log;
+* the next unit dispatched to a worker carries the log suffix since
+  that worker's last-seen epoch, growing its base to the coordinator's
+  view before any new query runs.
+
+Visibility therefore matches the repo's conservative commit-order
+model (DESIGN.md §4): a query observes exactly the jump edges committed
+by units that finished before its unit was dispatched — the distributed
+analogue of the lock-striped in-memory map, with identical
+first-writer-wins / finished-clears-unfinished conflict resolution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from multiprocessing import connection as mp_connection
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.engine import CFLEngine, EngineConfig
+from repro.core.jumpmap import JumpMap, LayeredJumpMap
+from repro.core.query import Query
+from repro.errors import RuntimeConfigError, ReproError
+from repro.pag.graph import PAG, FrozenPAG
+from repro.runtime.results import BatchResult, QueryExecution
+
+__all__ = ["MPExecutor", "WorkerCrash"]
+
+#: One committed jump entry in transit: ("fin", key, edges) or
+#: ("unf", key, steps).
+DeltaEntry = Tuple[str, tuple, object]
+
+
+class WorkerCrash(ReproError):
+    """A worker process died or raised; carries its traceback text."""
+
+
+def _apply_delta(jumps: JumpMap, delta: Sequence[DeltaEntry]) -> None:
+    """Replay a log suffix into a local base map (idempotent: replayed
+    entries a worker already owns lose first-writer-wins and are
+    dropped)."""
+    for tag, key, payload in delta:
+        if tag == "fin":
+            jumps.insert_finished(key, payload)
+        else:
+            jumps.insert_unfinished(key, payload)
+
+
+def _worker_main(conn, pag, engine_config, sharing: bool) -> None:
+    """Worker loop: receive (units, delta) messages, answer with
+    (records, delta) until told to stop.  Runs in a child process."""
+    jumps = JumpMap() if sharing else None
+    perf = time.perf_counter
+    try:
+        while True:
+            msg = conn.recv()
+            if msg[0] == "stop":
+                return
+            _tag, unit_chunk, delta = msg
+            if sharing and delta:
+                _apply_delta(jumps, delta)
+            records: List[Tuple[object, float, float]] = []
+            out_delta: List[DeltaEntry] = []
+            for unit in unit_chunk:
+                for query in unit:
+                    if sharing:
+                        layer = LayeredJumpMap(jumps)
+                        engine = CFLEngine(pag, engine_config, jumps=layer)
+                    else:
+                        engine = CFLEngine(pag, engine_config)
+                    t0 = perf()
+                    result = engine.run_query(query)
+                    t1 = perf()
+                    if sharing:
+                        # Commit the overlay into the worker base and
+                        # collect the locally-accepted entries for the
+                        # coordinator (a rejected entry lost a local
+                        # first-writer-wins race; its winner already
+                        # shipped, or ships with this delta).
+                        for key, edges in layer.overlay.finished_items():
+                            if jumps.insert_finished(key, edges):
+                                out_delta.append(("fin", key, edges))
+                        for key, steps in layer.overlay.unfinished_items():
+                            if jumps.insert_unfinished(key, steps):
+                                out_delta.append(("unf", key, steps))
+                    records.append((result, t0, t1))
+            conn.send(("done", records, out_delta))
+    except EOFError:
+        return  # coordinator went away; die quietly
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+class MPExecutor:
+    """Runs query batches on ``n_workers`` OS processes.
+
+    ``units`` is the shared work list (one query list per fetch, as for
+    the other executors); units are dispatched in order, ``chunk_size``
+    per message, to whichever worker is idle.  Timing is real:
+    ``BatchResult.makespan`` is wall-clock seconds for the whole batch
+    and each :class:`QueryExecution` carries the worker's measured
+    per-query times.
+    """
+
+    def __init__(
+        self,
+        pag: Union[PAG, FrozenPAG],
+        n_workers: int,
+        engine_config: Optional[EngineConfig] = None,
+        sharing: bool = True,
+        mode: str = "mp",
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if n_workers < 1:
+            raise RuntimeConfigError(f"n_workers must be >= 1, got {n_workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise RuntimeConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.pag = pag if isinstance(pag, FrozenPAG) else pag.freeze()
+        self.n_workers = n_workers
+        self.engine_config = engine_config or EngineConfig()
+        self.sharing = sharing
+        self.mode = mode
+        self.chunk_size = chunk_size
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self.start_method = start_method
+        #: The coordinator's authoritative jump map (reusable across
+        #: batches, like the other executors' shared maps).
+        self.jumps: Optional[JumpMap] = JumpMap() if sharing else None
+        #: Append-only commit log backing the epochs; index == epoch.
+        self._log: List[DeltaEntry] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Current epoch: number of jump entries committed so far."""
+        return len(self._log)
+
+    def _merge_delta(self, delta: Sequence[DeltaEntry]) -> int:
+        """Merge a worker delta into the authoritative map; accepted
+        entries (first writer wins) are appended to the commit log for
+        broadcast.  Returns the number accepted."""
+        jumps = self.jumps
+        accepted = 0
+        for entry in delta:
+            tag, key, payload = entry
+            if tag == "fin":
+                ok = jumps.insert_finished(key, payload)
+            else:
+                ok = jumps.insert_unfinished(key, payload)
+            if ok:
+                self._log.append(entry)
+                accepted += 1
+        return accepted
+
+    def _chunks(
+        self, units: Sequence[Sequence[Query]], n_workers: int
+    ) -> List[List[List[Query]]]:
+        """Group consecutive units into dispatch chunks.  The default
+        aims for several fetches per worker (work stealing smooths load
+        imbalance) without paying one IPC round-trip per tiny unit."""
+        units = [list(u) for u in units if u]
+        if not units:
+            return []
+        size = self.chunk_size or max(1, len(units) // (n_workers * 8))
+        return [units[i:i + size] for i in range(0, len(units), size)]
+
+    # ------------------------------------------------------------------
+    def run_units(self, units: Sequence[Sequence[Query]]) -> BatchResult:
+        """Execute the work units and return the batch record."""
+        chunks = self._chunks(units, self.n_workers)
+        if not chunks:
+            return BatchResult(
+                mode=self.mode, n_threads=self.n_workers, executions=[],
+                makespan=0.0, worker_busy=[0.0] * self.n_workers,
+            )
+        n = min(self.n_workers, len(chunks))
+        ctx = multiprocessing.get_context(self.start_method)
+
+        conns = []
+        procs = []
+        for _w in range(n):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child, self.pag, self.engine_config, self.sharing),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            conns.append(parent)
+            procs.append(proc)
+
+        sent_epoch = [0] * n       # per-worker last-broadcast log index
+        busy = [0.0] * n
+        executions: List[QueryExecution] = []
+        next_chunk = 0
+        stopped = [False] * n
+        by_conn: Dict[object, int] = {c: w for w, c in enumerate(conns)}
+        t0 = time.perf_counter()
+
+        def dispatch(w: int) -> None:
+            nonlocal next_chunk
+            delta = self._log[sent_epoch[w]:] if self.sharing else ()
+            sent_epoch[w] = len(self._log)
+            conns[w].send(("unit", chunks[next_chunk], delta))
+            next_chunk += 1
+
+        def stop(w: int) -> None:
+            if not stopped[w]:
+                conns[w].send(("stop",))
+                stopped[w] = True
+
+        try:
+            for w in range(n):
+                if next_chunk < len(chunks):
+                    dispatch(w)
+                else:
+                    stop(w)
+            inflight = sum(1 for s in stopped if not s)
+            while inflight:
+                for conn in mp_connection.wait(
+                    [c for w, c in enumerate(conns) if not stopped[w]]
+                ):
+                    w = by_conn[conn]
+                    try:
+                        msg = conn.recv()
+                    except EOFError:
+                        raise WorkerCrash(
+                            f"worker {w} exited without reporting its unit "
+                            f"(exitcode={procs[w].exitcode})"
+                        ) from None
+                    if msg[0] == "error":
+                        raise WorkerCrash(
+                            f"worker {w} raised:\n{msg[1]}"
+                        )
+                    _tag, records, delta = msg
+                    if self.sharing and delta:
+                        self._merge_delta(delta)
+                    for result, start, finish in records:
+                        executions.append(
+                            QueryExecution(result, w, start - t0, finish - t0)
+                        )
+                        busy[w] += finish - start
+                    if next_chunk < len(chunks):
+                        dispatch(w)
+                    else:
+                        stop(w)
+                        inflight -= 1
+        finally:
+            for w, proc in enumerate(procs):
+                try:
+                    stop(w)
+                except (BrokenPipeError, OSError):
+                    pass
+                conns[w].close()
+            for proc in procs:
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+
+        makespan = time.perf_counter() - t0
+        result = BatchResult(
+            mode=self.mode,
+            n_threads=n,
+            executions=executions,
+            makespan=makespan,
+            worker_busy=busy,
+        )
+        if self.jumps is not None:
+            result.n_jumps = self.jumps.n_jumps
+            result.n_finished_jumps = self.jumps.n_finished_edges
+            result.n_unfinished_jumps = self.jumps.n_unfinished_edges
+        return result
+
+    def run(self, queries: Sequence[Query]) -> BatchResult:
+        """Convenience: one query per work unit, in the given order."""
+        return self.run_units([[q] for q in queries])

@@ -1,19 +1,25 @@
 """Real-thread executor — shared-state concurrency validation.
 
-Under CPython's GIL this cannot demonstrate wall-clock speedup (the
-repro band's known gate); its purpose is to exercise the *concurrency
+Under CPython's GIL the traversal loops of concurrent threads are
+serialised, so this backend's *wall-clock* numbers show little speedup
+— use ``backend="mp"`` (:mod:`repro.runtime.mp`) for real multicore
+wall-clock measurements.  Its purpose is to exercise the *concurrency
 semantics* of the data-sharing scheme with genuine threads: a
 lock-striped :class:`ConcurrentJumpMap` (mirroring the paper's
 ``ConcurrentHashMap``), a lock-protected shared work list, and live
 mid-query edge visibility — stronger interleaving than the simulator's
 commit-order model.  Tests assert that answers remain identical to the
-sequential engine under this adversarial interleaving.
+sequential engine under this adversarial interleaving.  Per-query wall
+times and the batch makespan are measured for real (they are honest,
+just GIL-bound).
 """
 
 from __future__ import annotations
 
 import threading
-from typing import List, Optional, Sequence, Tuple
+import time
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Tuple
 
 from repro.core.engine import CFLEngine, EngineConfig
 from repro.core.jumpmap import JumpMap
@@ -43,6 +49,18 @@ class ConcurrentJumpMap:
     def _lock(self, key: JumpKey) -> threading.Lock:
         return self._locks[hash(key) % len(self._locks)]
 
+    def _lock_all(self) -> List[threading.Lock]:
+        """Acquire every stripe (in index order — writers hold at most
+        one stripe at a time, so this cannot deadlock) for a consistent
+        whole-map snapshot; see the stats properties."""
+        for lock in self._locks:
+            lock.acquire()
+        return self._locks
+
+    def _unlock_all(self) -> None:
+        for lock in reversed(self._locks):
+            lock.release()
+
     def finished(self, key: JumpKey) -> Optional[Tuple[FinishedJump, ...]]:
         with self._lock(key):
             return self._inner.finished(key)
@@ -59,17 +77,48 @@ class ConcurrentJumpMap:
         with self._lock(key):
             return self._inner.insert_unfinished(key, steps)
 
+    # -- aggregate views -----------------------------------------------
+    # The counters sum over the inner dicts, so reading them while a
+    # writer mutates a stripe would iterate a changing dict (racy sums,
+    # or RuntimeError under CPython).  Each property therefore takes a
+    # stop-the-world snapshot by holding *all* stripe locks; cheap
+    # relative to how rarely stats are read (batch finalisation).
     @property
     def n_jumps(self) -> int:
-        return self._inner.n_jumps
+        self._lock_all()
+        try:
+            return self._inner.n_jumps
+        finally:
+            self._unlock_all()
 
     @property
     def n_finished_edges(self) -> int:
-        return self._inner.n_finished_edges
+        self._lock_all()
+        try:
+            return self._inner.n_finished_edges
+        finally:
+            self._unlock_all()
 
     @property
     def n_unfinished_edges(self) -> int:
-        return self._inner.n_unfinished_edges
+        self._lock_all()
+        try:
+            return self._inner.n_unfinished_edges
+        finally:
+            self._unlock_all()
+
+    def stats_snapshot(self) -> Tuple[int, int, int]:
+        """(n_jumps, n_finished_edges, n_unfinished_edges) read under
+        one consistent all-stripes lock acquisition."""
+        self._lock_all()
+        try:
+            return (
+                self._inner.n_jumps,
+                self._inner.n_finished_edges,
+                self._inner.n_unfinished_edges,
+            )
+        finally:
+            self._unlock_all()
 
 
 class ThreadedExecutor:
@@ -95,16 +144,27 @@ class ThreadedExecutor:
         )
 
     def run_units(self, units: Sequence[Sequence[Query]]) -> BatchResult:
-        """Drain the shared work list with ``n_threads`` threads."""
-        work: List[Sequence[Query]] = list(units)
+        """Drain the shared work list with ``n_threads`` threads.
+
+        The list is a :class:`collections.deque` popped from the left —
+        an O(1) fetch under the lock (a plain ``list.pop(0)`` would
+        shift the whole backlog on every fetch, quadratic over the
+        batch).  Per-query wall times are measured with
+        ``perf_counter`` relative to the batch start; they are honest
+        but GIL-serialised — see the module docstring.
+        """
+        work: Deque[Sequence[Query]] = deque(units)
         work_lock = threading.Lock()
         out_lock = threading.Lock()
         executions: List[QueryExecution] = []
+        busy = [0.0] * self.n_threads
         errors: List[BaseException] = []
+        perf = time.perf_counter
+        t0 = perf()
 
         def fetch() -> Optional[Sequence[Query]]:
             with work_lock:
-                return work.pop(0) if work else None
+                return work.popleft() if work else None
 
         def worker(wid: int) -> None:
             try:
@@ -116,11 +176,14 @@ class ThreadedExecutor:
                         engine = CFLEngine(
                             self.pag, self.engine_config, jumps=self.jumps
                         )
+                        start = perf() - t0
                         result = engine.run_query(query)
+                        finish = perf() - t0
                         with out_lock:
                             executions.append(
-                                QueryExecution(result, wid, 0.0, 0.0)
+                                QueryExecution(result, wid, start, finish)
                             )
+                            busy[wid] += finish - start
             except BaseException as exc:  # surfaced to the caller below
                 with out_lock:
                     errors.append(exc)
@@ -140,13 +203,15 @@ class ThreadedExecutor:
             mode=self.mode,
             n_threads=self.n_threads,
             executions=executions,
-            makespan=0.0,  # wall-clock is meaningless under the GIL
-            worker_busy=[0.0] * self.n_threads,
+            makespan=perf() - t0,
+            worker_busy=busy,
         )
         if self.jumps is not None:
-            result.n_jumps = self.jumps.n_jumps
-            result.n_finished_jumps = self.jumps.n_finished_edges
-            result.n_unfinished_jumps = self.jumps.n_unfinished_edges
+            (
+                result.n_jumps,
+                result.n_finished_jumps,
+                result.n_unfinished_jumps,
+            ) = self.jumps.stats_snapshot()
         return result
 
     def run(self, queries: Sequence[Query]) -> BatchResult:

@@ -1,0 +1,165 @@
+"""Property-based tests for the multiprocess backend and FrozenPAG.
+
+The contracts, over randomly generated (benchgen-synthesised) programs:
+
+* **FrozenPAG transparency** — an engine over a frozen snapshot gives
+  byte-identical answers to one over the mutable PAG, and the snapshot
+  survives a pickle round-trip unchanged (the property the mp backend
+  stands on);
+* **mp identity** — share-nothing mp answers equal the sequential
+  engine exactly (each query is a pure function of the snapshot);
+* **mp sharing invariants** — with sharing on and a small budget,
+  every answer is a subset of the full-budget answer, and a query that
+  completed without exhausting its budget is exact (sharing may change
+  *which* queries exhaust, never what a completed query returns);
+* **Andersen oracle** — context-insensitive unlimited-budget mp runs
+  equal the whole-program Andersen solution.
+
+Process spawns dominate the cost here, so the mp properties use few
+hypothesis examples over small worker counts; the pure-python FrozenPAG
+properties run wider.
+"""
+
+import pickle
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.andersen import AndersenSolver
+from repro.benchgen import SynthesisParams, synthesize_program
+from repro.core import CFLEngine, EngineConfig, Query
+from repro.pag import build_pag
+
+UNLIMITED = 10**9
+
+
+@st.composite
+def small_params(draw):
+    """Small but structurally diverse programs (see test_properties)."""
+    return SynthesisParams(
+        seed=draw(st.integers(0, 10_000)),
+        n_data_classes=draw(st.integers(1, 3)),
+        containment_depth=draw(st.integers(1, 3)),
+        n_boxes=draw(st.integers(1, 2)),
+        n_vecs=draw(st.integers(0, 1)),
+        n_box_subclasses=draw(st.integers(0, 2)),
+        n_util_chains=draw(st.integers(0, 1)),
+        wrapper_chain_len=draw(st.integers(1, 3)),
+        n_app_classes=draw(st.integers(1, 2)),
+        methods_per_app_class=draw(st.integers(1, 2)),
+        actions_per_method=draw(st.integers(1, 6)),
+        n_globals=draw(st.integers(0, 2)),
+        n_hub_containers=draw(st.integers(0, 1)),
+        read_fanout=draw(st.integers(0, 2)),
+    )
+
+
+def build_from(params):
+    return build_pag(synthesize_program(params))
+
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestFrozenPAG:
+    @settings(max_examples=20, **COMMON)
+    @given(small_params())
+    def test_frozen_engine_identical(self, params):
+        build = build_from(params)
+        frozen = build.pag.freeze()
+        assert len(frozen) == len(build.pag)
+        assert frozen.n_edges == build.pag.n_edges
+        live = CFLEngine(build.pag, EngineConfig(budget=UNLIMITED))
+        snap = CFLEngine(frozen, EngineConfig(budget=UNLIMITED))
+        for var in build.pag.app_locals():
+            assert snap.points_to(var).points_to == live.points_to(var).points_to
+
+    @settings(max_examples=10, **COMMON)
+    @given(small_params(), st.integers(1, 80))
+    def test_frozen_matches_under_budget(self, params, budget):
+        # Identical traversal order ⇒ identical partial answers and
+        # exhaustion flags, not just identical fixpoints.
+        build = build_from(params)
+        frozen = build.pag.freeze()
+        live = CFLEngine(build.pag, EngineConfig(budget=budget))
+        snap = CFLEngine(frozen, EngineConfig(budget=budget))
+        for var in build.pag.app_locals():
+            a, b = live.points_to(var), snap.points_to(var)
+            assert a.points_to == b.points_to
+            assert a.exhausted == b.exhausted
+            assert a.costs.steps == b.costs.steps
+
+    @settings(max_examples=10, **COMMON)
+    @given(small_params())
+    def test_pickle_roundtrip(self, params):
+        build = build_from(params)
+        frozen = build.pag.freeze()
+        thawed = pickle.loads(pickle.dumps(frozen))
+        assert len(thawed) == len(frozen)
+        assert thawed.n_edges == frozen.n_edges
+        a = CFLEngine(frozen, EngineConfig(budget=UNLIMITED))
+        b = CFLEngine(thawed, EngineConfig(budget=UNLIMITED))
+        for var in frozen.app_locals():
+            assert a.points_to(var).points_to == b.points_to(var).points_to
+
+
+class TestMPIdentity:
+    @settings(max_examples=6, **COMMON)
+    @given(small_params())
+    def test_share_nothing_matches_seq(self, params):
+        from repro.runtime import MPExecutor
+
+        build = build_from(params)
+        cfg = EngineConfig(budget=UNLIMITED)
+        seq = CFLEngine(build.pag, cfg)
+        expected = {
+            v: seq.points_to(v).points_to for v in build.pag.app_locals()
+        }
+        batch = MPExecutor(
+            build.pag, n_workers=2, engine_config=cfg, sharing=False
+        ).run([Query(v) for v in build.pag.app_locals()])
+        got = {e.result.query.var: e.result.points_to for e in batch.executions}
+        assert got == expected
+
+    @settings(max_examples=4, **COMMON)
+    @given(small_params())
+    def test_ci_mp_matches_andersen(self, params):
+        from repro.runtime import MPExecutor
+
+        build = build_from(params)
+        oracle = AndersenSolver(build.pag).solve()
+        batch = MPExecutor(
+            build.pag,
+            n_workers=2,
+            engine_config=EngineConfig(context_sensitive=False, budget=UNLIMITED),
+            sharing=False,
+        ).run([Query(v) for v in build.pag.app_locals()])
+        for e in batch.executions:
+            assert not e.result.exhausted
+            assert e.result.objects == oracle.points_to(e.result.query.var)
+
+    @settings(max_examples=4, **COMMON)
+    @given(small_params(), st.integers(5, 120))
+    def test_sharing_budget_invariants(self, params, budget):
+        from repro.runtime import MPExecutor
+
+        build = build_from(params)
+        unlimited = CFLEngine(build.pag, EngineConfig(budget=UNLIMITED))
+        full = {
+            v: unlimited.points_to(v).points_to for v in build.pag.app_locals()
+        }
+        batch = MPExecutor(
+            build.pag,
+            n_workers=2,
+            engine_config=EngineConfig(budget=budget, tau_f=0, tau_u=0),
+            sharing=True,
+            chunk_size=1,
+        ).run([Query(v) for v in build.pag.app_locals()])
+        for e in batch.executions:
+            res = e.result
+            assert res.points_to <= full[res.query.var]
+            if not res.exhausted:
+                assert res.points_to == full[res.query.var]

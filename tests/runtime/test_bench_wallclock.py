@@ -1,0 +1,63 @@
+"""Wall-clock bench tier (``-m bench``) plus cheap harness unit tests.
+
+The ``bench``-marked jobs run ``repro.harness.wallclock`` for real and
+are excluded from tier 1 (see ``addopts`` in pyproject.toml); CI runs
+the smoke variant via ``repro bench --smoke``.  The unmarked tests
+below exercise the payload/rendering plumbing on a tiny configuration
+so tier 1 still covers the module.
+"""
+
+import json
+
+import pytest
+
+from repro.harness import wallclock
+
+
+class TestWallclockPlumbing:
+    def test_smoke_payload_shape(self, tmp_path):
+        payload = wallclock.run(
+            benchmarks=["_200_check"], workers=(1,), repeat=1, smoke=True
+        )
+        assert payload["meta"]["smoke"] is True
+        assert payload["meta"]["workers"] == [1]
+        (row,) = payload["suites"]
+        assert row["name"] == "_200_check"
+        assert row["seq_wall_s"] > 0
+        assert row["mp_wall_s"]["1"] > 0
+        assert row["speedup"]["1"] > 0
+        assert row["identical"] is True
+        assert payload["all_identical"] is True
+        assert payload["best_speedup"]["suite"] == "_200_check"
+
+        out = wallclock.write_json(payload, tmp_path / "bench.json")
+        assert json.loads(out.read_text()) == payload
+
+        text = wallclock.render(payload)
+        assert "_200_check" in text
+        assert "best speedup" in text
+
+    def test_verify_off_leaves_identical_unset(self):
+        payload = wallclock.run(
+            benchmarks=["_200_check"], workers=(1,), verify=False, smoke=True
+        )
+        assert payload["suites"][0]["identical"] is None
+        assert payload["all_identical"] is True  # vacuous, not a failure
+
+
+@pytest.mark.bench
+class TestBenchTier:
+    def test_smoke_suites_identical_and_recorded(self, tmp_path):
+        payload = wallclock.run(smoke=True)
+        assert payload["all_identical"] is True
+        assert {r["name"] for r in payload["suites"]} == set(
+            wallclock.SMOKE_SUITES
+        )
+        wallclock.write_json(payload, tmp_path / "BENCH_parallel.json")
+
+    def test_full_suite_has_2x_entry(self):
+        # The acceptance criterion behind BENCH_parallel.json: at least
+        # one suite entry records a >= 2x wall-clock speedup over seq.
+        payload = wallclock.run(workers=(1, 2, 4))
+        assert payload["all_identical"] is True
+        assert payload["best_speedup"]["speedup"] >= 2.0

@@ -1,0 +1,128 @@
+"""Tests for the true multiprocess backend (`repro.runtime.mp`).
+
+The mp backend's contract: share-nothing runs are **byte-identical** to
+the sequential engine (each query is a pure function of the frozen
+snapshot); sharing runs preserve the exactness/subset invariants the
+other sharing executors guarantee; and all of it holds across the
+epoch-synchronised delta broadcasts.
+"""
+
+import pytest
+
+from repro.core import CFLEngine, EngineConfig, Query
+from repro.errors import RuntimeConfigError
+from repro.runtime import MPExecutor, ParallelCFL
+from repro.runtime.mp import _apply_delta
+from repro.core.jumpmap import JumpMap
+from repro.pag.extended import FinishedJump
+
+
+class TestMPBackend:
+    def test_matches_seq_share_nothing(self, fig2):
+        b, _ = fig2
+        queries = [Query(v) for v in b.pag.app_locals()]
+        seq = CFLEngine(b.pag)
+        expected = {q.var: seq.run_query(q).points_to for q in queries}
+        batch = ParallelCFL(
+            b, mode="naive", n_threads=2, backend="mp"
+        ).run(queries)
+        assert batch.n_queries == len(queries)
+        for e in batch.executions:
+            assert e.result.points_to == expected[e.result.query.var]
+
+    def test_matches_seq_with_sharing(self, fig2):
+        # Fig. 2 queries all complete within budget, so sharing must
+        # not change any answer.
+        b, _ = fig2
+        queries = [Query(v) for v in b.pag.app_locals()]
+        seq = ParallelCFL(b, mode="seq").run(queries)
+        for mode in ("D", "DQ"):
+            batch = ParallelCFL(b, mode=mode, n_threads=2, backend="mp").run(queries)
+            assert batch.points_to_map() == seq.points_to_map(), mode
+
+    def test_seq_mode_runs_one_worker(self, fig2):
+        b, _ = fig2
+        batch = ParallelCFL(b, mode="seq", backend="mp").run()
+        assert batch.n_threads == 1
+        assert batch.n_queries == len(b.pag.app_locals())
+
+    def test_real_wall_times_recorded(self, fig2):
+        b, _ = fig2
+        queries = [Query(v) for v in b.pag.app_locals()]
+        batch = ParallelCFL(b, mode="naive", n_threads=2, backend="mp").run(queries)
+        assert batch.makespan > 0
+        assert all(e.finish >= e.start for e in batch.executions)
+        assert sum(batch.worker_busy) > 0
+
+    def test_jump_map_collected_at_coordinator(self, fig2):
+        b, _ = fig2
+        queries = [Query(v) for v in b.pag.app_locals()] * 3
+        ex = MPExecutor(
+            b.pag, n_workers=2, engine_config=EngineConfig(tau_f=0, tau_u=0),
+            sharing=True, chunk_size=1,
+        )
+        batch = ex.run(queries)
+        assert batch.n_jumps > 0
+        assert ex.jumps.n_jumps == batch.n_jumps
+        assert ex.epoch == len(ex._log) > 0
+
+    def test_broadcast_deltas_reach_workers(self, fig2):
+        # Repeat the same workload many times through single-unit
+        # chunks: later units must take shortcuts discovered by earlier
+        # ones, which only happens if the broadcast deltas arrive.
+        b, _ = fig2
+        queries = [Query(v) for v in b.pag.app_locals()] * 4
+        ex = MPExecutor(
+            b.pag, n_workers=2, engine_config=EngineConfig(tau_f=0, tau_u=0),
+            sharing=True, chunk_size=1,
+        )
+        batch = ex.run(queries)
+        assert sum(e.result.costs.jmp_taken for e in batch.executions) > 0
+        assert batch.total_saved > 0
+
+    def test_invalid_config_rejected(self, fig2):
+        b, _ = fig2
+        with pytest.raises(RuntimeConfigError):
+            MPExecutor(b.pag, n_workers=0)
+        with pytest.raises(RuntimeConfigError):
+            MPExecutor(b.pag, n_workers=2, chunk_size=0)
+        with pytest.raises(RuntimeConfigError):
+            ParallelCFL(b, backend="gpu")
+
+    def test_empty_batch(self, fig2):
+        b, _ = fig2
+        batch = ParallelCFL(b, mode="naive", n_threads=2, backend="mp").run([])
+        assert batch.n_queries == 0
+        assert batch.makespan == 0.0
+
+
+class TestDeltaProtocol:
+    def test_apply_delta_idempotent(self):
+        base = JumpMap()
+        key = (1, (), False)
+        edges = (FinishedJump(2, (), 5),)
+        delta = [("fin", key, edges), ("unf", (3, (), True), 40)]
+        _apply_delta(base, delta)
+        _apply_delta(base, delta)  # replay: first-writer-wins drops dups
+        assert base.finished(key) == edges
+        assert base.unfinished((3, (), True)) == 40
+        assert base.n_finished_edges == 1
+        assert base.n_unfinished_edges == 1
+
+    def test_finished_clears_unfinished_across_deltas(self):
+        base = JumpMap()
+        key = (1, (), False)
+        _apply_delta(base, [("unf", key, 99)])
+        _apply_delta(base, [("fin", key, (FinishedJump(2, (), 5),))])
+        assert base.unfinished(key) is None
+        assert base.finished(key) is not None
+
+    def test_merge_appends_only_accepted(self, fig2):
+        b, _ = fig2
+        ex = MPExecutor(b.pag, n_workers=1, sharing=True)
+        key = (1, (), False)
+        edges = (FinishedJump(2, (), 5),)
+        assert ex._merge_delta([("fin", key, edges)]) == 1
+        # a duplicate from a second worker loses the race — no log growth
+        assert ex._merge_delta([("fin", key, edges)]) == 0
+        assert ex.epoch == 1
