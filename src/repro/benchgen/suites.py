@@ -51,7 +51,8 @@ class BenchmarkSpec:
     @property
     def tau_u(self) -> int:
         """Unfinished-jump threshold, scaled like the paper's
-        tau_U = 10,000 (about 13% of the budget)."""
+        tau_U = 10,000: ``budget // 10`` puts it at 10% of the budget
+        (the paper's own ratio is ~13% of its 75,000)."""
         return max(10, self.budget // 10)
 
     def engine_config(self, **overrides):

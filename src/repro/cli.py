@@ -40,6 +40,10 @@ Commands
     ``BENCH_parallel.json``.
 
     * ``--smoke`` — CI-sized run (3 small suites, 1-2 workers).
+    * ``--faults`` — add the fault-injection drill per suite: a
+      4-worker share-nothing run with worker 0 killed mid-batch must
+      complete with zero lost queries, byte-identical answers, and at
+      least one retried chunk (exit 1 otherwise).
     * ``--suite NAME`` (repeatable) / ``--workers 1,2,4`` /
       ``--repeat N`` / ``--mode naive|D|DQ`` / ``--out PATH``.
     * With a positional experiment name (``table1``, ``fig6``, ...)
@@ -218,12 +222,17 @@ def _cmd_bench(args) -> int:
         mode=args.mode,
         verify=not args.no_verify,
         smoke=args.smoke,
+        faults=args.faults,
     )
     print(wallclock.render(payload))
     out = wallclock.write_json(payload, args.out)
     print(f"[written {out}]")
     if not payload["all_identical"]:
         print("error: mp answers diverged from seq", file=sys.stderr)
+        return 1
+    if not payload.get("faults_ok", True):
+        print("error: fault drill lost queries or answers diverged",
+              file=sys.stderr)
         return 1
     return 0
 
@@ -307,6 +316,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     bench.add_argument("--smoke", action="store_true",
                        help="CI-sized run: 3 small suites, 1-2 workers")
+    bench.add_argument("--faults", action="store_true",
+                       help="add the fault-injection drill: kill 1 of 4 "
+                            "workers mid-batch, assert zero lost queries "
+                            "and >= 1 retried chunk per suite")
     bench.add_argument("--suite", action="append", metavar="NAME",
                        help="restrict to this suite entry (repeatable)")
     bench.add_argument("--workers", default=None, metavar="LIST",

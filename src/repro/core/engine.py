@@ -93,6 +93,11 @@ class EngineConfig:
     record_empty_rounds: bool = False
     #: Safety valve for the chaotic-iteration loop.
     max_passes: int = 64
+    #: Optional :class:`repro.runtime.faults.FaultPlan` consumed by the
+    #: multiprocess backend's workers (fault-injection runs).  The
+    #: engine itself ignores it; typed loosely to avoid a core->runtime
+    #: import.  The ``REPRO_FAULTS`` env var is the fallback channel.
+    faults: Optional[object] = None
 
 
 class CFLEngine:

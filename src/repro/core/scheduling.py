@@ -35,10 +35,14 @@ from repro.pag.graph import PAG
 __all__ = [
     "ScheduleConfig",
     "QueryGroup",
+    "MERGED_COMPONENT",
     "schedule_queries",
     "connection_distances",
     "dedupe_queries",
 ]
+
+#: Sentinel component id for a work unit merged across components.
+MERGED_COMPONENT = -1
 
 
 def dedupe_queries(pag: PAG, queries: Sequence[Query]) -> List[Query]:
@@ -87,7 +91,12 @@ class ScheduleConfig:
 
 @dataclass
 class QueryGroup:
-    """One schedulable work unit: CD-ordered queries sharing a DD."""
+    """One schedulable work unit: CD-ordered queries sharing a DD.
+
+    ``component`` is the weakly-connected component of the ``direct``
+    graph the queries came from, or ``MERGED_COMPONENT`` (-1) for a
+    unit the load balancer merged across distinct components.
+    """
 
     queries: List[Query]
     dd: float
@@ -268,6 +277,11 @@ def schedule_queries(
                 prev = merged[-1]
                 prev.queries.extend(g.queries)
                 prev.dd = min(prev.dd, g.dd)
+                # A unit absorbing queries from a different component no
+                # longer *is* its first component; keeping the stale id
+                # would misattribute the absorbed queries.
+                if prev.component != g.component:
+                    prev.component = MERGED_COMPONENT
             else:
                 merged.append(QueryGroup(list(g.queries), g.dd, g.component))
         groups = merged

@@ -18,6 +18,7 @@ __all__ = [
     "BudgetExhausted",
     "SchedulingError",
     "RuntimeConfigError",
+    "WorkerCrash",
 ]
 
 
@@ -81,3 +82,14 @@ class SchedulingError(ReproError):
 
 class RuntimeConfigError(ReproError):
     """Invalid parallel-runtime configuration (thread count, mode, ...)."""
+
+
+class WorkerCrash(ReproError):
+    """A parallel worker process died, raised, or broke protocol.
+
+    The fault-tolerant executor recovers from these (requeue, respawn,
+    quarantine — see :mod:`repro.runtime.mp`), so a normal
+    ``run_units`` call no longer raises this; the crash texts land in
+    ``BatchResult.errors`` instead.  The class is kept public for
+    callers that still catch it.
+    """

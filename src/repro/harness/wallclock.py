@@ -20,7 +20,11 @@ Per suite entry the record holds:
   the test suite instead).
 
 ``python -m repro bench`` is the CLI entry point (``--smoke`` for the
-CI-sized variant).
+CI-sized variant, ``--faults`` to add the fault-injection drill: a
+4-worker share-nothing run with worker 0 killed mid-batch, asserting
+the batch completes with zero lost queries, byte-identical answers,
+and at least one retried chunk — the recovery paths of
+:mod:`repro.runtime.mp` exercised against real process deaths).
 """
 
 from __future__ import annotations
@@ -37,15 +41,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.benchgen.suites import load_benchmark, spec_of, suite_names
 from repro.core.engine import CFLEngine
 from repro.runtime.executor import ParallelCFL
+from repro.runtime.faults import FaultPlan
+from repro.runtime.mp import MPExecutor
 
 __all__ = [
     "SuiteBench",
     "run",
+    "fault_drill",
     "render",
     "write_json",
     "DEFAULT_WORKERS",
     "SMOKE_SUITES",
     "SMOKE_WORKERS",
+    "FAULT_DRILL_WORKERS",
 ]
 
 DEFAULT_WORKERS: Tuple[int, ...] = (1, 2, 4, 8)
@@ -53,6 +61,10 @@ DEFAULT_WORKERS: Tuple[int, ...] = (1, 2, 4, 8)
 #: The CI-sized subset: the three smallest entries by budget/queries.
 SMOKE_SUITES: Tuple[str, ...] = ("_200_check", "_999_checkit", "_209_db")
 SMOKE_WORKERS: Tuple[int, ...] = (1, 2)
+
+#: Worker count for the ``--faults`` drill (the acceptance scenario:
+#: kill 1 of 4 workers mid-batch).
+FAULT_DRILL_WORKERS = 4
 
 
 @dataclass
@@ -166,6 +178,54 @@ def bench_suite(
     return row
 
 
+def fault_drill(name: str, workers: int = FAULT_DRILL_WORKERS) -> dict:
+    """The acceptance scenario as a benchable smoke check: run the
+    suite share-nothing on ``workers`` processes with worker 0 killed
+    after its first work unit (and respawned at most once, so the
+    killer keeps one survivor down).  Reports whether the batch
+    completed with zero lost queries, answers byte-identical to the
+    sequential baseline, and at least one chunk recorded as retried.
+    """
+    spec = spec_of(name)
+    build = load_benchmark(name)
+    queries = spec.workload()
+    cfg = spec.engine_config()
+
+    engine = CFLEngine(build.pag, cfg)
+    expected = {
+        (q.var, q.ctx): engine.run_query(q).objects for q in queries
+    }
+
+    plan = FaultPlan.single("kill", worker=0, after_units=1)
+    ex = MPExecutor(
+        build.pag, n_workers=workers, engine_config=cfg, sharing=False,
+        faults=plan, max_respawns=1,
+    )
+    batch = ex.run(queries)
+
+    lost = len(queries) - batch.n_queries
+    identical = lost == 0 and all(
+        e.result.objects == expected[(e.result.query.var, e.result.query.ctx)]
+        for e in batch.executions
+    )
+    return {
+        "suite": name,
+        "workers": workers,
+        "n_queries": len(queries),
+        "lost": lost,
+        "identical": identical,
+        "crashes": batch.n_worker_crashes,
+        "retries": batch.n_chunk_retries,
+        "chunks_retried": batch.n_chunks_retried,
+        "chunks_quarantined": batch.n_chunks_quarantined,
+        "respawns": batch.n_worker_respawns,
+        "ok": bool(
+            lost == 0 and identical and batch.n_chunks_retried >= 1
+            and batch.n_worker_crashes >= 1
+        ),
+    }
+
+
 def run(
     benchmarks: Optional[Sequence[str]] = None,
     workers: Sequence[int] = DEFAULT_WORKERS,
@@ -173,6 +233,7 @@ def run(
     mode: str = "D",
     verify: bool = True,
     smoke: bool = False,
+    faults: bool = False,
 ) -> dict:
     """Run the wall-clock comparison; returns the JSON-ready payload."""
     if smoke:
@@ -188,7 +249,7 @@ def run(
         for w, s in row.speedup.items():
             if best is None or s > best[2]:
                 best = (row.name, w, s)
-    return {
+    payload = {
         "meta": {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "host_cpus": os.cpu_count(),
@@ -198,6 +259,7 @@ def run(
             "workers": sorted(set(workers)),
             "repeat": repeat,
             "smoke": smoke,
+            "faults": faults,
         },
         "suites": [row.as_dict() for row in rows],
         "best_speedup": (
@@ -207,6 +269,11 @@ def run(
         ),
         "all_identical": all(r.identical in (True, None) for r in rows),
     }
+    if faults:
+        drills = [fault_drill(name) for name in names]
+        payload["fault_drill"] = drills
+        payload["faults_ok"] = all(d["ok"] for d in drills)
+    return payload
 
 
 def render(payload: dict) -> str:
@@ -236,6 +303,21 @@ def render(payload: dict) -> str:
             f"best speedup: {best['speedup']:.2f}x on {best['suite']} "
             f"with {best['workers']} workers"
         )
+    drills = payload.get("fault_drill")
+    if drills:
+        lines.append(
+            f"FAULT DRILL (kill worker 0 of "
+            f"{drills[0]['workers']} after 1 unit, share-nothing)"
+        )
+        for d in drills:
+            verdict = "ok" if d["ok"] else "FAILED"
+            lines.append(
+                f"{d['suite']:16s} lost={d['lost']} "
+                f"identical={'yes' if d['identical'] else 'NO'} "
+                f"crashes={d['crashes']} retried={d['chunks_retried']} "
+                f"quarantined={d['chunks_quarantined']} "
+                f"respawns={d['respawns']}  [{verdict}]"
+            )
     return "\n".join(lines)
 
 
@@ -252,12 +334,13 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
 
     parser = argparse.ArgumentParser(prog="repro-wallclock")
     parser.add_argument("--smoke", action="store_true")
+    parser.add_argument("--faults", action="store_true")
     parser.add_argument("--out", type=Path, default=Path("BENCH_parallel.json"))
     args = parser.parse_args(argv)
-    payload = run(smoke=args.smoke)
+    payload = run(smoke=args.smoke, faults=args.faults)
     print(render(payload))
     write_json(payload, args.out)
-    return 0
+    return 0 if payload.get("faults_ok", True) else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,6 +22,7 @@ scheduling).
 """
 
 from repro.runtime.contention import CostModel
+from repro.runtime.faults import FaultInjector, FaultPlan, FaultSpec, InjectedFault
 from repro.runtime.intraquery import intra_query_makespan, intra_query_speedup
 from repro.runtime.executor import ParallelCFL
 from repro.runtime.mp import MPExecutor, WorkerCrash
@@ -33,6 +34,10 @@ __all__ = [
     "BatchResult",
     "ConcurrentJumpMap",
     "CostModel",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "intra_query_makespan",
     "intra_query_speedup",
     "MPExecutor",

@@ -55,6 +55,8 @@ class ParallelCFL:
         types: Optional[TypeTable] = None,
         backend: str = "sim",
         chunk_size: Optional[int] = None,
+        faults=None,
+        unit_timeout: Optional[float] = None,
     ) -> None:
         if mode not in MODES:
             raise RuntimeConfigError(f"mode must be one of {MODES}, got {mode!r}")
@@ -76,6 +78,10 @@ class ParallelCFL:
         self.types = types
         self.backend = backend
         self.chunk_size = chunk_size
+        #: Fault-injection plan and per-chunk deadline, consumed by the
+        #: mp backend only (see :mod:`repro.runtime.faults`).
+        self.faults = faults
+        self.unit_timeout = unit_timeout
 
     # ------------------------------------------------------------------
     @property
@@ -113,6 +119,8 @@ class ParallelCFL:
                 sharing=self.sharing,
                 mode=self.mode,
                 chunk_size=self.chunk_size,
+                faults=self.faults,
+                unit_timeout=self.unit_timeout,
             )
             return mexec.run_units(units)
         if self.backend == "threads":

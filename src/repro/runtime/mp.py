@@ -29,6 +29,43 @@ model (DESIGN.md §4): a query observes exactly the jump edges committed
 by units that finished before its unit was dispatched — the distributed
 analogue of the lock-striped in-memory map, with identical
 first-writer-wins / finished-clears-unfinished conflict resolution.
+
+Fault tolerance
+---------------
+
+A worker death must cost the batch a requeue, never an answer.  The
+coordinator tracks **chunk ownership**: every dispatched chunk is
+*in flight* on exactly one worker until its ``("done", ...)`` message
+arrives.  A worker that exits (``EOFError`` on the pipe), reports an
+exception, sends a malformed message, or blows the per-unit deadline
+(``unit_timeout``) is terminated; its in-flight chunk is **requeued**
+to the front of the work list, and the slot is **respawned** with
+exponential backoff until the respawn budget (``max_respawns``) runs
+out.  A chunk requeued more than ``max_chunk_retries`` times is a
+*poison chunk*: it is **quarantined** and executed inline by the
+coordinator (sequential, in-process), so even a chunk that reliably
+kills workers still gets answered.  If every worker is gone and the
+respawn budget is spent, the remaining work is drained inline the same
+way — ``run_units`` completes the batch instead of aborting.
+
+Epoch safety under requeue: a worker's ``sent_epoch`` only advances
+after a dispatch **send succeeds**, a respawned slot restarts from
+epoch 0 (it receives the full log with its first chunk), and a
+requeued chunk simply re-ships the log suffix for its new owner.
+Re-executed or duplicated deltas are harmless because the merge is
+idempotent (first writer wins); at worst a retried chunk observes a
+*later* epoch than its first attempt did — still a valid commit-order
+view, the same latitude any dispatch-order change already has.  Crash
+recovery therefore keeps shared-mode answers inside the commit-order
+model and leaves share-nothing answers byte-identical to ``SeqCFL``
+(each query is a pure function of the frozen snapshot).
+
+Failures injectable via :mod:`repro.runtime.faults` exercise every one
+of these paths in the tests and in ``repro bench --faults``; outcomes
+are reported per chunk in ``BatchResult.chunk_status`` (``completed`` /
+``retried`` / ``quarantined``) with ``n_worker_crashes`` /
+``n_chunk_retries`` / ``n_worker_respawns`` counters and the recovered
+crash texts in ``BatchResult.errors``.
 """
 
 from __future__ import annotations
@@ -36,25 +73,27 @@ from __future__ import annotations
 import multiprocessing
 import time
 import traceback
+from collections import deque
 from multiprocessing import connection as mp_connection
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.engine import CFLEngine, EngineConfig
 from repro.core.jumpmap import JumpMap, LayeredJumpMap
 from repro.core.query import Query
-from repro.errors import RuntimeConfigError, ReproError
+from repro.errors import RuntimeConfigError, WorkerCrash
 from repro.pag.graph import PAG, FrozenPAG
+from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.results import BatchResult, QueryExecution
 
-__all__ = ["MPExecutor", "WorkerCrash"]
+__all__ = ["MPExecutor", "WorkerCrash", "COORDINATOR"]
 
 #: One committed jump entry in transit: ("fin", key, edges) or
 #: ("unf", key, steps).
 DeltaEntry = Tuple[str, tuple, object]
 
-
-class WorkerCrash(ReproError):
-    """A worker process died or raised; carries its traceback text."""
+#: Pseudo worker id recorded on executions the coordinator ran inline
+#: (quarantined chunks and the no-workers-left drain).
+COORDINATOR = -1
 
 
 def _apply_delta(jumps: JumpMap, delta: Sequence[DeltaEntry]) -> None:
@@ -68,22 +107,28 @@ def _apply_delta(jumps: JumpMap, delta: Sequence[DeltaEntry]) -> None:
             jumps.insert_unfinished(key, payload)
 
 
-def _worker_main(conn, pag, engine_config, sharing: bool) -> None:
-    """Worker loop: receive (units, delta) messages, answer with
-    (records, delta) until told to stop.  Runs in a child process."""
+def _worker_main(conn, pag, engine_config, sharing: bool,
+                 worker_id: int = 0, faults: Optional[FaultPlan] = None) -> None:
+    """Worker loop: receive ("unit", chunk_id, units, delta) messages,
+    answer with ("done", chunk_id, records, delta) until told to stop.
+    Runs in a child process."""
     jumps = JumpMap() if sharing else None
+    injector = FaultInjector(faults, worker_id, conn) if faults else None
     perf = time.perf_counter
+    chunk_id: Optional[int] = None
     try:
         while True:
             msg = conn.recv()
             if msg[0] == "stop":
                 return
-            _tag, unit_chunk, delta = msg
+            _tag, chunk_id, unit_chunk, delta = msg
             if sharing and delta:
                 _apply_delta(jumps, delta)
             records: List[Tuple[object, float, float]] = []
             out_delta: List[DeltaEntry] = []
             for unit in unit_chunk:
+                if injector is not None:
+                    injector.on_unit_start()
                 for query in unit:
                     if sharing:
                         layer = LayeredJumpMap(jumps)
@@ -106,12 +151,14 @@ def _worker_main(conn, pag, engine_config, sharing: bool) -> None:
                             if jumps.insert_unfinished(key, steps):
                                 out_delta.append(("unf", key, steps))
                     records.append((result, t0, t1))
-            conn.send(("done", records, out_delta))
+                if injector is not None:
+                    injector.on_unit_end()
+            conn.send(("done", chunk_id, records, out_delta))
     except EOFError:
         return  # coordinator went away; die quietly
     except BaseException:
         try:
-            conn.send(("error", traceback.format_exc()))
+            conn.send(("error", chunk_id, traceback.format_exc()))
         except (BrokenPipeError, OSError):
             pass
     finally:
@@ -127,6 +174,24 @@ class MPExecutor:
     ``BatchResult.makespan`` is wall-clock seconds for the whole batch
     and each :class:`QueryExecution` carries the worker's measured
     per-query times.
+
+    Recovery knobs (see the module docstring for the state machine):
+
+    ``max_chunk_retries``
+        Requeues a chunk survives before it is quarantined and run
+        inline by the coordinator.
+    ``max_respawns``
+        Total worker respawns across the batch (default
+        ``2 * n_workers``); respawn delay backs off exponentially from
+        ``respawn_backoff`` seconds per slot, capped at 1 s.
+    ``unit_timeout``
+        Per-chunk deadline in seconds; a worker past it is treated as
+        wedged — killed, respawned, its chunk reassigned to a survivor.
+        ``None`` (the default) disables the deadline.
+    ``faults``
+        A :class:`~repro.runtime.faults.FaultPlan` shipped to workers
+        for fault-injection runs; defaults to
+        ``engine_config.faults``, then the ``REPRO_FAULTS`` env var.
     """
 
     def __init__(
@@ -138,11 +203,28 @@ class MPExecutor:
         mode: str = "mp",
         chunk_size: Optional[int] = None,
         start_method: Optional[str] = None,
+        max_chunk_retries: int = 2,
+        max_respawns: Optional[int] = None,
+        unit_timeout: Optional[float] = None,
+        respawn_backoff: float = 0.05,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if n_workers < 1:
             raise RuntimeConfigError(f"n_workers must be >= 1, got {n_workers}")
         if chunk_size is not None and chunk_size < 1:
             raise RuntimeConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+        if max_chunk_retries < 0:
+            raise RuntimeConfigError(
+                f"max_chunk_retries must be >= 0, got {max_chunk_retries}"
+            )
+        if max_respawns is not None and max_respawns < 0:
+            raise RuntimeConfigError(
+                f"max_respawns must be >= 0, got {max_respawns}"
+            )
+        if unit_timeout is not None and unit_timeout <= 0:
+            raise RuntimeConfigError(
+                f"unit_timeout must be > 0, got {unit_timeout}"
+            )
         self.pag = pag if isinstance(pag, FrozenPAG) else pag.freeze()
         self.n_workers = n_workers
         self.engine_config = engine_config or EngineConfig()
@@ -156,6 +238,15 @@ class MPExecutor:
                 else "spawn"
             )
         self.start_method = start_method
+        self.max_chunk_retries = max_chunk_retries
+        self.max_respawns = max_respawns
+        self.unit_timeout = unit_timeout
+        self.respawn_backoff = respawn_backoff
+        if faults is None:
+            faults = getattr(self.engine_config, "faults", None)
+        if faults is None:
+            faults = FaultPlan.from_env()
+        self.faults = faults
         #: The coordinator's authoritative jump map (reusable across
         #: batches, like the other executors' shared maps).
         self.jumps: Optional[JumpMap] = JumpMap() if sharing else None
@@ -199,106 +290,260 @@ class MPExecutor:
 
     # ------------------------------------------------------------------
     def run_units(self, units: Sequence[Sequence[Query]]) -> BatchResult:
-        """Execute the work units and return the batch record."""
+        """Execute the work units and return the batch record.
+
+        Completes the batch even under worker failures — see the
+        module docstring for the recovery state machine.  The returned
+        :class:`BatchResult` carries per-chunk outcomes and the
+        crash/retry/respawn counters; a clean run has every chunk
+        ``completed`` and all counters at zero.
+        """
         chunks = self._chunks(units, self.n_workers)
         if not chunks:
+            # No workers are spawned for an empty batch; report that
+            # honestly (n_threads=0, no busy slots) so utilisation
+            # comparisons are not skewed against the non-empty path,
+            # which reports the spawned count min(n_workers, n_chunks).
             return BatchResult(
-                mode=self.mode, n_threads=self.n_workers, executions=[],
-                makespan=0.0, worker_busy=[0.0] * self.n_workers,
+                mode=self.mode, n_threads=0, executions=[],
+                makespan=0.0, worker_busy=[],
             )
         n = min(self.n_workers, len(chunks))
         ctx = multiprocessing.get_context(self.start_method)
+        max_respawns = (
+            self.max_respawns if self.max_respawns is not None else 2 * n
+        )
 
-        conns = []
-        procs = []
-        for _w in range(n):
+        n_chunks = len(chunks)
+        pending: Deque[int] = deque(range(n_chunks))
+        status: List[str] = ["pending"] * n_chunks
+        retries: List[int] = [0] * n_chunks
+        done: Set[int] = set()
+        #: worker -> (chunk id, deadline timestamp)
+        inflight: Dict[int, Tuple[int, float]] = {}
+        crashes = respawns = total_retries = 0
+        slot_respawns = [0] * n
+
+        conns: List[Optional[object]] = [None] * n
+        procs: List[Optional[object]] = [None] * n
+        alive = [False] * n
+        sent_epoch = [0] * n       # per-worker last-broadcast log index
+        busy = [0.0] * n
+        executions: List[QueryExecution] = []
+        errors: List[str] = []
+        perf = time.perf_counter
+
+        def spawn(w: int) -> None:
             parent, child = ctx.Pipe()
             proc = ctx.Process(
                 target=_worker_main,
-                args=(child, self.pag, self.engine_config, self.sharing),
+                args=(child, self.pag, self.engine_config, self.sharing,
+                      w, self.faults),
                 daemon=True,
             )
             proc.start()
             child.close()
-            conns.append(parent)
-            procs.append(proc)
+            conns[w] = parent
+            procs[w] = proc
+            alive[w] = True
+            # A fresh worker has an empty base map: restart its epoch so
+            # the first dispatch ships the full commit log.
+            sent_epoch[w] = 0
 
-        sent_epoch = [0] * n       # per-worker last-broadcast log index
-        busy = [0.0] * n
-        executions: List[QueryExecution] = []
-        next_chunk = 0
-        stopped = [False] * n
-        by_conn: Dict[object, int] = {c: w for w, c in enumerate(conns)}
-        t0 = time.perf_counter()
+        for w in range(n):
+            spawn(w)
+        t0 = perf()
 
-        def dispatch(w: int) -> None:
-            nonlocal next_chunk
-            delta = self._log[sent_epoch[w]:] if self.sharing else ()
+        def run_inline(ci: int) -> None:
+            """Quarantine path: answer the chunk in-process, committing
+            any accepted jump entries straight onto the authoritative
+            map/log (the coordinator *is* the commit point)."""
+            for unit in chunks[ci]:
+                for query in unit:
+                    if self.sharing:
+                        layer = LayeredJumpMap(self.jumps)
+                        engine = CFLEngine(self.pag, self.engine_config,
+                                           jumps=layer)
+                    else:
+                        engine = CFLEngine(self.pag, self.engine_config)
+                    q0 = perf()
+                    result = engine.run_query(query)
+                    q1 = perf()
+                    if self.sharing:
+                        delta = [
+                            ("fin", key, edges)
+                            for key, edges in layer.overlay.finished_items()
+                        ] + [
+                            ("unf", key, steps)
+                            for key, steps in layer.overlay.unfinished_items()
+                        ]
+                        self._merge_delta(delta)
+                    executions.append(
+                        QueryExecution(result, COORDINATOR, q0 - t0, q1 - t0)
+                    )
+            status[ci] = "quarantined"
+            done.add(ci)
+
+        def requeue(ci: int, reason: str) -> None:
+            nonlocal total_retries
+            retries[ci] += 1
+            total_retries += 1
+            errors.append(reason)
+            if retries[ci] > self.max_chunk_retries:
+                run_inline(ci)
+            else:
+                pending.appendleft(ci)
+
+        def fail_worker(w: int, reason: str) -> None:
+            """Declare worker ``w`` lost: requeue its chunk, terminate
+            the process, respawn the slot if budget remains."""
+            nonlocal crashes, respawns
+            crashes += 1
+            alive[w] = False
+            try:
+                conns[w].close()
+            except OSError:
+                pass
+            proc = procs[w]
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+            entry = inflight.pop(w, None)
+            if entry is not None:
+                requeue(entry[0], f"worker {w}: {reason}")
+            else:
+                errors.append(f"worker {w} (idle): {reason}")
+            if respawns < max_respawns:
+                respawns += 1
+                slot_respawns[w] += 1
+                delay = min(
+                    self.respawn_backoff * (2 ** (slot_respawns[w] - 1)), 1.0
+                )
+                time.sleep(delay)
+                spawn(w)
+
+        def dispatch(w: int, ci: int) -> None:
+            delta = tuple(self._log[sent_epoch[w]:]) if self.sharing else ()
+            try:
+                conns[w].send(("unit", ci, chunks[ci], delta))
+            except (BrokenPipeError, OSError, ValueError) as exc:
+                # The chunk was never delivered: requeue it and fail the
+                # worker.  Crucially, sent_epoch must NOT have advanced —
+                # the chunk's eventual owner still needs this log suffix.
+                requeue(ci, f"worker {w}: dispatch failed ({exc!r})")
+                fail_worker(w, f"dispatch failed ({exc!r})")
+                return
+            # Advance the epoch watermark only after a successful send.
             sent_epoch[w] = len(self._log)
-            conns[w].send(("unit", chunks[next_chunk], delta))
-            next_chunk += 1
+            deadline = (
+                perf() + self.unit_timeout if self.unit_timeout else float("inf")
+            )
+            inflight[w] = (ci, deadline)
 
-        def stop(w: int) -> None:
-            if not stopped[w]:
-                conns[w].send(("stop",))
-                stopped[w] = True
+        def handle(conn, w: int) -> None:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                exitcode = procs[w].exitcode if procs[w] is not None else None
+                fail_worker(w, f"exited without reporting (exitcode={exitcode})")
+                return
+            ok_done = (
+                isinstance(msg, tuple) and len(msg) == 4 and msg[0] == "done"
+                and isinstance(msg[1], int)
+            )
+            ok_error = (
+                isinstance(msg, tuple) and len(msg) == 3 and msg[0] == "error"
+            )
+            if ok_error:
+                fail_worker(w, f"raised:\n{msg[2]}")
+                return
+            if not ok_done:
+                fail_worker(w, f"sent garbage: {str(msg)[:120]!r}")
+                return
+            _tag, ci, records, delta = msg
+            inflight.pop(w, None)
+            if self.sharing and delta:
+                # Merge even a straggler's delta: idempotent, and its
+                # entries are legitimate commits.
+                self._merge_delta(delta)
+            if ci in done:
+                return  # duplicate answer from a reassigned straggler
+            done.add(ci)
+            status[ci] = "retried" if retries[ci] else "completed"
+            for result, start, finish in records:
+                executions.append(
+                    QueryExecution(result, w, start - t0, finish - t0)
+                )
+                busy[w] += finish - start
 
         try:
-            for w in range(n):
-                if next_chunk < len(chunks):
-                    dispatch(w)
-                else:
-                    stop(w)
-            inflight = sum(1 for s in stopped if not s)
-            while inflight:
-                for conn in mp_connection.wait(
-                    [c for w, c in enumerate(conns) if not stopped[w]]
-                ):
-                    w = by_conn[conn]
-                    try:
-                        msg = conn.recv()
-                    except EOFError:
-                        raise WorkerCrash(
-                            f"worker {w} exited without reporting its unit "
-                            f"(exitcode={procs[w].exitcode})"
-                        ) from None
-                    if msg[0] == "error":
-                        raise WorkerCrash(
-                            f"worker {w} raised:\n{msg[1]}"
-                        )
-                    _tag, records, delta = msg
-                    if self.sharing and delta:
-                        self._merge_delta(delta)
-                    for result, start, finish in records:
-                        executions.append(
-                            QueryExecution(result, w, start - t0, finish - t0)
-                        )
-                        busy[w] += finish - start
-                    if next_chunk < len(chunks):
-                        dispatch(w)
-                    else:
-                        stop(w)
-                        inflight -= 1
+            while len(done) < n_chunks:
+                for w in range(n):
+                    if pending and alive[w] and w not in inflight:
+                        dispatch(w, pending.popleft())
+                if not any(alive):
+                    # Every worker is gone and the respawn budget is
+                    # spent: drain what is left inline so the batch
+                    # still completes with zero lost queries.
+                    while pending:
+                        run_inline(pending.popleft())
+                    continue
+                wait_conns = {
+                    conns[w]: w for w in range(n) if alive[w]
+                }
+                timeout = None
+                if self.unit_timeout and inflight:
+                    now = perf()
+                    soonest = min(dl for _ci, dl in inflight.values())
+                    timeout = max(0.0, soonest - now) + 0.01
+                ready = mp_connection.wait(list(wait_conns), timeout)
+                for conn in ready:
+                    w = wait_conns[conn]
+                    # fail_worker inside this loop may already have
+                    # replaced the slot; only handle current pipes.
+                    if alive[w] and conns[w] is conn:
+                        handle(conn, w)
+                if self.unit_timeout:
+                    now = perf()
+                    for w, (ci, dl) in list(inflight.items()):
+                        if now > dl and alive[w]:
+                            fail_worker(
+                                w,
+                                f"unit deadline exceeded "
+                                f"({self.unit_timeout}s) on chunk {ci}",
+                            )
         finally:
-            for w, proc in enumerate(procs):
+            for w in range(n):
+                if conns[w] is None:
+                    continue
+                if alive[w]:
+                    try:
+                        conns[w].send(("stop",))
+                    except (BrokenPipeError, OSError):
+                        pass
                 try:
-                    stop(w)
-                except (BrokenPipeError, OSError):
+                    conns[w].close()
+                except OSError:
                     pass
-                conns[w].close()
             for proc in procs:
+                if proc is None:
+                    continue
                 proc.join(timeout=5.0)
                 if proc.is_alive():
                     proc.terminate()
                     proc.join(timeout=5.0)
 
-        makespan = time.perf_counter() - t0
+        makespan = perf() - t0
         result = BatchResult(
             mode=self.mode,
             n_threads=n,
             executions=executions,
             makespan=makespan,
             worker_busy=busy,
+            chunk_status=status,
+            n_worker_crashes=crashes,
+            n_chunk_retries=total_retries,
+            n_worker_respawns=respawns,
+            errors=errors,
         )
         if self.jumps is not None:
             result.n_jumps = self.jumps.n_jumps

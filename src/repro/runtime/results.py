@@ -49,6 +49,22 @@ class BatchResult:
     #: traversal footprints of concurrently running queries, plus the
     #: jump map's final size (Section IV-D5).
     peak_memory_proxy: float = 0.0
+    #: Per-dispatch-chunk terminal outcome, indexed by chunk id:
+    #: ``"completed"`` (first owner answered), ``"retried"`` (answered
+    #: after >= 1 requeue), or ``"quarantined"`` (executed inline by
+    #: the coordinator — poison chunk or no workers left).  Empty for
+    #: backends without chunk tracking.
+    chunk_status: List[str] = field(default_factory=list)
+    #: Worker failures observed (process exits, reported exceptions,
+    #: garbage messages, deadline kills).
+    n_worker_crashes: int = 0
+    #: Chunk requeues performed, counted per occurrence.
+    n_chunk_retries: int = 0
+    #: Worker slots respawned after a failure.
+    n_worker_respawns: int = 0
+    #: Diagnostic text for every *recovered* failure (empty on a clean
+    #: run); the batch still completed despite these.
+    errors: List[str] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -106,10 +122,24 @@ class BatchResult:
         return sum(1 for e in self.executions if e.result.exhausted)
 
     @property
+    def n_chunks_retried(self) -> int:
+        """Chunks answered after at least one requeue."""
+        return sum(1 for s in self.chunk_status if s == "retried")
+
+    @property
+    def n_chunks_quarantined(self) -> int:
+        """Chunks the coordinator had to execute inline."""
+        return sum(1 for s in self.chunk_status if s == "quarantined")
+
+    @property
     def utilisation(self) -> float:
-        """Mean worker busy fraction of the makespan."""
+        """Mean worker busy fraction of the makespan.
+
+        An empty or zero-makespan batch did no work on no workers, so
+        its utilisation is 0.0 (not a vacuous 1.0 that would skew
+        cross-mode comparisons)."""
         if not self.worker_busy or self.makespan <= 0:
-            return 1.0
+            return 0.0
         return sum(self.worker_busy) / (len(self.worker_busy) * self.makespan)
 
     def speedup_over(self, baseline: "BatchResult") -> float:
@@ -136,8 +166,15 @@ class BatchResult:
         }
 
     def __repr__(self) -> str:
+        fault = ""
+        if self.n_worker_crashes or self.n_chunk_retries:
+            fault = (
+                f", crashes={self.n_worker_crashes}"
+                f", retries={self.n_chunk_retries}"
+                f", quarantined={self.n_chunks_quarantined}"
+            )
         return (
             f"BatchResult(mode={self.mode!r}, t={self.n_threads}, "
             f"queries={self.n_queries}, makespan={self.makespan:.0f}, "
-            f"jumps={self.n_jumps}, ETs={self.n_early_terminations})"
+            f"jumps={self.n_jumps}, ETs={self.n_early_terminations}{fault})"
         )

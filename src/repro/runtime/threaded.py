@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import threading
 import time
+import traceback
 from collections import deque
 from typing import Deque, List, Optional, Sequence, Tuple
 
@@ -152,41 +153,64 @@ class ThreadedExecutor:
         batch).  Per-query wall times are measured with
         ``perf_counter`` relative to the batch start; they are honest
         but GIL-serialised — see the module docstring.
+
+        A unit whose execution raises does not abort the batch: the
+        worker thread survives, every completed unit's results are
+        kept, and the failed unit is retried once inline after the
+        drain (a failure can be a concurrency artifact).  Outcomes are
+        reported per unit in ``BatchResult.chunk_status`` with the same
+        ``completed`` / ``retried`` / ``quarantined`` vocabulary as the
+        mp backend, and every captured traceback — not just the first —
+        lands in ``BatchResult.errors``.
         """
-        work: Deque[Sequence[Query]] = deque(units)
+        units = [list(u) for u in units]
+        work: Deque[Tuple[int, List[Query]]] = deque(enumerate(units))
+        status: List[str] = ["completed"] * len(units)
         work_lock = threading.Lock()
         out_lock = threading.Lock()
         executions: List[QueryExecution] = []
         busy = [0.0] * self.n_threads
-        errors: List[BaseException] = []
+        errors: List[str] = []
         perf = time.perf_counter
         t0 = perf()
 
-        def fetch() -> Optional[Sequence[Query]]:
+        def fetch() -> Optional[Tuple[int, List[Query]]]:
             with work_lock:
                 return work.popleft() if work else None
 
+        def run_unit(unit: Sequence[Query], wid: int) -> Tuple[List[QueryExecution], float]:
+            """One unit's executions, buffered so that a mid-unit
+            failure publishes nothing (the retry re-runs it whole)."""
+            out: List[QueryExecution] = []
+            spent = 0.0
+            for query in unit:
+                engine = CFLEngine(self.pag, self.engine_config, jumps=self.jumps)
+                start = perf() - t0
+                result = engine.run_query(query)
+                finish = perf() - t0
+                out.append(QueryExecution(result, wid, start, finish))
+                spent += finish - start
+            return out, spent
+
         def worker(wid: int) -> None:
-            try:
-                while True:
-                    unit = fetch()
-                    if unit is None:
-                        return
-                    for query in unit:
-                        engine = CFLEngine(
-                            self.pag, self.engine_config, jumps=self.jumps
+            while True:
+                item = fetch()
+                if item is None:
+                    return
+                idx, unit = item
+                try:
+                    records, spent = run_unit(unit, wid)
+                except BaseException:
+                    with out_lock:
+                        errors.append(
+                            f"unit {idx} failed on thread {wid}:\n"
+                            f"{traceback.format_exc()}"
                         )
-                        start = perf() - t0
-                        result = engine.run_query(query)
-                        finish = perf() - t0
-                        with out_lock:
-                            executions.append(
-                                QueryExecution(result, wid, start, finish)
-                            )
-                            busy[wid] += finish - start
-            except BaseException as exc:  # surfaced to the caller below
+                        status[idx] = "failed"
+                    continue  # the thread survives; fetch the next unit
                 with out_lock:
-                    errors.append(exc)
+                    executions.extend(records)
+                    busy[wid] += spent
 
         threads = [
             threading.Thread(target=worker, args=(w,), daemon=True)
@@ -196,8 +220,25 @@ class ThreadedExecutor:
             t.start()
         for t in threads:
             t.join()
-        if errors:
-            raise errors[0]
+
+        # One inline, sequential retry per failed unit; a unit that
+        # fails deterministically is quarantined with its traceback.
+        n_retries = 0
+        for idx, st in enumerate(status):
+            if st != "failed":
+                continue
+            n_retries += 1
+            try:
+                records, _spent = run_unit(units[idx], -1)
+            except BaseException:
+                errors.append(
+                    f"unit {idx} failed again on inline retry:\n"
+                    f"{traceback.format_exc()}"
+                )
+                status[idx] = "quarantined"
+                continue
+            executions.extend(records)
+            status[idx] = "retried"
 
         result = BatchResult(
             mode=self.mode,
@@ -205,6 +246,9 @@ class ThreadedExecutor:
             executions=executions,
             makespan=perf() - t0,
             worker_busy=busy,
+            chunk_status=status,
+            n_chunk_retries=n_retries,
+            errors=errors,
         )
         if self.jumps is not None:
             (

@@ -4,7 +4,7 @@ Fig. 5 worked example's ordering."""
 import pytest
 
 from repro.core import Query, ScheduleConfig, connection_distances, schedule_queries
-from repro.core.scheduling import QueryGroup
+from repro.core.scheduling import MERGED_COMPONENT, QueryGroup
 from repro.errors import SchedulingError
 from repro.ir.types import TypeTable
 from repro.pag import PAG
@@ -166,6 +166,30 @@ class TestSplitMerge:
         )
         assert len(groups) == 2
         assert all(len(g) == 2 for g in groups)
+
+    def test_merge_across_components_drops_stale_id(self):
+        # Regression: a group absorbing another component's queries
+        # used to keep the first component's id, silently mislabelling
+        # half its members.  Cross-component merges must carry the
+        # MERGED_COMPONENT sentinel instead.
+        pag, comps = self.make_components([1, 1, 1, 1])
+        queries = [Query(ids[0]) for ids in comps]
+        groups = schedule_queries(
+            pag, queries, config=ScheduleConfig(target_group_size=2, split_large=False)
+        )
+        assert len(groups) == 2
+        assert all(g.component == MERGED_COMPONENT for g in groups)
+
+    def test_same_component_merge_keeps_id(self):
+        # Splitting one component then re-merging its pieces never
+        # crosses a component boundary, so the real id survives.
+        pag, comps = self.make_components([4])
+        queries = [Query(v) for v in comps[0]]
+        groups = schedule_queries(
+            pag, queries, config=ScheduleConfig(target_group_size=4)
+        )
+        assert len(groups) == 1
+        assert groups[0].component != MERGED_COMPONENT
 
     def test_default_target_is_mean(self):
         pag, comps = self.make_components([4, 2])

@@ -65,7 +65,8 @@ class TestBatchResultAggregates:
         )
         assert empty.total_steps == 0
         assert empty.saved_ratio == 0.0
-        assert empty.utilisation == 1.0
+        # An empty batch did no work: utilisation is 0, not a perfect 1.
+        assert empty.utilisation == 0.0
         assert empty.allocation_proxy == 0
         assert empty.points_to_map() == {}
 

@@ -172,6 +172,34 @@ class TestThreadedExecutor:
         with pytest.raises(RuntimeConfigError):
             ConcurrentJumpMap(n_stripes=0)
 
+    def test_failed_unit_keeps_partial_results(self, fig2):
+        # Regression: a unit that raised used to discard every
+        # completed execution and re-raise.  Now the good units'
+        # results survive and the failure is reported per unit.
+        b, _ = fig2
+        queries = [Query(v) for v in b.pag.app_locals()]
+        units = [[q] for q in queries] + [[object()]]  # poison unit last
+        batch = ThreadedExecutor(b.pag, n_threads=4, sharing=False).run_units(units)
+        assert batch.n_queries == len(queries)
+        got = sorted(e.result.query.var for e in batch.executions)
+        assert got == sorted(q.var for q in queries)
+        assert batch.chunk_status[-1] == "quarantined"
+        assert all(s == "completed" for s in batch.chunk_status[:-1])
+        assert batch.n_chunk_retries == 1
+        assert batch.errors
+
+    def test_every_failure_reported_not_just_first(self, fig2):
+        # Regression: only the first captured error used to surface.
+        b, _ = fig2
+        queries = [Query(v) for v in b.pag.app_locals()]
+        units = [[object()], [[q] for q in queries][0], [object()]]
+        batch = ThreadedExecutor(b.pag, n_threads=2, sharing=False).run_units(units)
+        assert batch.chunk_status[0] == batch.chunk_status[2] == "quarantined"
+        assert batch.chunk_status[1] == "completed"
+        # each poison unit reports twice: thread failure + failed retry
+        assert sum("unit 0 " in e for e in batch.errors) == 2
+        assert sum("unit 2 " in e for e in batch.errors) == 2
+
 
 class TestParallelCFL:
     @pytest.mark.parametrize("mode", ["seq", "naive", "D", "DQ"])
