@@ -6,7 +6,7 @@ the Fig. 6 magnitudes depend on them — and that the *ordering*
 (naive < D < DQ) is robust across the sweep."""
 
 from repro.benchgen.suites import load_benchmark, spec_of
-from repro.runtime import CostModel, ParallelCFL
+from repro.runtime import CostModel, ParallelCFL, RuntimeConfig
 
 BENCH = "_202_jess"
 
@@ -16,14 +16,19 @@ def _speedups(cost_model):
     build = load_benchmark(BENCH)
     queries = spec.workload()
     cfg = spec.engine_config()
-    seq = ParallelCFL(build, mode="seq", engine_config=cfg, cost_model=cost_model).run(queries)
-    out = {}
-    for mode in ("naive", "D", "DQ"):
-        batch = ParallelCFL(
-            build, mode=mode, n_threads=16, engine_config=cfg, cost_model=cost_model
+
+    def run(mode, t):
+        return ParallelCFL.from_config(
+            build,
+            runtime=RuntimeConfig(mode=mode, n_threads=t,
+                                  cost_model=cost_model),
+            engine=cfg,
         ).run(queries)
-        out[mode] = batch.speedup_over(seq)
-    return out
+
+    seq = run("seq", 1)
+    return {
+        mode: run(mode, 16).speedup_over(seq) for mode in ("naive", "D", "DQ")
+    }
 
 
 def test_contention_sweep(once):

@@ -31,6 +31,7 @@ from repro.errors import AnalysisError
 from repro.ir.program import Method, Program
 from repro.ir.statements import Load, Statement, Store
 from repro.pag.build import BuildResult
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.executor import ParallelCFL
 from repro.runtime.results import BatchResult
 
@@ -183,15 +184,17 @@ def run_checkers(
     file: Optional[str] = None,
     mode: str = "DQ",
     n_threads: int = 8,
+    backend: str = "sim",
     engine_config: Optional[EngineConfig] = None,
     schedule_config: Optional[ScheduleConfig] = None,
+    recorder=None,
 ) -> CheckReport:
     """Run checkers over a built program with one batched query pass.
 
     ``checkers`` may mix :class:`Checker` instances and registry ids;
-    None runs every registered checker.  ``mode``/``n_threads`` select
-    the batch configuration (Section IV-C's ladder; ``DQ`` — sharing +
-    scheduling — by default).
+    None runs every registered checker.  ``mode``/``n_threads``/
+    ``backend`` select the batch configuration (Section IV-C's ladder;
+    ``DQ`` on the deterministic simulator by default).
     """
     resolved: List[Checker] = []
     ids: List[str] = []
@@ -214,12 +217,13 @@ def run_checkers(
 
     batch: Optional[BatchResult] = None
     if unique:
-        batch = ParallelCFL(
+        batch = ParallelCFL.from_config(
             build,
-            mode=mode,
-            n_threads=n_threads,
-            engine_config=ctx.engine_config,
-            schedule_config=schedule_config,
+            runtime=RuntimeConfig(mode=mode, n_threads=n_threads,
+                                  backend=backend),
+            engine=ctx.engine_config,
+            schedule=schedule_config,
+            recorder=recorder,
         ).run(unique)
         ctx.answers = batch.results_by_query()
 

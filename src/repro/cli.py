@@ -17,7 +17,12 @@ Commands
 
 ``batch FILE``
     Run the batch-parallel analysis over all application locals and
-    print the mode ladder (seq / naive / D / DQ).
+    print the mode ladder (seq / naive / D / DQ), on any backend.
+
+    * ``--mode`` — restrict the ladder to one parallel mode.
+    * ``--backend sim|threads|mp`` — execution substrate (default sim).
+    * ``--metrics`` / ``--metrics-json`` — observability counters
+      (:mod:`repro.obs`) plus the top-N hot-query report.
 
 ``check FILE``
     Run the client checkers (``repro.analyses``) — null-deref, downcast,
@@ -28,26 +33,33 @@ Commands
     * ``--format text|json|sarif`` — output format.
     * ``--severity note|warning|error`` — exit nonzero only when a
       finding at or above this level exists (default: warning).
-    * ``--mode`` / ``--threads`` — batch configuration.
+    * ``--mode`` / ``--threads`` / ``--backend`` — batch configuration.
 
 ``graph FILE``
     Emit the program's PAG in Graphviz DOT form.
 
 ``bench``
-    Wall-clock seq-vs-mp benchmark over the benchgen suite: runs the
-    share-nothing sequential baseline and the multiprocess backend at
-    several worker counts, prints the speedup table and writes
-    ``BENCH_parallel.json``.
+    Wall-clock seq-vs-parallel benchmark over the benchgen suite: runs
+    the share-nothing sequential baseline and the chosen wall-clock
+    backend at several worker counts, prints the speedup table and
+    writes ``BENCH_parallel.json``.
 
     * ``--smoke`` — CI-sized run (3 small suites, 1-2 workers).
     * ``--faults`` — add the fault-injection drill per suite: a
       4-worker share-nothing run with worker 0 killed mid-batch must
       complete with zero lost queries, byte-identical answers, and at
       least one retried chunk (exit 1 otherwise).
+    * ``--profile trace.json`` — record spans and counters, writing a
+      Chrome-trace JSON loadable in ``about:tracing`` / Perfetto.
     * ``--suite NAME`` (repeatable) / ``--workers 1,2,4`` /
-      ``--repeat N`` / ``--mode naive|D|DQ`` / ``--out PATH``.
+      ``--repeat N`` / ``--mode naive|D|DQ`` / ``--backend threads|mp``
+      / ``--out PATH``.
     * With a positional experiment name (``table1``, ``fig6``, ...)
       it instead forwards to ``python -m repro.harness``.
+
+The run-configuration flags (``--mode``, ``--threads``, ``--backend``,
+``--budget``) are shared by ``batch``/``check``/``bench`` through one
+parent parser; each command only sets its own defaults.
 
 Exit codes: 0 success (for ``check``: no finding at/above the
 threshold), 1 analysis error or findings at/above the threshold, 2 the
@@ -64,6 +76,8 @@ from typing import List, Optional, Tuple
 from repro.errors import InputError, ReproError
 
 __all__ = ["main"]
+
+DEFAULT_BUDGET = 75_000
 
 
 def _load(path: Path, language: Optional[str]):
@@ -117,7 +131,7 @@ def _cmd_analyze(args) -> int:
     cfg = EngineConfig(
         budget=args.budget,
         context_sensitive=not args.context_insensitive,
-        field_mode="match" if args.field_based else None,
+        field_mode="match" if args.field_based else "sensitive",
     )
     ctx = _parse_ctx(args.ctx)
 
@@ -150,23 +164,55 @@ def _cmd_analyze(args) -> int:
 
 def _cmd_batch(args) -> int:
     from repro.core import EngineConfig
-    from repro.runtime import ParallelCFL
+    from repro.obs import (
+        MetricsRecorder,
+        metrics_to_json,
+        render_hot_queries,
+        render_metrics_table,
+    )
+    from repro.runtime import ParallelCFL, RuntimeConfig
 
     build, _kind = _load(args.file, args.language)
-    cfg = EngineConfig(budget=args.budget)
-    seq = ParallelCFL(build.pag, mode="seq", engine_config=cfg).run()
-    print(f"{build.pag}: {seq.n_queries} queries")
+    # The run-config flags come from the shared parent parser with None
+    # defaults; each command resolves its own here (set_defaults would
+    # mutate the parent's shared actions and leak across subcommands).
+    n_threads = args.threads if args.threads is not None else 16
+    budget = args.budget if args.budget is not None else DEFAULT_BUDGET
+    cfg = EngineConfig(budget=budget)
+    backend = args.backend or "sim"
+    recorder = (
+        MetricsRecorder() if (args.metrics or args.metrics_json) else None
+    )
+
+    def run_mode(mode: str, threads: int):
+        runtime = RuntimeConfig(mode=mode, n_threads=threads, backend=backend)
+        return ParallelCFL.from_config(
+            build.pag, runtime=runtime, engine=cfg, recorder=recorder
+        ).run()
+
+    seq = run_mode("seq", 1)
+    print(f"{build.pag}: {seq.n_queries} queries (backend {backend})")
     print(f"{'config':12s} {'speedup':>8s} {'work':>10s} {'jumps':>7s} {'ETs':>5s}")
     print(f"{'SeqCFL':12s} {'1.0x':>8s} {seq.total_work:10d} {0:7d} {0:5d}")
-    for mode in ("naive", "D", "DQ"):
-        batch = ParallelCFL(
-            build.pag, mode=mode, n_threads=args.threads, engine_config=cfg
-        ).run()
+    ladder = ("naive", "D", "DQ") if args.mode is None else (
+        () if args.mode == "seq" else (args.mode,)
+    )
+    last = seq
+    for mode in ladder:
+        batch = run_mode(mode, n_threads)
+        last = batch
         print(
-            f"{mode + ' x' + str(args.threads):12s} "
+            f"{mode + ' x' + str(n_threads):12s} "
             f"{batch.speedup_over(seq):7.1f}x {batch.total_work:10d} "
             f"{batch.n_jumps:7d} {batch.n_early_terminations:5d}"
         )
+    if args.metrics:
+        print()
+        print(render_metrics_table(recorder.snapshot()))
+        print()
+        print(render_hot_queries(last, pag=build.pag))
+    if args.metrics_json:
+        print(metrics_to_json(recorder.snapshot()))
     return 0
 
 
@@ -188,13 +234,15 @@ def _cmd_check(args) -> int:
             "no class/statement structure for the checkers to walk"
         )
     threshold = Severity.parse(args.severity)
+    budget = args.budget if args.budget is not None else DEFAULT_BUDGET
     report = run_checkers(
         build,
         args.checker or None,
         file=str(args.file),
-        mode=args.mode,
-        n_threads=args.threads,
-        engine_config=EngineConfig(budget=args.budget),
+        mode=args.mode or "DQ",
+        n_threads=args.threads if args.threads is not None else 8,
+        backend=args.backend or "sim",
+        engine_config=EngineConfig(budget=budget),
     )
     renderer = {"text": render_text, "json": render_json, "sarif": render_sarif}
     print(renderer[args.format](report))
@@ -203,8 +251,8 @@ def _cmd_check(args) -> int:
 
 def _cmd_bench(args) -> int:
     # Positional experiment names (table1/fig6/...) keep forwarding to
-    # the simulator harness; without them, run the wall-clock seq-vs-mp
-    # benchmark and write BENCH_parallel.json.
+    # the simulator harness; without them, run the wall-clock
+    # seq-vs-parallel benchmark and write BENCH_parallel.json.
     if args.harness_args:
         from repro.harness.run_all import main as harness_main
 
@@ -212,23 +260,50 @@ def _cmd_bench(args) -> int:
 
     from repro.harness import wallclock
 
-    workers = _parse_workers(args.workers) if args.workers else (
-        wallclock.SMOKE_WORKERS if args.smoke else wallclock.DEFAULT_WORKERS
-    )
+    mode = args.mode or "D"
+    if mode == "seq":
+        raise ReproError("bench measures the parallel modes; --mode seq "
+                         "is the built-in baseline of every run")
+    backend = args.backend or "mp"
+    if backend == "sim":
+        raise ReproError(
+            "bench measures wall-clock time; the sim backend's clock is "
+            "simulated — use --backend mp (or threads)"
+        )
+    if args.workers:
+        workers = _parse_workers(args.workers)
+    elif args.threads is not None:
+        workers = (args.threads,)
+    else:
+        workers = wallclock.SMOKE_WORKERS if args.smoke else wallclock.DEFAULT_WORKERS
+
+    recorder = None
+    if args.profile is not None:
+        from repro.obs import SpanRecorder
+
+        recorder = SpanRecorder()
+
     payload = wallclock.run(
         benchmarks=args.suite or None,
         workers=workers,
         repeat=args.repeat,
-        mode=args.mode,
+        mode=mode,
         verify=not args.no_verify,
         smoke=args.smoke,
         faults=args.faults,
+        backend=backend,
+        budget=args.budget,
+        recorder=recorder,
     )
     print(wallclock.render(payload))
     out = wallclock.write_json(payload, args.out)
     print(f"[written {out}]")
+    if recorder is not None:
+        trace = recorder.write_chrome_trace(args.profile)
+        print(f"[trace {trace}: {len(recorder.events())} spans — load in "
+              f"about:tracing or ui.perfetto.dev]")
     if not payload["all_identical"]:
-        print("error: mp answers diverged from seq", file=sys.stderr)
+        print("error: parallel answers diverged from seq", file=sys.stderr)
         return 1
     if not payload.get("faults_ok", True):
         print("error: fault drill lost queries or answers diverged",
@@ -256,22 +331,40 @@ def _cmd_graph(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.runtime.config import BACKENDS, MODES
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Demand-driven CFL-reachability pointer analysis.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(p):
-        p.add_argument("file", type=Path, help="program source (.mj or .c)")
-        p.add_argument(
-            "--language", choices=("java", "c"), default=None,
-            help="front-end override (default: by file suffix)",
-        )
-        p.add_argument("--budget", type=int, default=75_000)
+    # Shared parents: the file/front-end arguments, and the run
+    # configuration repeated across batch/check/bench.  Defaults are
+    # None here; each command sets its own via set_defaults, so adding
+    # a flag in one place surfaces it uniformly.
+    common_file = argparse.ArgumentParser(add_help=False)
+    common_file.add_argument("file", type=Path,
+                             help="program source (.mj or .c)")
+    common_file.add_argument(
+        "--language", choices=("java", "c"), default=None,
+        help="front-end override (default: by file suffix)",
+    )
 
-    analyze = sub.add_parser("analyze", help="answer points-to queries")
-    add_common(analyze)
+    common_run = argparse.ArgumentParser(add_help=False)
+    common_run.add_argument("--mode", choices=MODES, default=None,
+                            help="analysis configuration (Section IV-C)")
+    common_run.add_argument("--threads", type=int, default=None,
+                            help="worker count")
+    common_run.add_argument("--backend", choices=BACKENDS, default=None,
+                            help="execution substrate")
+    common_run.add_argument("--budget", type=int, default=None,
+                            help=f"per-query step budget "
+                                 f"(default {DEFAULT_BUDGET})")
+
+    analyze = sub.add_parser("analyze", parents=[common_file],
+                             help="answer points-to queries")
+    analyze.add_argument("--budget", type=int, default=DEFAULT_BUDGET)
     analyze.add_argument("--query", action="append", metavar="VAR@Class.method")
     analyze.add_argument("--ctx", default=None, help="call-string, e.g. '2,5'")
     analyze.add_argument("--context-insensitive", action="store_true")
@@ -283,13 +376,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="may-alias query instead of points-to")
     analyze.set_defaults(func=_cmd_analyze)
 
-    batch = sub.add_parser("batch", help="run the parallel batch modes")
-    add_common(batch)
-    batch.add_argument("--threads", type=int, default=16)
+    batch = sub.add_parser("batch", parents=[common_file, common_run],
+                           help="run the parallel batch modes")
+    batch.add_argument("--metrics", action="store_true",
+                       help="print the observability counter table and "
+                            "the hot-query report")
+    batch.add_argument("--metrics-json", action="store_true",
+                       help="print the counters as JSON")
     batch.set_defaults(func=_cmd_batch)
 
-    check = sub.add_parser("check", help="run the client checkers")
-    add_common(check)
+    check = sub.add_parser("check", parents=[common_file, common_run],
+                           help="run the client checkers")
     check.add_argument(
         "--checker", action="append", metavar="ID",
         help="checker id to run (repeatable; default: all registered)",
@@ -301,18 +398,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--severity", choices=("note", "warning", "error"), default="warning",
         help="exit nonzero when a finding at/above this level exists",
     )
-    check.add_argument("--mode", choices=("seq", "naive", "D", "DQ"), default="DQ")
-    check.add_argument("--threads", type=int, default=8)
     check.set_defaults(func=_cmd_check)
 
-    graph = sub.add_parser("graph", help="emit the PAG as Graphviz DOT")
-    add_common(graph)
+    graph = sub.add_parser("graph", parents=[common_file],
+                           help="emit the PAG as Graphviz DOT")
     graph.set_defaults(func=_cmd_graph)
 
     bench = sub.add_parser(
-        "bench",
-        help="wall-clock seq-vs-mp benchmark (default) or, with an "
-             "experiment name, the paper's tables/figures",
+        "bench", parents=[common_run],
+        help="wall-clock seq-vs-parallel benchmark (default) or, with "
+             "an experiment name, the paper's tables/figures",
     )
     bench.add_argument("--smoke", action="store_true",
                        help="CI-sized run: 3 small suites, 1-2 workers")
@@ -320,16 +415,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="add the fault-injection drill: kill 1 of 4 "
                             "workers mid-batch, assert zero lost queries "
                             "and >= 1 retried chunk per suite")
+    bench.add_argument("--profile", type=Path, default=None, metavar="TRACE",
+                       help="record spans+counters; write Chrome-trace "
+                            "JSON here (about:tracing / Perfetto)")
     bench.add_argument("--suite", action="append", metavar="NAME",
                        help="restrict to this suite entry (repeatable)")
     bench.add_argument("--workers", default=None, metavar="LIST",
-                       help="comma-separated worker counts (default 1,2,4,8)")
+                       help="comma-separated worker counts (default 1,2,4,8; "
+                            "--threads N is shorthand for one count)")
     bench.add_argument("--repeat", type=int, default=1,
                        help="timing repetitions per configuration (best-of)")
-    bench.add_argument("--mode", choices=("naive", "D", "DQ"), default="D",
-                       help="parallel configuration for the mp runs")
     bench.add_argument("--no-verify", action="store_true",
-                       help="skip the seq-vs-mp identity check")
+                       help="skip the seq-vs-parallel identity check")
     bench.add_argument("--out", type=Path, default=Path("BENCH_parallel.json"),
                        help="output JSON path")
     bench.add_argument("harness_args", nargs=argparse.REMAINDER,

@@ -15,7 +15,7 @@
 """
 
 from repro.core.context import EMPTY_CTX, ctx_pop, ctx_push, ctx_top
-from repro.core.engine import CFLEngine, EngineConfig
+from repro.core.engine import CFLEngine, EngineConfig, FIELD_MODES
 from repro.core.jumpmap import JumpMap, LayeredJumpMap
 from repro.core.query import Query, QueryResult
 from repro.core.incremental import IncrementalAnalysis
@@ -43,6 +43,7 @@ __all__ = [
     "CFLEngine",
     "EMPTY_CTX",
     "EngineConfig",
+    "FIELD_MODES",
     "JumpMap",
     "LayeredJumpMap",
     "Query",

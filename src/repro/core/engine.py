@@ -32,7 +32,8 @@ exact-answer guarantees (documented in DESIGN.md §4):
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass
+import warnings
+from dataclasses import InitVar, dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.context import Context, EMPTY_CTX
@@ -42,7 +43,7 @@ from repro.errors import AnalysisError, BudgetExhausted
 from repro.pag.extended import FinishedJump
 from repro.pag.graph import PAG
 
-__all__ = ["EngineConfig", "CFLEngine", "POINTS_TO", "FLOWS_TO"]
+__all__ = ["EngineConfig", "CFLEngine", "FIELD_MODES", "POINTS_TO", "FLOWS_TO"]
 
 #: Direction tags (the ``direction`` component of jump-map keys).
 POINTS_TO = False
@@ -54,6 +55,10 @@ if sys.getrecursionlimit() < 100_000:
     sys.setrecursionlimit(100_000)
 
 
+#: The validated heap-matching precision values (``field_mode``).
+FIELD_MODES = ("sensitive", "match", "none")
+
+
 @dataclass
 class EngineConfig:
     """Tunable knobs of the analysis.
@@ -61,27 +66,25 @@ class EngineConfig:
     Defaults reproduce the paper's configuration (Section IV-A):
     budget 75,000 steps, context- and field-sensitive, τ_F = 100,
     τ_U = 10,000.
+
+    ``field_mode`` is the single heap-precision knob: ``"sensitive"``
+    (full alias tests, grammar (2)), ``"match"`` (field-based: every
+    store of field f matches every load of f without an alias test —
+    the sound, cheap over-approximation that refinement-based schemes
+    [18] start from), or ``"none"`` (field-insensitive).  The historic
+    ``field_sensitive`` boolean and the runtime-layer ``faults`` plan
+    are accepted as deprecated constructor arguments only — they warn
+    and map onto ``field_mode`` / the runtime config respectively.
     """
 
     budget: int = 75_000
     context_sensitive: bool = True
-    field_sensitive: bool = True
-    #: Heap-matching precision: ``"sensitive"`` (full alias tests,
-    #: grammar (2)), ``"match"`` (field-based: every store of field f
-    #: matches every load of f without an alias test — the sound,
-    #: cheap over-approximation that refinement-based schemes [18]
-    #: start from), or ``None`` to derive from ``field_sensitive``.
+    #: Deprecated alias for ``field_mode``: ``True`` -> ``"sensitive"``,
+    #: ``False`` -> ``"none"``.  An explicit ``field_mode`` wins.
+    field_sensitive: InitVar[Optional[bool]] = None
+    #: Heap-matching precision; ``None`` resolves to ``"sensitive"``
+    #: (or the deprecated ``field_sensitive`` mapping when given).
     field_mode: Optional[str] = None
-
-    @property
-    def effective_field_mode(self) -> str:
-        if self.field_mode is not None:
-            if self.field_mode not in ("sensitive", "match", "none"):
-                raise AnalysisError(
-                    f"field_mode must be sensitive/match/none, got {self.field_mode!r}"
-                )
-            return self.field_mode
-        return "sensitive" if self.field_sensitive else "none"
     #: Honour unfinished-jump early termination (Algorithm 2 line 3).
     early_termination: bool = True
     #: Minimum round cost for publishing finished jmp edges (τ_F).
@@ -93,11 +96,82 @@ class EngineConfig:
     record_empty_rounds: bool = False
     #: Safety valve for the chaotic-iteration loop.
     max_passes: int = 64
-    #: Optional :class:`repro.runtime.faults.FaultPlan` consumed by the
-    #: multiprocess backend's workers (fault-injection runs).  The
-    #: engine itself ignores it; typed loosely to avoid a core->runtime
-    #: import.  The ``REPRO_FAULTS`` env var is the fallback channel.
-    faults: Optional[object] = None
+    #: Deprecated core->runtime layering leak: the fault plan belongs to
+    #: :class:`repro.runtime.config.RuntimeConfig`.  Still accepted (and
+    #: readable via the ``faults`` property) so old callers keep
+    #: working, but construction warns.
+    faults: InitVar[Optional[object]] = None
+
+    def __post_init__(self, field_sensitive, faults) -> None:
+        if field_sensitive is not None:
+            warnings.warn(
+                "EngineConfig(field_sensitive=...) is deprecated; pass "
+                "field_mode='sensitive'/'match'/'none' instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if self.field_mode is None:
+                self.field_mode = "sensitive" if field_sensitive else "none"
+        if self.field_mode is None:
+            self.field_mode = "sensitive"
+        if self.field_mode not in FIELD_MODES:
+            raise AnalysisError(
+                f"field_mode must be sensitive/match/none, got {self.field_mode!r}"
+            )
+        if faults is not None:
+            warnings.warn(
+                "EngineConfig(faults=...) is deprecated; fault plans are a "
+                "runtime concern — pass RuntimeConfig(faults=...) (or the "
+                "executor's faults argument) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        self._faults = faults
+
+    @property
+    def effective_field_mode(self) -> str:
+        """Backward-compatible alias: ``field_mode`` is now always a
+        validated concrete value."""
+        return self.field_mode
+
+    def with_(self, **changes) -> "EngineConfig":
+        """A copy with ``changes`` applied and re-validated.
+
+        Use this instead of :func:`dataclasses.replace`: ``replace``
+        re-feeds the deprecated ``field_sensitive``/``faults`` InitVars
+        (reading them through the warning properties), so it cannot be
+        called without tripping the shims.
+        """
+        import dataclasses
+
+        base = {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+        base.update(changes)
+        fresh = EngineConfig(**base)
+        fresh._faults = self._faults
+        return fresh
+
+
+def _engine_config_field_sensitive(self) -> bool:
+    warnings.warn(
+        "EngineConfig.field_sensitive is deprecated; read field_mode instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return self.field_mode == "sensitive"
+
+
+def _engine_config_faults(self):
+    # Read access stays silent: the mp backend's legacy fallback probes
+    # this on every construction, and the warning already fired when the
+    # plan was (deprecatedly) attached here.
+    return getattr(self, "_faults", None)
+
+
+# The deprecated names are InitVar annotations in the class body, so the
+# alias properties must be attached after the dataclass is built (a
+# property *in* the body would become the InitVar's default value).
+EngineConfig.field_sensitive = property(_engine_config_field_sensitive)
+EngineConfig.faults = property(_engine_config_faults)
 
 
 class CFLEngine:
@@ -115,11 +189,17 @@ class CFLEngine:
         config: Optional[EngineConfig] = None,
         jumps: Optional[JumpMap | LayeredJumpMap] = None,
         prefilter=None,
+        recorder=None,
     ) -> None:
         self.pag = pag
         self.cfg = config or EngineConfig()
-        self._field_mode = self.cfg.effective_field_mode
+        self._field_mode = self.cfg.field_mode
         self.jumps = jumps
+        #: Optional :class:`repro.obs.Recorder`.  The engine's only
+        #: instrumentation point is a single per-query bulk flush in
+        #: ``_query`` — the traversal loops are never touched, so a
+        #: ``None``/``NullRecorder`` run is the exact pre-obs code path.
+        self.recorder = recorder
         #: Optional must-not-alias pre-analysis (Section V-A / [25]):
         #: an object with ``may_alias(a, b) -> bool`` whose False
         #: answers are *proofs* of non-aliasing (e.g.
@@ -200,12 +280,16 @@ class CFLEngine:
         except BudgetExhausted:
             exhausted = True
             result = q.memo.get(key, set())
-        return QueryResult(
+        answer = QueryResult(
             query=Query(node, ctx),
             points_to=frozenset(result),
             exhausted=exhausted,
             costs=q.costs(),
         )
+        rec = self.recorder
+        if rec:
+            rec.record_query(answer)
+        return answer
 
     # ------------------------------------------------------------------
     # memoised traversal
@@ -262,6 +346,7 @@ class CFLEngine:
         call) and call-string math goes through the interning caches.
         The traced variant keeps the closure the provenance hooks need.
         """
+        q.sweeps += 1
         if self.tracer is not None:
             return self._run_worklist_traced(direction, start, ctx0, q, result, key)
         if self.pag.is_global(start):
@@ -717,11 +802,14 @@ class CFLEngine:
             jumps is not None
             and q.partial_reads == reads_at_entry
             and (rch or self.cfg.record_empty_rounds)
-            and round_cost >= self.cfg.tau_f
         ):
-            edges = tuple(FinishedJump(t, tc, s) for ((t, tc), s) in rch)
-            if jumps.insert_finished(key, edges):
-                q.jmp_inserts += max(1, len(edges))
+            if round_cost >= self.cfg.tau_f:
+                edges = tuple(FinishedJump(t, tc, s) for ((t, tc), s) in rch)
+                if jumps.insert_finished(key, edges):
+                    q.jmp_inserts += max(1, len(edges))
+            else:
+                # A publishable (final) round gated out by τ_F alone.
+                q.tau_f_suppressed += 1
         return [item for item, _s in rch]
 
     def _alias_map(
@@ -766,4 +854,8 @@ class CFLEngine:
                 if s_unf >= self.cfg.tau_u:
                     if self.jumps.insert_unfinished((x, c, direction), s_unf):
                         q.jmp_inserts += 1
+                else:
+                    # An in-flight frame whose certified cost fell below
+                    # τ_U — the paper's gate against useless entries.
+                    q.tau_u_suppressed += 1
         raise BudgetExhausted(bdg)

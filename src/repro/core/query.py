@@ -45,6 +45,9 @@ class QueryCosts:
     jmp_lookups: int = 0    #: jump-map reads
     jmp_inserts: int = 0    #: jump-edge insertions (post-threshold)
     early_terminations: int = 0
+    sweeps: int = 0         #: worklist sweeps run
+    tau_f_suppressed: int = 0  #: finished rounds below tau_F, not published
+    tau_u_suppressed: int = 0  #: unfinished frames below tau_U, not published
     peak_visited: int = 0   #: high-water mark of live visited/memo entries
                             #: (memory-usage proxy, Section IV-D5)
     frontier_sum: int = 0   #: sum of worklist lengths at each pop — the
@@ -102,6 +105,9 @@ class QueryState:
         "jmp_lookups",
         "jmp_inserts",
         "early_terminations",
+        "sweeps",
+        "tau_f_suppressed",
+        "tau_u_suppressed",
         "frontier_sum",
         "frames",
         "memo",
@@ -123,6 +129,9 @@ class QueryState:
         self.jmp_lookups = 0
         self.jmp_inserts = 0
         self.early_terminations = 0
+        self.sweeps = 0
+        self.tau_f_suppressed = 0
+        self.tau_u_suppressed = 0
         self.frontier_sum = 0
         #: The paper's ``S``: in-flight REACHABLENODES frames.
         self.frames: List[Frame] = []
@@ -158,6 +167,9 @@ class QueryState:
             jmp_lookups=self.jmp_lookups,
             jmp_inserts=self.jmp_inserts,
             early_terminations=self.early_terminations,
+            sweeps=self.sweeps,
+            tau_f_suppressed=self.tau_f_suppressed,
+            tau_u_suppressed=self.tau_u_suppressed,
             peak_visited=self.peak_visited,
             frontier_sum=self.frontier_sum,
         )

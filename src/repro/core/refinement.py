@@ -21,7 +21,7 @@ the precise cost; clients needing the exact set fall through.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.core.context import Context, EMPTY_CTX
@@ -75,8 +75,8 @@ class RefinementDriver:
     ) -> None:
         cfg = config or EngineConfig()
         self.pag = pag
-        self.match_engine = CFLEngine(pag, replace(cfg, field_mode="match"))
-        self.full_engine = CFLEngine(pag, replace(cfg, field_mode="sensitive"))
+        self.match_engine = CFLEngine(pag, cfg.with_(field_mode="match"))
+        self.full_engine = CFLEngine(pag, cfg.with_(field_mode="sensitive"))
         self.precise_lookup = precise_lookup
         #: queries answered without refinement / total (client report)
         self.n_queries = 0

@@ -203,12 +203,15 @@ def schedule_queries(
     queries: Sequence[Query],
     types: Optional[TypeTable] = None,
     config: Optional[ScheduleConfig] = None,
+    recorder=None,
 ) -> List[QueryGroup]:
     """Group and order ``queries`` per Section III-C.
 
     ``types`` supplies the ``L(t)`` metric; without it every variable
     gets DD 1 (grouping and CD ordering still apply).  The returned
     groups are issued in order; each group's queries are CD-ascending.
+    ``recorder`` (a :class:`repro.obs.Recorder`) gets the ``sched.*``
+    counters: queries/components seen, groups emitted, splits, merges.
     """
     cfg = config or ScheduleConfig()
     if not queries:
@@ -260,9 +263,11 @@ def schedule_queries(
         pool = multi if multi else [len(g) for g in raw_groups]
         target = max(2, round(sum(pool) / len(pool)))
 
+    n_splits = 0
     groups: List[QueryGroup] = []
     for g in raw_groups:
         if cfg.split_large and len(g) > target:
+            n_splits += 1
             for i in range(0, len(g), target):
                 groups.append(
                     QueryGroup(g.queries[i : i + target], g.dd, g.component)
@@ -270,10 +275,12 @@ def schedule_queries(
         else:
             groups.append(g)
 
+    n_merges = 0
     if cfg.merge_small and len(groups) > 1:
         merged: List[QueryGroup] = []
         for g in groups:
             if merged and len(merged[-1]) < target:
+                n_merges += 1
                 prev = merged[-1]
                 prev.queries.extend(g.queries)
                 prev.dd = min(prev.dd, g.dd)
@@ -286,4 +293,15 @@ def schedule_queries(
                 merged.append(QueryGroup(list(g.queries), g.dd, g.component))
         groups = merged
 
+    if recorder:
+        recorder.count_many(
+            {
+                "sched.runs": 1,
+                "sched.queries": len(queries),
+                "sched.components": len(by_comp),
+                "sched.groups": len(groups),
+                "sched.splits": n_splits,
+                "sched.merges": n_merges,
+            }
+        )
     return groups

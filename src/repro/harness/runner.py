@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.benchgen.suites import BenchmarkSpec, load_benchmark, spec_of
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.contention import CostModel
 from repro.runtime.executor import ParallelCFL
 from repro.runtime.results import BatchResult
@@ -65,8 +66,10 @@ def run_benchmark_modes(
     cm = cost_model or CostModel()
 
     def run(mode: str, t: int) -> BatchResult:
-        return ParallelCFL(
-            build, mode=mode, n_threads=t, engine_config=cfg, cost_model=cm
+        return ParallelCFL.from_config(
+            build,
+            runtime=RuntimeConfig(mode=mode, n_threads=t, cost_model=cm),
+            engine=cfg,
         ).run(queries)
 
     modes = BenchmarkModes(

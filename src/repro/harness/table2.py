@@ -91,7 +91,7 @@ def _measure_this_paper() -> Table2Row:
 
     cs = CFLEngine(pag)
     ci = CFLEngine(pag, EngineConfig(context_sensitive=False))
-    fi = CFLEngine(pag, EngineConfig(field_sensitive=False))
+    fi = CFLEngine(pag, EngineConfig(field_mode="none"))
 
     # on-demand: one query touches a fraction of whole-program work
     single_cost = cs.points_to(s1).costs.work

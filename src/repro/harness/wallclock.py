@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.benchgen.suites import load_benchmark, spec_of, suite_names
 from repro.core.engine import CFLEngine
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.executor import ParallelCFL
 from repro.runtime.faults import FaultPlan
 from repro.runtime.mp import MPExecutor
@@ -88,6 +89,11 @@ class SuiteBench:
     early_terminations: int = 0
     #: Share-nothing mp answers byte-identical to the seq baseline?
     identical: Optional[bool] = None
+    #: Observability counters of the largest-worker run (only when a
+    #: recorder was attached, e.g. ``bench --profile``).
+    metrics: Dict[str, int] = field(default_factory=dict)
+    #: Top hot queries of the largest-worker run (idem).
+    hot_queries: List[dict] = field(default_factory=list)
 
     def as_dict(self) -> dict:
         return {
@@ -106,15 +112,16 @@ class SuiteBench:
                 "early_terminations": self.early_terminations,
             },
             "identical": self.identical,
+            **({"metrics": self.metrics} if self.metrics else {}),
+            **({"hot_queries": self.hot_queries} if self.hot_queries else {}),
         }
 
 
-def _seq_wall(build, spec, queries, repeat: int) -> float:
+def _seq_wall(build, cfg, queries, repeat: int) -> float:
     """Best-of-``repeat`` wall time of a share-nothing sequential run
     (the honest SeqCFL baseline: one engine, program order, no
     simulator in the loop)."""
     best = float("inf")
-    cfg = spec.engine_config()
     for _ in range(repeat):
         engine = CFLEngine(build.pag, cfg)
         t0 = time.perf_counter()
@@ -130,28 +137,35 @@ def bench_suite(
     repeat: int = 1,
     mode: str = "D",
     verify: bool = True,
+    backend: str = "mp",
+    budget: Optional[int] = None,
+    recorder=None,
 ) -> SuiteBench:
     """Benchmark one suite entry; see the module docstring."""
     spec = spec_of(name)
     build = load_benchmark(name)
     queries = spec.workload()
     cfg = spec.engine_config()
+    if budget is not None:
+        cfg.budget = budget
     row = SuiteBench(
         name=name,
         n_queries=len(queries),
         n_nodes=build.pag.n_nodes,
         n_edges=build.pag.n_edges,
-        budget=spec.budget,
-        seq_wall_s=_seq_wall(build, spec, queries, repeat),
+        budget=cfg.budget,
+        seq_wall_s=_seq_wall(build, cfg, queries, repeat),
     )
 
     if verify:
-        seq_map = ParallelCFL(build, mode="seq", engine_config=cfg).run(
-            queries
-        ).points_to_map()
-        mp_map = ParallelCFL(
-            build, mode="naive", n_threads=max(workers), engine_config=cfg,
-            backend="mp",
+        seq_map = ParallelCFL.from_config(
+            build, runtime=RuntimeConfig(mode="seq"), engine=cfg
+        ).run(queries).points_to_map()
+        mp_map = ParallelCFL.from_config(
+            build,
+            runtime=RuntimeConfig(mode="naive", n_threads=max(workers),
+                                  backend=backend),
+            engine=cfg,
         ).run(queries).points_to_map()
         row.identical = seq_map == mp_map
 
@@ -159,10 +173,20 @@ def bench_suite(
         best = float("inf")
         batch = None
         for _ in range(repeat):
-            runner = ParallelCFL(
-                build, mode=mode, n_threads=w, engine_config=cfg, backend="mp"
+            runner = ParallelCFL.from_config(
+                build,
+                runtime=RuntimeConfig(mode=mode, n_threads=w, backend=backend),
+                engine=cfg,
+                recorder=recorder if w == max(workers) else None,
             )
+            t_run = time.perf_counter()
             candidate = runner.run(queries)
+            if recorder and w == max(workers):
+                recorder.span_abs(
+                    f"bench {name} x{w}", t_run, time.perf_counter(),
+                    tid=0, cat="bench",
+                    args={"suite": name, "workers": w, "mode": mode},
+                )
             if candidate.makespan < best:
                 best = candidate.makespan
                 batch = candidate
@@ -175,6 +199,11 @@ def bench_suite(
             row.saved_steps = batch.total_saved
             row.n_jumps = batch.n_jumps
             row.early_terminations = batch.n_early_terminations
+            if recorder:
+                from repro.obs.report import hot_queries
+
+                row.metrics = dict(batch.metrics)
+                row.hot_queries = hot_queries(batch, pag=build.pag, top=5)
     return row
 
 
@@ -234,6 +263,9 @@ def run(
     verify: bool = True,
     smoke: bool = False,
     faults: bool = False,
+    backend: str = "mp",
+    budget: Optional[int] = None,
+    recorder=None,
 ) -> dict:
     """Run the wall-clock comparison; returns the JSON-ready payload."""
     if smoke:
@@ -241,7 +273,9 @@ def run(
         workers = list(workers if tuple(workers) != DEFAULT_WORKERS else SMOKE_WORKERS)
     names = list(benchmarks) if benchmarks else suite_names()
     rows = [
-        bench_suite(name, workers=workers, repeat=repeat, mode=mode, verify=verify)
+        bench_suite(name, workers=workers, repeat=repeat, mode=mode,
+                    verify=verify, backend=backend, budget=budget,
+                    recorder=recorder)
         for name in names
     ]
     best = None
@@ -256,6 +290,7 @@ def run(
             "python": platform.python_version(),
             "platform": platform.platform(),
             "mode": mode,
+            "backend": backend,
             "workers": sorted(set(workers)),
             "repeat": repeat,
             "smoke": smoke,
@@ -281,7 +316,7 @@ def render(payload: dict) -> str:
     meta = payload["meta"]
     workers = meta["workers"]
     head = (
-        f"WALL-CLOCK seq vs mp (mode {meta['mode']}, "
+        f"WALL-CLOCK seq vs {meta.get('backend', 'mp')} (mode {meta['mode']}, "
         f"{meta['host_cpus']} host cpus, repeat {meta['repeat']})"
     )
     cols = "".join(f"  mp x{w:<3d}" for w in workers)

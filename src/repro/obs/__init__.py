@@ -1,0 +1,49 @@
+"""repro.obs — zero-cost-when-off observability.
+
+Three recorders behind one protocol (:class:`Recorder`):
+
+* :class:`NullRecorder` — the falsy default; instrumented hot paths
+  guard every hook behind one truthiness check, so a recorder-off run
+  executes the exact pre-instrumentation code path;
+* :class:`MetricsRecorder` — thread-safe monotonic counters (engine
+  steps/sweeps, jump-map hits/misses, τ-suppressed publishes, scheduler
+  groups/merges, mp epoch ships / delta bytes / merge conflicts /
+  requeues / respawns);
+* :class:`SpanRecorder` — counters plus per-query and per-chunk spans,
+  written as Chrome-trace JSON for ``about:tracing`` / Perfetto.
+
+Surfacing: pass ``recorder=`` to
+:class:`~repro.runtime.executor.ParallelCFL` (or any executor) and read
+``BatchResult.metrics``; on the CLI use ``repro batch --metrics`` /
+``--metrics-json`` and ``repro bench --profile trace.json``.
+"""
+
+from repro.obs.recorder import (
+    COUNTER_DOCS,
+    MetricsRecorder,
+    NullRecorder,
+    Recorder,
+    SIM_PID,
+    SpanRecorder,
+    WALL_PID,
+)
+from repro.obs.report import (
+    hot_queries,
+    metrics_to_json,
+    render_hot_queries,
+    render_metrics_table,
+)
+
+__all__ = [
+    "COUNTER_DOCS",
+    "MetricsRecorder",
+    "NullRecorder",
+    "Recorder",
+    "SIM_PID",
+    "SpanRecorder",
+    "WALL_PID",
+    "hot_queries",
+    "metrics_to_json",
+    "render_hot_queries",
+    "render_metrics_table",
+]

@@ -21,6 +21,7 @@ with the paper's four configurations: ``seq`` (SeqCFL), ``naive``
 scheduling).
 """
 
+from repro.runtime.config import BACKENDS, MODES, RuntimeConfig
 from repro.runtime.contention import CostModel
 from repro.runtime.faults import FaultInjector, FaultPlan, FaultSpec, InjectedFault
 from repro.runtime.intraquery import intra_query_makespan, intra_query_speedup
@@ -31,6 +32,7 @@ from repro.runtime.simclock import SimulatedExecutor
 from repro.runtime.threaded import ConcurrentJumpMap, ThreadedExecutor
 
 __all__ = [
+    "BACKENDS",
     "BatchResult",
     "ConcurrentJumpMap",
     "CostModel",
@@ -40,8 +42,10 @@ __all__ = [
     "InjectedFault",
     "intra_query_makespan",
     "intra_query_speedup",
+    "MODES",
     "MPExecutor",
     "ParallelCFL",
+    "RuntimeConfig",
     "SimulatedExecutor",
     "ThreadedExecutor",
     "WorkerCrash",

@@ -1,0 +1,115 @@
+"""RuntimeConfig — the consolidated public runtime configuration.
+
+Everything that decides *how* a batch executes (as opposed to *what the
+analysis computes*, which is :class:`~repro.core.engine.EngineConfig`)
+lives here: the paper-mode, the backend, the worker count, and the
+backend tuning/fault knobs that used to sprawl across
+:class:`~repro.runtime.executor.ParallelCFL`'s keyword surface.
+
+The facade accepts the old keywords through a deprecation shim; new
+code passes ``ParallelCFL.from_config(build, runtime=RuntimeConfig(...))``
+or ``ParallelCFL(build, runtime=...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import RuntimeConfigError
+
+__all__ = ["RuntimeConfig", "MODES", "BACKENDS"]
+
+#: The paper's four analysis configurations (Section IV-C).
+MODES = ("seq", "naive", "D", "DQ")
+#: Execution substrates: deterministic simulator, real threads, real
+#: processes.
+BACKENDS = ("sim", "threads", "mp")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """How a batch runs.  Validated eagerly on construction.
+
+    ``cost_model`` applies to the ``sim`` backend only; ``chunk_size``,
+    ``faults``, ``unit_timeout``, ``max_chunk_retries``,
+    ``max_respawns``, ``respawn_backoff`` and ``start_method`` apply to
+    the ``mp`` backend only (other backends ignore them).
+    """
+
+    #: seq / naive / D / DQ (Section IV-C).
+    mode: str = "DQ"
+    #: Worker count (forced to 1 by ``mode="seq"`` at the facade).
+    n_threads: int = 16
+    #: sim / threads / mp.
+    backend: str = "sim"
+    #: mp dispatch granularity: units per message (None: auto).
+    chunk_size: Optional[int] = None
+    #: Simulated-time cost model (sim backend).
+    cost_model: Optional[object] = None
+    #: Fault-injection plan (:class:`repro.runtime.faults.FaultPlan`).
+    faults: Optional[object] = None
+    #: Per-chunk wall deadline in seconds (mp; None disables).
+    unit_timeout: Optional[float] = None
+    #: Requeues a chunk survives before quarantine (mp).
+    max_chunk_retries: int = 2
+    #: Total worker respawns across a batch (mp; None: 2 * workers).
+    max_respawns: Optional[int] = None
+    #: Initial per-slot respawn delay, doubling per respawn (mp).
+    respawn_backoff: float = 0.05
+    #: multiprocessing start method override (mp; None: fork if available).
+    start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise RuntimeConfigError(
+                f"mode must be one of {MODES}, got {self.mode!r}"
+            )
+        if self.backend not in BACKENDS:
+            raise RuntimeConfigError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.n_threads < 1:
+            raise RuntimeConfigError(
+                f"n_threads must be >= 1, got {self.n_threads}"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise RuntimeConfigError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if self.unit_timeout is not None and self.unit_timeout <= 0:
+            raise RuntimeConfigError(
+                f"unit_timeout must be > 0, got {self.unit_timeout}"
+            )
+        if self.max_chunk_retries < 0:
+            raise RuntimeConfigError(
+                f"max_chunk_retries must be >= 0, got {self.max_chunk_retries}"
+            )
+        if self.max_respawns is not None and self.max_respawns < 0:
+            raise RuntimeConfigError(
+                f"max_respawns must be >= 0, got {self.max_respawns}"
+            )
+        if self.respawn_backoff < 0:
+            raise RuntimeConfigError(
+                f"respawn_backoff must be >= 0, got {self.respawn_backoff}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def sharing(self) -> bool:
+        """Data sharing is on for the D and DQ configurations."""
+        return self.mode in ("D", "DQ")
+
+    @property
+    def scheduling(self) -> bool:
+        """Query scheduling is on for DQ only."""
+        return self.mode == "DQ"
+
+    @property
+    def effective_threads(self) -> int:
+        """The worker count actually used: seq means one worker."""
+        return 1 if self.mode == "seq" else self.n_threads
+
+    def with_(self, **changes) -> "RuntimeConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)

@@ -11,25 +11,35 @@ mode       meaning (Section IV-C)
 ``DQ``     + query scheduling (PARCFL_DQ)
 =========  ==========================================================
 
-Executors are simulated by default (deterministic, measurable); pass
-``backend="threads"`` for the real-thread correctness mode, or
-``backend="mp"`` for the true multiprocess backend
-(:mod:`repro.runtime.mp`) that delivers wall-clock parallel speedups
-with epoch-synchronised jump-map sharing.
+Execution knobs are consolidated in
+:class:`~repro.runtime.config.RuntimeConfig`:
+
+    runtime = RuntimeConfig(mode="D", n_threads=8, backend="mp")
+    batch = ParallelCFL.from_config(build, runtime=runtime).run()
+
+``mode`` and ``n_threads`` stay available as direct conveniences (they
+override the runtime config's values); the historic backend keywords
+(``backend``, ``chunk_size``, ``cost_model``, ``faults``,
+``unit_timeout``) are accepted through a deprecation shim that warns
+and maps them onto the config.
+
+Pass ``recorder=`` (:mod:`repro.obs`) to collect counters and spans;
+the batch's share lands in ``BatchResult.metrics``.
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import replace
 from typing import List, Optional, Sequence, Union
 
 from repro.core.engine import EngineConfig
 from repro.core.query import Query
 from repro.core.scheduling import ScheduleConfig, schedule_queries
-from repro.errors import RuntimeConfigError
 from repro.ir.types import TypeTable
 from repro.pag.build import BuildResult
 from repro.pag.graph import PAG
-from repro.runtime.contention import CostModel
+from repro.runtime.config import BACKENDS, MODES, RuntimeConfig
 from repro.runtime.mp import MPExecutor
 from repro.runtime.results import BatchResult
 from repro.runtime.simclock import SimulatedExecutor
@@ -37,8 +47,15 @@ from repro.runtime.threaded import ThreadedExecutor
 
 __all__ = ["ParallelCFL", "MODES", "BACKENDS"]
 
-MODES = ("seq", "naive", "D", "DQ")
-BACKENDS = ("sim", "threads", "mp")
+#: The historic keyword surface now owned by RuntimeConfig, in the
+#: order the old signature declared them (kept for the shim's mapping).
+_LEGACY_RUNTIME_KWARGS = (
+    "cost_model",
+    "backend",
+    "chunk_size",
+    "faults",
+    "unit_timeout",
+)
 
 
 class ParallelCFL:
@@ -47,50 +64,114 @@ class ParallelCFL:
     def __init__(
         self,
         target: Union[PAG, BuildResult],
-        mode: str = "DQ",
-        n_threads: int = 16,
+        mode: Optional[str] = None,
+        n_threads: Optional[int] = None,
         engine_config: Optional[EngineConfig] = None,
-        cost_model: Optional[CostModel] = None,
+        runtime: Optional[RuntimeConfig] = None,
         schedule_config: Optional[ScheduleConfig] = None,
         types: Optional[TypeTable] = None,
-        backend: str = "sim",
-        chunk_size: Optional[int] = None,
-        faults=None,
-        unit_timeout: Optional[float] = None,
+        recorder=None,
+        **legacy,
     ) -> None:
-        if mode not in MODES:
-            raise RuntimeConfigError(f"mode must be one of {MODES}, got {mode!r}")
-        if backend not in BACKENDS:
-            raise RuntimeConfigError(
-                f"backend must be one of {BACKENDS}, got {backend!r}"
+        unknown = set(legacy) - set(_LEGACY_RUNTIME_KWARGS)
+        if unknown:
+            raise TypeError(
+                f"ParallelCFL() got unexpected keyword arguments: "
+                f"{sorted(unknown)}"
             )
+        if legacy:
+            passed = [k for k in _LEGACY_RUNTIME_KWARGS if k in legacy]
+            warnings.warn(
+                f"ParallelCFL({', '.join(passed)}=...) is deprecated; pass "
+                f"RuntimeConfig({', '.join(passed)}=...) via the runtime "
+                f"argument instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        runtime = runtime or RuntimeConfig()
+        overrides = {
+            k: v for k, v in legacy.items() if v is not None
+        }
+        if mode is not None:
+            overrides["mode"] = mode
+        if n_threads is not None:
+            overrides["n_threads"] = n_threads
+        if overrides:
+            runtime = replace(runtime, **overrides)
+
         if isinstance(target, BuildResult):
             self.pag = target.pag
             if types is None:
                 types = target.program.types
         else:
             self.pag = target
-        self.mode = mode
-        self.n_threads = 1 if mode == "seq" else n_threads
+        self.runtime = runtime
         self.engine_config = engine_config or EngineConfig()
-        self.cost_model = cost_model or CostModel()
         self.schedule_config = schedule_config
         self.types = types
-        self.backend = backend
-        self.chunk_size = chunk_size
-        #: Fault-injection plan and per-chunk deadline, consumed by the
-        #: mp backend only (see :mod:`repro.runtime.faults`).
-        self.faults = faults
-        self.unit_timeout = unit_timeout
+        self.recorder = recorder
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_config(
+        cls,
+        target: Union[PAG, BuildResult],
+        runtime: Optional[RuntimeConfig] = None,
+        engine: Optional[EngineConfig] = None,
+        schedule: Optional[ScheduleConfig] = None,
+        *,
+        types: Optional[TypeTable] = None,
+        recorder=None,
+    ) -> "ParallelCFL":
+        """The config-first constructor: every runtime decision in one
+        :class:`RuntimeConfig`, every analysis decision in one
+        :class:`EngineConfig`."""
+        return cls(
+            target,
+            engine_config=engine,
+            runtime=runtime,
+            schedule_config=schedule,
+            types=types,
+            recorder=recorder,
+        )
+
+    # ------------------------------------------------------------------
+    # The historic attribute surface, served from the runtime config.
+    @property
+    def mode(self) -> str:
+        return self.runtime.mode
+
+    @property
+    def n_threads(self) -> int:
+        return self.runtime.effective_threads
+
+    @property
+    def backend(self) -> str:
+        return self.runtime.backend
+
+    @property
+    def cost_model(self):
+        return self.runtime.cost_model
+
+    @property
+    def chunk_size(self) -> Optional[int]:
+        return self.runtime.chunk_size
+
+    @property
+    def faults(self):
+        return self.runtime.faults
+
+    @property
+    def unit_timeout(self) -> Optional[float]:
+        return self.runtime.unit_timeout
+
     @property
     def sharing(self) -> bool:
-        return self.mode in ("D", "DQ")
+        return self.runtime.sharing
 
     @property
     def scheduling(self) -> bool:
-        return self.mode == "DQ"
+        return self.runtime.scheduling
 
     def default_queries(self) -> List[Query]:
         """The paper's batch workload: all application-code locals."""
@@ -100,44 +181,64 @@ class ParallelCFL:
         """Materialise the shared work list for this mode."""
         if self.scheduling:
             groups = schedule_queries(
-                self.pag, queries, self.types, self.schedule_config
+                self.pag, queries, self.types, self.schedule_config,
+                recorder=self.recorder,
             )
             return [list(g.queries) for g in groups]
         # seq / naive / D: one query per fetch, in issue order.
         return [[q] for q in queries]
 
     def run(self, queries: Optional[Sequence[Query]] = None) -> BatchResult:
-        """Execute the batch; returns a :class:`BatchResult`."""
+        """Execute the batch; returns a :class:`BatchResult`.
+
+        With a recorder attached, ``BatchResult.metrics`` holds exactly
+        the counters this batch accumulated (scheduling included), even
+        when one recorder observes many batches.
+        """
+        rec = self.recorder
+        mark = rec.mark() if rec else None
         if queries is None:
             queries = self.default_queries()
         units = self.work_units(queries)
-        if self.backend == "mp":
+        rt = self.runtime
+        if rt.backend == "mp":
             mexec = MPExecutor(
                 self.pag,
                 self.n_threads,
                 engine_config=self.engine_config,
                 sharing=self.sharing,
                 mode=self.mode,
-                chunk_size=self.chunk_size,
-                faults=self.faults,
-                unit_timeout=self.unit_timeout,
+                chunk_size=rt.chunk_size,
+                start_method=rt.start_method,
+                max_chunk_retries=rt.max_chunk_retries,
+                max_respawns=rt.max_respawns,
+                unit_timeout=rt.unit_timeout,
+                respawn_backoff=rt.respawn_backoff,
+                faults=rt.faults,
+                recorder=rec,
             )
-            return mexec.run_units(units)
-        if self.backend == "threads":
+            batch = mexec.run_units(units)
+        elif rt.backend == "threads":
             texec = ThreadedExecutor(
                 self.pag,
                 self.n_threads,
                 engine_config=self.engine_config,
                 sharing=self.sharing,
                 mode=self.mode,
+                recorder=rec,
             )
-            return texec.run_units(units)
-        sexec = SimulatedExecutor(
-            self.pag,
-            self.n_threads,
-            engine_config=self.engine_config,
-            cost_model=self.cost_model,
-            sharing=self.sharing,
-            mode=self.mode,
-        )
-        return sexec.run_units(units)
+            batch = texec.run_units(units)
+        else:
+            sexec = SimulatedExecutor(
+                self.pag,
+                self.n_threads,
+                engine_config=self.engine_config,
+                cost_model=rt.cost_model,
+                sharing=self.sharing,
+                mode=self.mode,
+                recorder=rec,
+            )
+            batch = sexec.run_units(units)
+        if rec:
+            batch.metrics = rec.since(mark)
+        return batch

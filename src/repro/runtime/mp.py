@@ -71,6 +71,7 @@ crash texts in ``BatchResult.errors``.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import time
 import traceback
 from collections import deque
@@ -81,6 +82,7 @@ from repro.core.engine import CFLEngine, EngineConfig
 from repro.core.jumpmap import JumpMap, LayeredJumpMap
 from repro.core.query import Query
 from repro.errors import RuntimeConfigError, WorkerCrash
+from repro.obs.recorder import MetricsRecorder
 from repro.pag.graph import PAG, FrozenPAG
 from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.results import BatchResult, QueryExecution
@@ -108,10 +110,19 @@ def _apply_delta(jumps: JumpMap, delta: Sequence[DeltaEntry]) -> None:
 
 
 def _worker_main(conn, pag, engine_config, sharing: bool,
-                 worker_id: int = 0, faults: Optional[FaultPlan] = None) -> None:
+                 worker_id: int = 0, faults: Optional[FaultPlan] = None,
+                 collect_metrics: bool = False) -> None:
     """Worker loop: receive ("unit", chunk_id, units, delta) messages,
-    answer with ("done", chunk_id, records, delta) until told to stop.
-    Runs in a child process."""
+    answer with ("done", chunk_id, records, delta, metrics) until told
+    to stop.  Runs in a child process.
+
+    ``metrics`` is ``None`` unless the coordinator asked for metrics
+    (``collect_metrics``), in which case it is a fresh per-chunk
+    :class:`~repro.obs.MetricsRecorder` snapshot — counters ride the
+    existing result pipe and are merged coordinator-side, so a crashed
+    worker loses at most its in-flight chunk's counters (exactly as it
+    loses that chunk's answers, which are then recomputed elsewhere).
+    """
     jumps = JumpMap() if sharing else None
     injector = FaultInjector(faults, worker_id, conn) if faults else None
     perf = time.perf_counter
@@ -124,6 +135,7 @@ def _worker_main(conn, pag, engine_config, sharing: bool,
             _tag, chunk_id, unit_chunk, delta = msg
             if sharing and delta:
                 _apply_delta(jumps, delta)
+            wrec = MetricsRecorder() if collect_metrics else None
             records: List[Tuple[object, float, float]] = []
             out_delta: List[DeltaEntry] = []
             for unit in unit_chunk:
@@ -132,9 +144,10 @@ def _worker_main(conn, pag, engine_config, sharing: bool,
                 for query in unit:
                     if sharing:
                         layer = LayeredJumpMap(jumps)
-                        engine = CFLEngine(pag, engine_config, jumps=layer)
+                        engine = CFLEngine(pag, engine_config, jumps=layer,
+                                           recorder=wrec)
                     else:
-                        engine = CFLEngine(pag, engine_config)
+                        engine = CFLEngine(pag, engine_config, recorder=wrec)
                     t0 = perf()
                     result = engine.run_query(query)
                     t1 = perf()
@@ -153,7 +166,8 @@ def _worker_main(conn, pag, engine_config, sharing: bool,
                     records.append((result, t0, t1))
                 if injector is not None:
                     injector.on_unit_end()
-            conn.send(("done", chunk_id, records, out_delta))
+            metrics = wrec.snapshot() if wrec is not None else None
+            conn.send(("done", chunk_id, records, out_delta, metrics))
     except EOFError:
         return  # coordinator went away; die quietly
     except BaseException:
@@ -208,6 +222,7 @@ class MPExecutor:
         unit_timeout: Optional[float] = None,
         respawn_backoff: float = 0.05,
         faults: Optional[FaultPlan] = None,
+        recorder=None,
     ) -> None:
         if n_workers < 1:
             raise RuntimeConfigError(f"n_workers must be >= 1, got {n_workers}")
@@ -247,6 +262,12 @@ class MPExecutor:
         if faults is None:
             faults = FaultPlan.from_env()
         self.faults = faults
+        #: Optional :class:`repro.obs.Recorder`.  When set, workers run
+        #: with per-chunk recorders and ship counter snapshots back with
+        #: their results; the coordinator merges them and adds the mp.*
+        #: transport counters (epoch ships, delta bytes, merge
+        #: conflicts, requeues, respawns) plus chunk/query spans.
+        self.recorder = recorder
         #: The coordinator's authoritative jump map (reusable across
         #: batches, like the other executors' shared maps).
         self.jumps: Optional[JumpMap] = JumpMap() if sharing else None
@@ -331,6 +352,11 @@ class MPExecutor:
         busy = [0.0] * n
         executions: List[QueryExecution] = []
         errors: List[str] = []
+        rec = self.recorder
+        mark = rec.mark() if rec else None
+        #: worker -> absolute dispatch stamp of its in-flight chunk
+        #: (span bookkeeping only; ownership lives in ``inflight``).
+        sent_at: Dict[int, float] = {}
         perf = time.perf_counter
 
         def spawn(w: int) -> None:
@@ -338,7 +364,7 @@ class MPExecutor:
             proc = ctx.Process(
                 target=_worker_main,
                 args=(child, self.pag, self.engine_config, self.sharing,
-                      w, self.faults),
+                      w, self.faults, bool(rec)),
                 daemon=True,
             )
             proc.start()
@@ -358,14 +384,17 @@ class MPExecutor:
             """Quarantine path: answer the chunk in-process, committing
             any accepted jump entries straight onto the authoritative
             map/log (the coordinator *is* the commit point)."""
+            if rec:
+                rec.count("mp.quarantined_chunks")
             for unit in chunks[ci]:
                 for query in unit:
                     if self.sharing:
                         layer = LayeredJumpMap(self.jumps)
                         engine = CFLEngine(self.pag, self.engine_config,
-                                           jumps=layer)
+                                           jumps=layer, recorder=rec)
                     else:
-                        engine = CFLEngine(self.pag, self.engine_config)
+                        engine = CFLEngine(self.pag, self.engine_config,
+                                           recorder=rec)
                     q0 = perf()
                     result = engine.run_query(query)
                     q1 = perf()
@@ -377,10 +406,21 @@ class MPExecutor:
                             ("unf", key, steps)
                             for key, steps in layer.overlay.unfinished_items()
                         ]
-                        self._merge_delta(delta)
+                        accepted = self._merge_delta(delta)
+                        if rec:
+                            rec.count_many({
+                                "mp.delta_entries_merged": accepted,
+                                "mp.merge_conflicts": len(delta) - accepted,
+                            })
                     executions.append(
                         QueryExecution(result, COORDINATOR, q0 - t0, q1 - t0)
                     )
+                    if rec:
+                        rec.span_abs(
+                            f"query node{query.var} (inline)", q0, q1,
+                            tid=COORDINATOR, cat="query",
+                            args={"var": query.var, "chunk": ci},
+                        )
             status[ci] = "quarantined"
             done.add(ci)
 
@@ -389,6 +429,8 @@ class MPExecutor:
             retries[ci] += 1
             total_retries += 1
             errors.append(reason)
+            if rec:
+                rec.count("mp.requeues")
             if retries[ci] > self.max_chunk_retries:
                 run_inline(ci)
             else:
@@ -400,6 +442,8 @@ class MPExecutor:
             nonlocal crashes, respawns
             crashes += 1
             alive[w] = False
+            if rec:
+                rec.count("mp.crashes")
             try:
                 conns[w].close()
             except OSError:
@@ -408,6 +452,7 @@ class MPExecutor:
             if proc is not None and proc.is_alive():
                 proc.terminate()
             entry = inflight.pop(w, None)
+            sent_at.pop(w, None)
             if entry is not None:
                 requeue(entry[0], f"worker {w}: {reason}")
             else:
@@ -415,6 +460,8 @@ class MPExecutor:
             if respawns < max_respawns:
                 respawns += 1
                 slot_respawns[w] += 1
+                if rec:
+                    rec.count("mp.respawns")
                 delay = min(
                     self.respawn_backoff * (2 ** (slot_respawns[w] - 1)), 1.0
                 )
@@ -434,6 +481,14 @@ class MPExecutor:
                 return
             # Advance the epoch watermark only after a successful send.
             sent_epoch[w] = len(self._log)
+            if rec:
+                counts = {"mp.dispatches": 1}
+                if delta:
+                    counts["mp.epoch_ships"] = 1
+                    counts["mp.delta_entries_shipped"] = len(delta)
+                    counts["mp.delta_bytes_shipped"] = len(pickle.dumps(delta))
+                rec.count_many(counts)
+                sent_at[w] = perf()
             deadline = (
                 perf() + self.unit_timeout if self.unit_timeout else float("inf")
             )
@@ -447,7 +502,7 @@ class MPExecutor:
                 fail_worker(w, f"exited without reporting (exitcode={exitcode})")
                 return
             ok_done = (
-                isinstance(msg, tuple) and len(msg) == 4 and msg[0] == "done"
+                isinstance(msg, tuple) and len(msg) == 5 and msg[0] == "done"
                 and isinstance(msg[1], int)
             )
             ok_error = (
@@ -459,21 +514,45 @@ class MPExecutor:
             if not ok_done:
                 fail_worker(w, f"sent garbage: {str(msg)[:120]!r}")
                 return
-            _tag, ci, records, delta = msg
+            _tag, ci, records, delta, worker_metrics = msg
             inflight.pop(w, None)
+            dispatched_at = sent_at.pop(w, None)
             if self.sharing and delta:
                 # Merge even a straggler's delta: idempotent, and its
                 # entries are legitimate commits.
-                self._merge_delta(delta)
+                accepted = self._merge_delta(delta)
+                if rec:
+                    rec.count_many({
+                        "mp.delta_entries_merged": accepted,
+                        "mp.merge_conflicts": len(delta) - accepted,
+                    })
+            if rec and worker_metrics:
+                rec.merge(worker_metrics)
             if ci in done:
                 return  # duplicate answer from a reassigned straggler
             done.add(ci)
             status[ci] = "retried" if retries[ci] else "completed"
+            if rec and dispatched_at is not None:
+                n_q = sum(len(u) for u in chunks[ci])
+                rec.span_abs(
+                    f"chunk {ci} (worker {w})", dispatched_at, perf(),
+                    tid=w, cat="chunk",
+                    args={"chunk": ci, "queries": n_q, "status": status[ci]},
+                )
             for result, start, finish in records:
                 executions.append(
                     QueryExecution(result, w, start - t0, finish - t0)
                 )
                 busy[w] += finish - start
+                if rec:
+                    rec.span_abs(
+                        f"query node{result.query.var}", start, finish,
+                        tid=w, cat="query",
+                        args={
+                            "var": result.query.var,
+                            "steps": result.costs.steps,
+                        },
+                    )
 
         try:
             while len(done) < n_chunks:
@@ -549,6 +628,8 @@ class MPExecutor:
             result.n_jumps = self.jumps.n_jumps
             result.n_finished_jumps = self.jumps.n_finished_edges
             result.n_unfinished_jumps = self.jumps.n_unfinished_edges
+        if rec:
+            result.metrics = rec.since(mark)
         return result
 
     def run(self, queries: Sequence[Query]) -> BatchResult:

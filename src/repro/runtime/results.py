@@ -65,6 +65,10 @@ class BatchResult:
     #: Diagnostic text for every *recovered* failure (empty on a clean
     #: run); the batch still completed despite these.
     errors: List[str] = field(default_factory=list)
+    #: Observability counters accumulated by this batch (see
+    #: :mod:`repro.obs`): the dotted ``engine.* / jumps.* / sched.* /
+    #: mp.*`` namespace.  Empty unless a recorder was attached.
+    metrics: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property

@@ -24,6 +24,7 @@ from repro.core.jumpmap import JumpMap, LayeredJumpMap
 from repro.core.query import Query
 from repro.errors import RuntimeConfigError
 from repro.pag.graph import PAG
+from repro.obs.recorder import SIM_PID
 from repro.runtime.contention import CostModel
 from repro.runtime.results import BatchResult, QueryExecution
 
@@ -47,6 +48,7 @@ class SimulatedExecutor:
         cost_model: Optional[CostModel] = None,
         sharing: bool = True,
         mode: str = "sim",
+        recorder=None,
     ) -> None:
         if n_threads < 1:
             raise RuntimeConfigError(f"n_threads must be >= 1, got {n_threads}")
@@ -56,6 +58,9 @@ class SimulatedExecutor:
         self.cost_model = cost_model or CostModel()
         self.sharing = sharing
         self.mode = mode
+        #: Optional :class:`repro.obs.Recorder`: engine counters flushed
+        #: per query, plus per-query spans on the simulated-clock lane.
+        self.recorder = recorder
         #: Committed jump edges (shared across batches run on this executor).
         self.jumps = JumpMap() if sharing else None
 
@@ -63,6 +68,8 @@ class SimulatedExecutor:
     def run_units(self, units: Sequence[Sequence[Query]]) -> BatchResult:
         """Execute the work units and return the batch record."""
         cm = self.cost_model
+        rec = self.recorder
+        mark = rec.mark() if rec else None
         t = self.n_threads
         heap: List[Tuple[float, int]] = [(0.0, w) for w in range(t)]
         heapq.heapify(heap)
@@ -93,9 +100,20 @@ class SimulatedExecutor:
                 engine.jumps.commit()
             busy[w] += duration
             executions.append(QueryExecution(result, w, now, finish))
+            if rec:
+                # Simulated clock: its own trace lane, "seconds" are
+                # cost-model units.
+                rec.span(
+                    f"query node{query.var}", now, finish,
+                    tid=w, pid=SIM_PID, cat="query",
+                    args={"var": query.var, "steps": result.costs.steps},
+                )
             heapq.heappush(heap, (finish, w))
 
-        return self._finalise(executions, busy)
+        batch = self._finalise(executions, busy)
+        if rec:
+            batch.metrics = rec.since(mark)
+        return batch
 
     def run(self, queries: Sequence[Query]) -> BatchResult:
         """Convenience: one query per work unit, in the given order."""
@@ -104,7 +122,9 @@ class SimulatedExecutor:
     # ------------------------------------------------------------------
     def _make_engine(self) -> CFLEngine:
         jumps = LayeredJumpMap(self.jumps) if self.sharing else None
-        return CFLEngine(self.pag, self.engine_config, jumps=jumps)
+        return CFLEngine(
+            self.pag, self.engine_config, jumps=jumps, recorder=self.recorder
+        )
 
     def _finalise(
         self, executions: List[QueryExecution], busy: List[float]

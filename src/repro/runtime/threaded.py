@@ -132,6 +132,7 @@ class ThreadedExecutor:
         engine_config: Optional[EngineConfig] = None,
         sharing: bool = True,
         mode: str = "threaded",
+        recorder=None,
     ) -> None:
         if n_threads < 1:
             raise RuntimeConfigError(f"n_threads must be >= 1, got {n_threads}")
@@ -140,6 +141,9 @@ class ThreadedExecutor:
         self.engine_config = engine_config or EngineConfig()
         self.sharing = sharing
         self.mode = mode
+        #: Optional :class:`repro.obs.Recorder` (MetricsRecorder is
+        #: thread-safe, so worker threads share it directly).
+        self.recorder = recorder
         self.jumps: Optional[ConcurrentJumpMap] = (
             ConcurrentJumpMap() if sharing else None
         )
@@ -171,6 +175,8 @@ class ThreadedExecutor:
         executions: List[QueryExecution] = []
         busy = [0.0] * self.n_threads
         errors: List[str] = []
+        rec = self.recorder
+        mark = rec.mark() if rec else None
         perf = time.perf_counter
         t0 = perf()
 
@@ -184,11 +190,20 @@ class ThreadedExecutor:
             out: List[QueryExecution] = []
             spent = 0.0
             for query in unit:
-                engine = CFLEngine(self.pag, self.engine_config, jumps=self.jumps)
+                engine = CFLEngine(
+                    self.pag, self.engine_config, jumps=self.jumps,
+                    recorder=rec,
+                )
                 start = perf() - t0
                 result = engine.run_query(query)
                 finish = perf() - t0
                 out.append(QueryExecution(result, wid, start, finish))
+                if rec:
+                    rec.span_abs(
+                        f"query node{query.var}", t0 + start, t0 + finish,
+                        tid=wid, cat="query",
+                        args={"var": query.var, "steps": result.costs.steps},
+                    )
                 spent += finish - start
             return out, spent
 
@@ -256,6 +271,8 @@ class ThreadedExecutor:
                 result.n_finished_jumps,
                 result.n_unfinished_jumps,
             ) = self.jumps.stats_snapshot()
+        if rec:
+            result.metrics = rec.since(mark)
         return result
 
     def run(self, queries: Sequence[Query]) -> BatchResult:

@@ -130,7 +130,7 @@ class TestFieldInsensitive:
         # Pure L_FT (grammar (1)): only new/assign flow; s1 gets nothing
         # because its value arrives via the heap.
         b, n = fig2
-        eng = CFLEngine(b.pag, EngineConfig(field_sensitive=False))
+        eng = CFLEngine(b.pag, EngineConfig(field_mode="none"))
         assert eng.points_to(n["s1"]).objects == set()
         assert eng.points_to(n["v1"]).objects == {n["o_vec1"]}
 

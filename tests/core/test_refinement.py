@@ -41,7 +41,9 @@ class TestFieldMode:
 
     def test_mode_none_equals_field_insensitive_flag(self, fig2):
         b, n = fig2
-        by_flag = CFLEngine(b.pag, EngineConfig(field_sensitive=False))
+        with pytest.warns(DeprecationWarning, match="field_sensitive"):
+            flag_cfg = EngineConfig(field_sensitive=False)
+        by_flag = CFLEngine(b.pag, flag_cfg)
         by_mode = CFLEngine(b.pag, EngineConfig(field_mode="none"))
         for var in b.pag.app_locals():
             assert (

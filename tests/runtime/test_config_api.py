@@ -1,0 +1,204 @@
+"""Tests for the consolidated configuration API and its deprecation
+shims: :class:`repro.runtime.config.RuntimeConfig`,
+``ParallelCFL.from_config``, and the legacy keyword surfaces of
+``ParallelCFL`` and ``EngineConfig``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import CFLEngine, EngineConfig
+from repro.core.engine import FIELD_MODES
+from repro.errors import AnalysisError, RuntimeConfigError
+from repro.runtime import BACKENDS, MODES, ParallelCFL, RuntimeConfig
+from repro.runtime.contention import CostModel
+from repro.runtime.faults import FaultPlan
+
+
+class TestRuntimeConfig:
+    def test_defaults_match_the_paper(self):
+        rt = RuntimeConfig()
+        assert (rt.mode, rt.n_threads, rt.backend) == ("DQ", 16, "sim")
+        assert rt.sharing and rt.scheduling
+        assert rt.effective_threads == 16
+
+    def test_mode_derived_flags(self):
+        assert not RuntimeConfig(mode="seq").sharing
+        assert not RuntimeConfig(mode="naive").sharing
+        assert RuntimeConfig(mode="D").sharing
+        assert not RuntimeConfig(mode="D").scheduling
+        assert RuntimeConfig(mode="seq", n_threads=8).effective_threads == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode": "turbo"},
+            {"backend": "gpu"},
+            {"n_threads": 0},
+            {"chunk_size": 0},
+            {"unit_timeout": 0.0},
+            {"max_chunk_retries": -1},
+            {"max_respawns": -1},
+            {"respawn_backoff": -0.1},
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(RuntimeConfigError):
+            RuntimeConfig(**kwargs)
+
+    def test_frozen(self):
+        rt = RuntimeConfig()
+        with pytest.raises(AttributeError):
+            rt.mode = "D"
+
+    def test_with_revalidates(self):
+        rt = RuntimeConfig(mode="D")
+        assert rt.with_(n_threads=4).n_threads == 4
+        assert rt.with_(n_threads=4).mode == "D"
+        with pytest.raises(RuntimeConfigError):
+            rt.with_(backend="gpu")
+
+    def test_picklable(self):
+        rt = RuntimeConfig(mode="D", backend="mp", chunk_size=3)
+        assert pickle.loads(pickle.dumps(rt)) == rt
+
+    def test_mode_and_backend_vocabularies_exported(self):
+        assert set(MODES) == {"seq", "naive", "D", "DQ"}
+        assert set(BACKENDS) == {"sim", "threads", "mp"}
+
+
+class TestParallelCFLConfigAPI:
+    def test_from_config(self, fig2):
+        b, _ = fig2
+        runner = ParallelCFL.from_config(
+            b, runtime=RuntimeConfig(mode="D", n_threads=4)
+        )
+        assert runner.mode == "D"
+        assert runner.n_threads == 4
+        assert runner.backend == "sim"
+        batch = runner.run()
+        assert batch.n_queries == len(b.pag.app_locals())
+
+    def test_mode_and_threads_conveniences_do_not_warn(self, fig2):
+        import warnings as w
+
+        b, _ = fig2
+        with w.catch_warnings():
+            w.simplefilter("error", DeprecationWarning)
+            runner = ParallelCFL(b, mode="naive", n_threads=2)
+        assert runner.mode == "naive" and runner.n_threads == 2
+
+    def test_conveniences_override_runtime(self, fig2):
+        b, _ = fig2
+        runner = ParallelCFL(
+            b, mode="D", n_threads=3,
+            runtime=RuntimeConfig(mode="DQ", n_threads=8, backend="threads"),
+        )
+        assert (runner.mode, runner.n_threads, runner.backend) == ("D", 3, "threads")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"backend": "threads"},
+            {"chunk_size": 2},
+            {"cost_model": CostModel()},
+            {"faults": FaultPlan.parse("exc@0")},
+            {"unit_timeout": 1.5},
+        ],
+    )
+    def test_legacy_kwargs_warn_and_map(self, fig2, kwargs):
+        b, _ = fig2
+        (name, value), = kwargs.items()
+        with pytest.warns(DeprecationWarning, match=name):
+            runner = ParallelCFL(b, **kwargs)
+        assert getattr(runner.runtime, name) == value
+        # ...and the historic attribute surface still serves it.
+        assert getattr(runner, name) == value
+
+    def test_legacy_kwargs_validated_through_runtime(self, fig2):
+        b, _ = fig2
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(RuntimeConfigError):
+                ParallelCFL(b, chunk_size=0)
+
+    def test_unknown_kwarg_is_a_type_error(self, fig2):
+        b, _ = fig2
+        with pytest.raises(TypeError, match="warp_drive"):
+            ParallelCFL(b, warp_drive=9)
+
+    def test_legacy_acceptance_signature_still_works(self, fig2):
+        # The ISSUE's acceptance line: old call sites keep working.
+        b, _ = fig2
+        plan = FaultPlan.parse("exc@0")
+        with pytest.warns(DeprecationWarning):
+            runner = ParallelCFL(b, faults=plan, unit_timeout=2.0)
+        assert runner.faults is plan
+        assert runner.unit_timeout == 2.0
+
+
+class TestEngineConfigShims:
+    def test_field_mode_is_validated(self):
+        for mode in FIELD_MODES:
+            assert EngineConfig(field_mode=mode).field_mode == mode
+        with pytest.raises(AnalysisError):
+            EngineConfig(field_mode="fuzzy")
+
+    def test_default_resolves_to_sensitive(self):
+        assert EngineConfig().field_mode == "sensitive"
+
+    @pytest.mark.parametrize(
+        "flag,expected", [(True, "sensitive"), (False, "none")]
+    )
+    def test_field_sensitive_ctor_warns_and_maps(self, flag, expected):
+        with pytest.warns(DeprecationWarning, match="field_sensitive"):
+            cfg = EngineConfig(field_sensitive=flag)
+        assert cfg.field_mode == expected
+
+    def test_explicit_field_mode_wins_over_flag(self):
+        with pytest.warns(DeprecationWarning):
+            cfg = EngineConfig(field_sensitive=True, field_mode="match")
+        assert cfg.field_mode == "match"
+
+    def test_field_sensitive_read_warns(self):
+        cfg = EngineConfig(field_mode="match")
+        with pytest.warns(DeprecationWarning, match="field_sensitive"):
+            assert cfg.field_sensitive is False
+
+    def test_faults_ctor_warns_and_reads_back_silently(self):
+        import warnings as w
+
+        plan = FaultPlan.parse("exc@0")
+        with pytest.warns(DeprecationWarning, match="faults"):
+            cfg = EngineConfig(faults=plan)
+        with w.catch_warnings():
+            w.simplefilter("error")
+            assert cfg.faults is plan
+            assert EngineConfig().faults is None
+
+    def test_shimmed_config_runs(self, fig2):
+        b, n = fig2
+        with pytest.warns(DeprecationWarning):
+            cfg = EngineConfig(field_sensitive=True)
+        eng = CFLEngine(b.pag, cfg)
+        assert eng.points_to(n["s1"]).objects == {n["o_n1"]}
+
+
+class TestNoDeprecatedUsageInPackage:
+    def test_src_tree_is_clean(self):
+        # The package itself must not construct configs through the
+        # deprecated surfaces (CLI, harness, analyses all migrated).
+        import warnings as w
+        from pathlib import Path
+        import repro
+
+        pkg = Path(repro.__file__).parent
+        offenders = []
+        for py in pkg.rglob("*.py"):
+            text = py.read_text()
+            for needle in ("EngineConfig(field_sensitive",
+                           "EngineConfig(faults"):
+                # engine.py itself names the shims in its warnings.
+                if needle in text and "InitVar" not in text:
+                    offenders.append((py.name, needle))
+        assert not offenders

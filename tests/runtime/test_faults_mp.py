@@ -85,9 +85,12 @@ class TestFaultPlan:
         assert ex.faults == FaultPlan((FaultSpec("exc", worker=0),))
 
     def test_engine_config_channel(self, bench):
+        # Legacy core->runtime channel: attaching the plan to the engine
+        # config warns but still reaches the executor.
         build, _, _ = bench
         plan = FaultPlan.single("garbage", worker=1)
-        cfg = EngineConfig(faults=plan)
+        with pytest.warns(DeprecationWarning, match="EngineConfig.faults"):
+            cfg = EngineConfig(faults=plan)
         assert MPExecutor(build.pag, 2, engine_config=cfg).faults is plan
 
     def test_injector_fires_once_per_incarnation(self):

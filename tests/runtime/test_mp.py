@@ -11,10 +11,18 @@ import pytest
 
 from repro.core import CFLEngine, EngineConfig, Query
 from repro.errors import RuntimeConfigError
-from repro.runtime import MPExecutor, ParallelCFL
+from repro.runtime import MPExecutor, ParallelCFL, RuntimeConfig
 from repro.runtime.mp import _apply_delta
 from repro.core.jumpmap import JumpMap
 from repro.pag.extended import FinishedJump
+
+
+def mp_cfl(build, mode="naive", n_threads=2):
+    """ParallelCFL on the mp backend via the consolidated config API."""
+    return ParallelCFL.from_config(
+        build, runtime=RuntimeConfig(mode=mode, n_threads=n_threads,
+                                     backend="mp")
+    )
 
 
 class TestMPBackend:
@@ -23,9 +31,7 @@ class TestMPBackend:
         queries = [Query(v) for v in b.pag.app_locals()]
         seq = CFLEngine(b.pag)
         expected = {q.var: seq.run_query(q).points_to for q in queries}
-        batch = ParallelCFL(
-            b, mode="naive", n_threads=2, backend="mp"
-        ).run(queries)
+        batch = mp_cfl(b).run(queries)
         assert batch.n_queries == len(queries)
         for e in batch.executions:
             assert e.result.points_to == expected[e.result.query.var]
@@ -37,19 +43,19 @@ class TestMPBackend:
         queries = [Query(v) for v in b.pag.app_locals()]
         seq = ParallelCFL(b, mode="seq").run(queries)
         for mode in ("D", "DQ"):
-            batch = ParallelCFL(b, mode=mode, n_threads=2, backend="mp").run(queries)
+            batch = mp_cfl(b, mode=mode).run(queries)
             assert batch.points_to_map() == seq.points_to_map(), mode
 
     def test_seq_mode_runs_one_worker(self, fig2):
         b, _ = fig2
-        batch = ParallelCFL(b, mode="seq", backend="mp").run()
+        batch = mp_cfl(b, mode="seq", n_threads=1).run()
         assert batch.n_threads == 1
         assert batch.n_queries == len(b.pag.app_locals())
 
     def test_real_wall_times_recorded(self, fig2):
         b, _ = fig2
         queries = [Query(v) for v in b.pag.app_locals()]
-        batch = ParallelCFL(b, mode="naive", n_threads=2, backend="mp").run(queries)
+        batch = mp_cfl(b).run(queries)
         assert batch.makespan > 0
         assert all(e.finish >= e.start for e in batch.executions)
         assert sum(batch.worker_busy) > 0
@@ -87,11 +93,11 @@ class TestMPBackend:
         with pytest.raises(RuntimeConfigError):
             MPExecutor(b.pag, n_workers=2, chunk_size=0)
         with pytest.raises(RuntimeConfigError):
-            ParallelCFL(b, backend="gpu")
+            RuntimeConfig(backend="gpu")
 
     def test_empty_batch(self, fig2):
         b, _ = fig2
-        batch = ParallelCFL(b, mode="naive", n_threads=2, backend="mp").run([])
+        batch = mp_cfl(b).run([])
         assert batch.n_queries == 0
         assert batch.makespan == 0.0
 

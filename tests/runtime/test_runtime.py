@@ -11,6 +11,7 @@ from repro.runtime import (
     ConcurrentJumpMap,
     CostModel,
     ParallelCFL,
+    RuntimeConfig,
     SimulatedExecutor,
     ThreadedExecutor,
 )
@@ -247,7 +248,9 @@ class TestParallelCFL:
 
     def test_threads_backend(self, fig2):
         b, _ = fig2
-        runner = ParallelCFL(b, mode="D", n_threads=4, backend="threads")
+        runner = ParallelCFL.from_config(
+            b, runtime=RuntimeConfig(mode="D", n_threads=4, backend="threads")
+        )
         batch = runner.run()
         assert batch.n_queries == len(b.pag.app_locals())
 
@@ -256,7 +259,7 @@ class TestParallelCFL:
         with pytest.raises(RuntimeConfigError):
             ParallelCFL(b, mode="turbo")
         with pytest.raises(RuntimeConfigError):
-            ParallelCFL(b, backend="gpu")
+            RuntimeConfig(backend="gpu")
 
     def test_accepts_raw_pag(self, fig2):
         b, _ = fig2
