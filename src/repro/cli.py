@@ -23,6 +23,9 @@ Commands
     * ``--backend sim|threads|mp`` — execution substrate (default sim).
     * ``--metrics`` / ``--metrics-json`` — observability counters
       (:mod:`repro.obs`) plus the top-N hot-query report.
+    * ``--events out.jsonl`` — structured JSONL lifecycle log (one
+      event per line: dispatch/done/crash/requeue/heartbeat/...).
+    * ``--progress`` — live one-line progress report on stderr.
 
 ``check FILE``
     Run the client checkers (``repro.analyses``) — null-deref, downcast,
@@ -51,6 +54,13 @@ Commands
       least one retried chunk (exit 1 otherwise).
     * ``--profile trace.json`` — record spans and counters, writing a
       Chrome-trace JSON loadable in ``about:tracing`` / Perfetto.
+    * ``--events out.jsonl`` / ``--progress`` — live telemetry, as in
+      ``batch``.
+    * ``--compare BASELINE.json`` — perf-regression gate against a
+      committed bench payload; exits 3 when a gating wall/speedup delta
+      exceeds ``--regress-threshold`` (default 0.25).
+    * ``--history PATH`` / ``--no-history`` — per-configuration run
+      records appended to ``BENCH_history.jsonl`` by default.
     * ``--suite NAME`` (repeatable) / ``--workers 1,2,4`` /
       ``--repeat N`` / ``--mode naive|D|DQ`` / ``--backend threads|mp``
       / ``--out PATH``.
@@ -63,7 +73,7 @@ parent parser; each command only sets its own defaults.
 
 Exit codes: 0 success (for ``check``: no finding at/above the
 threshold), 1 analysis error or findings at/above the threshold, 2 the
-input file could not be read.
+input file could not be read, 3 the bench regression gate tripped.
 """
 
 from __future__ import annotations
@@ -162,6 +172,42 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _make_recorder(args, want_metrics: bool, want_spans: bool = False):
+    """Pick the cheapest recorder that serves the requested outputs.
+
+    The recorder classes form a ladder (``MetricsRecorder`` ←
+    ``SpanRecorder`` ← ``TimelineRecorder``), so one
+    :class:`TimelineRecorder` instance feeds ``--events``/``--progress``
+    *and* ``--profile`` *and* ``--metrics`` simultaneously; with no
+    observability flag at all this returns ``None`` and the run stays
+    on the recorder-off fast path.
+    """
+    events = getattr(args, "events", None)
+    progress = getattr(args, "progress", False)
+    if events or progress:
+        from repro.obs import TimelineRecorder
+
+        return TimelineRecorder(
+            events_path=events,
+            progress_stream=sys.stderr if progress else None,
+        )
+    if want_spans:
+        from repro.obs import SpanRecorder
+
+        return SpanRecorder()
+    if want_metrics:
+        from repro.obs import MetricsRecorder
+
+        return MetricsRecorder()
+    return None
+
+
+def _close_recorder(recorder) -> None:
+    close = getattr(recorder, "close", None)
+    if close is not None:
+        close()
+
+
 def _cmd_batch(args) -> int:
     from repro.core import EngineConfig
     from repro.obs import (
@@ -180,9 +226,7 @@ def _cmd_batch(args) -> int:
     budget = args.budget if args.budget is not None else DEFAULT_BUDGET
     cfg = EngineConfig(budget=budget)
     backend = args.backend or "sim"
-    recorder = (
-        MetricsRecorder() if (args.metrics or args.metrics_json) else None
-    )
+    recorder = _make_recorder(args, args.metrics or args.metrics_json)
 
     def run_mode(mode: str, threads: int):
         runtime = RuntimeConfig(mode=mode, n_threads=threads, backend=backend)
@@ -213,6 +257,10 @@ def _cmd_batch(args) -> int:
         print(render_hot_queries(last, pag=build.pag))
     if args.metrics_json:
         print(metrics_to_json(recorder.snapshot()))
+    if recorder is not None:
+        _close_recorder(recorder)
+    if args.events:
+        print(f"[events {args.events}]")
     return 0
 
 
@@ -277,11 +325,9 @@ def _cmd_bench(args) -> int:
     else:
         workers = wallclock.SMOKE_WORKERS if args.smoke else wallclock.DEFAULT_WORKERS
 
-    recorder = None
-    if args.profile is not None:
-        from repro.obs import SpanRecorder
-
-        recorder = SpanRecorder()
+    recorder = _make_recorder(
+        args, want_metrics=False, want_spans=args.profile is not None
+    )
 
     payload = wallclock.run(
         benchmarks=args.suite or None,
@@ -298,10 +344,28 @@ def _cmd_bench(args) -> int:
     print(wallclock.render(payload))
     out = wallclock.write_json(payload, args.out)
     print(f"[written {out}]")
-    if recorder is not None:
+    if args.profile is not None and recorder is not None:
         trace = recorder.write_chrome_trace(args.profile)
         print(f"[trace {trace}: {len(recorder.events())} spans — load in "
               f"about:tracing or ui.perfetto.dev]")
+    if recorder is not None:
+        _close_recorder(recorder)
+    if args.events:
+        print(f"[events {args.events}]")
+
+    from repro.harness import history
+
+    if not args.no_history:
+        n = history.append_history(payload, args.history)
+        print(f"[history {args.history}: +{n} record(s)]")
+    compare_report = None
+    if args.compare is not None:
+        baseline = history.load_baseline(args.compare)
+        compare_report = history.compare(
+            payload, baseline, threshold=args.regress_threshold
+        )
+        print(history.render_compare(compare_report))
+
     if not payload["all_identical"]:
         print("error: parallel answers diverged from seq", file=sys.stderr)
         return 1
@@ -309,6 +373,11 @@ def _cmd_bench(args) -> int:
         print("error: fault drill lost queries or answers diverged",
               file=sys.stderr)
         return 1
+    if compare_report is not None and not compare_report["ok"]:
+        print(f"error: perf regression beyond "
+              f"{compare_report['threshold']:.0%} vs {args.compare}",
+              file=sys.stderr)
+        return 3
     return 0
 
 
@@ -376,7 +445,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="may-alias query instead of points-to")
     analyze.set_defaults(func=_cmd_analyze)
 
-    batch = sub.add_parser("batch", parents=[common_file, common_run],
+    # Live-telemetry flags shared by batch and bench (not check: the
+    # checkers run one scheduled batch internally and report findings,
+    # not runtime telemetry).
+    common_telemetry = argparse.ArgumentParser(add_help=False)
+    common_telemetry.add_argument(
+        "--events", type=Path, default=None, metavar="OUT.jsonl",
+        help="append every lifecycle event (dispatch/done/crash/requeue/"
+             "heartbeat/...) as one JSON object per line",
+    )
+    common_telemetry.add_argument(
+        "--progress", action="store_true",
+        help="render a live one-line progress report on stderr",
+    )
+
+    batch = sub.add_parser("batch",
+                           parents=[common_file, common_run, common_telemetry],
                            help="run the parallel batch modes")
     batch.add_argument("--metrics", action="store_true",
                        help="print the observability counter table and "
@@ -405,7 +489,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     graph.set_defaults(func=_cmd_graph)
 
     bench = sub.add_parser(
-        "bench", parents=[common_run],
+        "bench", parents=[common_run, common_telemetry],
         help="wall-clock seq-vs-parallel benchmark (default) or, with "
              "an experiment name, the paper's tables/figures",
     )
@@ -429,6 +513,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="skip the seq-vs-parallel identity check")
     bench.add_argument("--out", type=Path, default=Path("BENCH_parallel.json"),
                        help="output JSON path")
+    bench.add_argument("--compare", type=Path, default=None,
+                       metavar="BASELINE.json",
+                       help="perf-regression gate: diff against this bench "
+                            "payload, exit 3 past the threshold")
+    bench.add_argument("--regress-threshold", type=float, default=0.25,
+                       metavar="FRAC",
+                       help="relative slowdown tolerated by --compare "
+                            "(default 0.25 = 25%%)")
+    bench.add_argument("--history", type=Path,
+                       default=Path("BENCH_history.jsonl"),
+                       help="JSONL file run records are appended to")
+    bench.add_argument("--no-history", action="store_true",
+                       help="skip the history append")
     bench.add_argument("harness_args", nargs=argparse.REMAINDER,
                        help="table1/table2/fig6/... forwards to repro.harness")
     bench.set_defaults(func=_cmd_bench)

@@ -15,8 +15,33 @@ Each module exposes ``run(names=None) -> <Result>`` returning plain
 dataclasses, and ``render(result) -> str`` producing the ASCII
 table/figure.  ``python -m repro.harness <experiment>`` drives them from
 the command line; EXPERIMENTS.md records paper-vs-measured values.
+
+Alongside the paper experiments, :mod:`repro.harness.wallclock`
+measures real seconds (``repro bench``) and
+:mod:`repro.harness.history` keeps the longitudinal record: every
+bench run appended to ``BENCH_history.jsonl`` and a perf-regression
+gate (:func:`compare`) against a committed baseline.
 """
 
+from repro.harness.history import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    append_history,
+    compare,
+    load_baseline,
+    load_history,
+    render_compare,
+)
 from repro.harness.runner import BenchmarkModes, run_benchmark_modes
+from repro.harness.wallclock import effective_cpus
 
-__all__ = ["BenchmarkModes", "run_benchmark_modes"]
+__all__ = [
+    "BenchmarkModes",
+    "run_benchmark_modes",
+    "DEFAULT_REGRESSION_THRESHOLD",
+    "append_history",
+    "compare",
+    "load_baseline",
+    "load_history",
+    "render_compare",
+    "effective_cpus",
+]

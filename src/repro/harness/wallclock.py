@@ -51,6 +51,7 @@ __all__ = [
     "fault_drill",
     "render",
     "write_json",
+    "effective_cpus",
     "DEFAULT_WORKERS",
     "SMOKE_SUITES",
     "SMOKE_WORKERS",
@@ -66,6 +67,20 @@ SMOKE_WORKERS: Tuple[int, ...] = (1, 2)
 #: Worker count for the ``--faults`` drill (the acceptance scenario:
 #: kill 1 of 4 workers mid-batch).
 FAULT_DRILL_WORKERS = 4
+
+
+def effective_cpus() -> Optional[int]:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the host's logical CPUs, but containers
+    and cgroup/affinity-restricted CI runners often pin the process to
+    fewer — a "speedup" measured there is oversubscription noise, not
+    parallelism.  Falls back to ``cpu_count`` where affinity masks
+    don't exist (macOS, Windows)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count()
 
 
 @dataclass
@@ -283,10 +298,14 @@ def run(
         for w, s in row.speedup.items():
             if best is None or s > best[2]:
                 best = (row.name, w, s)
+    eff = effective_cpus()
+    max_workers = max(workers) if workers else 1
     payload = {
         "meta": {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "host_cpus": os.cpu_count(),
+            "host_cpus_effective": eff,
+            "cpu_oversubscribed": bool(eff is not None and max_workers > eff),
             "python": platform.python_version(),
             "platform": platform.platform(),
             "mode": mode,
@@ -315,12 +334,22 @@ def render(payload: dict) -> str:
     """Human-readable table of the payload."""
     meta = payload["meta"]
     workers = meta["workers"]
+    eff = meta.get("host_cpus_effective")
+    cpus = f"{meta['host_cpus']} host cpus"
+    if eff is not None and eff != meta["host_cpus"]:
+        cpus += f" ({eff} effective)"
     head = (
         f"WALL-CLOCK seq vs {meta.get('backend', 'mp')} (mode {meta['mode']}, "
-        f"{meta['host_cpus']} host cpus, repeat {meta['repeat']})"
+        f"{cpus}, repeat {meta['repeat']})"
     )
     cols = "".join(f"  mp x{w:<3d}" for w in workers)
     lines = [head, f"{'benchmark':16s} {'queries':>7s} {'seq (s)':>9s}{cols}  {'ident':>5s}"]
+    if meta.get("cpu_oversubscribed"):
+        lines.insert(1, (
+            f"WARNING: cpu oversubscribed — up to {max(workers)} workers on "
+            f"{eff} effective cpu(s); wall times and speedups measure "
+            f"scheduling contention, not parallelism"
+        ))
     for row in payload["suites"]:
         cells = ""
         for w in workers:

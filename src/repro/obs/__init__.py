@@ -1,6 +1,6 @@
 """repro.obs — zero-cost-when-off observability.
 
-Three recorders behind one protocol (:class:`Recorder`):
+Four recorders behind one protocol (:class:`Recorder`):
 
 * :class:`NullRecorder` — the falsy default; instrumented hot paths
   guard every hook behind one truthiness check, so a recorder-off run
@@ -10,12 +10,19 @@ Three recorders behind one protocol (:class:`Recorder`):
   groups/merges, mp epoch ships / delta bytes / merge conflicts /
   requeues / respawns);
 * :class:`SpanRecorder` — counters plus per-query and per-chunk spans,
-  written as Chrome-trace JSON for ``about:tracing`` / Perfetto.
+  written as Chrome-trace JSON for ``about:tracing`` / Perfetto;
+* :class:`TimelineRecorder` — spans plus *live* telemetry: worker
+  heartbeats folded into a per-worker time series, every lifecycle
+  event (dispatch/done/crash/requeue/respawn/epoch ship/stall) as a
+  timestamped record, optional streaming JSONL event log, and the
+  aggregates behind the one-line progress report
+  (:func:`render_progress`).
 
 Surfacing: pass ``recorder=`` to
 :class:`~repro.runtime.executor.ParallelCFL` (or any executor) and read
 ``BatchResult.metrics``; on the CLI use ``repro batch --metrics`` /
-``--metrics-json`` and ``repro bench --profile trace.json``.
+``--metrics-json``, ``repro batch/bench --events out.jsonl`` for the
+event log, and ``repro bench --profile trace.json`` for Chrome traces.
 """
 
 from repro.obs.recorder import (
@@ -32,18 +39,25 @@ from repro.obs.report import (
     metrics_to_json,
     render_hot_queries,
     render_metrics_table,
+    render_progress,
+    render_timeline_summary,
 )
+from repro.obs.timeline import DEFAULT_HEARTBEAT_INTERVAL, TimelineRecorder
 
 __all__ = [
     "COUNTER_DOCS",
+    "DEFAULT_HEARTBEAT_INTERVAL",
     "MetricsRecorder",
     "NullRecorder",
     "Recorder",
     "SIM_PID",
     "SpanRecorder",
+    "TimelineRecorder",
     "WALL_PID",
     "hot_queries",
     "metrics_to_json",
     "render_hot_queries",
     "render_metrics_table",
+    "render_progress",
+    "render_timeline_summary",
 ]

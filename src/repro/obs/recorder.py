@@ -80,6 +80,9 @@ COUNTER_DOCS: Dict[str, str] = {
     "mp.crashes": "worker failures observed",
     "mp.respawns": "worker slots respawned",
     "mp.quarantined_chunks": "chunks executed inline by the coordinator",
+    "timeline.events": "lifecycle events folded into the timeline",
+    "timeline.heartbeats": "worker heartbeat samples received",
+    "timeline.stalls": "workers flagged stalled before the unit deadline",
 }
 
 
@@ -92,6 +95,13 @@ class Recorder:
     """
 
     enabled = True
+
+    #: Heartbeat cadence in seconds requested from executors, or
+    #: ``None`` when this recorder does not consume heartbeats.  The mp
+    #: coordinator and the threaded sampler read this to decide whether
+    #: to emit samples at all, so plain counter/span recorders keep the
+    #: executors on their pre-telemetry code path.
+    heartbeat_interval: Optional[float] = None
 
     # -- counters ------------------------------------------------------
     def count(self, name: str, delta: int = 1) -> None:
@@ -107,6 +117,19 @@ class Recorder:
         """Flush one :class:`~repro.core.query.QueryResult`'s cost
         accounting into the engine counters — the engine's single
         per-query instrumentation point."""
+
+    # -- timeline ------------------------------------------------------
+    def event(self, kind: str, **fields) -> None:
+        """Record one lifecycle event (``dispatch`` / ``done`` /
+        ``crash`` / ``requeue`` / ``respawn`` / ``epoch_ship`` /
+        ``stall`` / ``batch_start`` / ``batch_end`` / ...) on the
+        recorder's timeline.  A no-op everywhere except
+        :class:`~repro.obs.timeline.TimelineRecorder`."""
+
+    def heartbeat(self, worker: int, **sample) -> None:
+        """Fold one worker liveness sample into the timeline.  A no-op
+        everywhere except
+        :class:`~repro.obs.timeline.TimelineRecorder`."""
 
     # -- snapshots -----------------------------------------------------
     def snapshot(self) -> Dict[str, int]:

@@ -1,0 +1,241 @@
+"""TimelineRecorder — streaming telemetry for a running batch.
+
+Where :class:`~repro.obs.recorder.MetricsRecorder` answers "how much
+did the batch cost" after the fact, the timeline answers "what is the
+batch doing *right now*" while it runs, from three inputs:
+
+* **lifecycle events** — executors report every dispatch / done /
+  crash / requeue / respawn / epoch ship / stall through
+  :meth:`Recorder.event`; each becomes one timestamped record;
+* **heartbeats** — mp workers piggyback lightweight liveness samples
+  (queries done, units done, current chunk) on the existing result
+  pipe; the threaded backend runs an equivalent in-process sampler.
+  :meth:`Recorder.heartbeat` folds them into a per-worker time series,
+  which is what makes *stall detection* possible: a worker whose
+  samples stop arriving while it owns in-flight work is flagged
+  ``stall`` before any unit-timeout requeue fires;
+* **progress aggregation** — the same stream keeps running totals
+  (queries done/total, per-worker rates, epoch lag, crash/stall
+  counts) so a one-line progress report can be rendered at any moment
+  (:func:`repro.obs.report.render_progress`).
+
+Every record can also be appended, as it happens, to a JSONL **event
+log** (``events_path``): one JSON object per line, flushed per event,
+so a crashed run still leaves a replayable prefix.  The log complements
+the Chrome-trace spans (one is a stream of facts, the other a picture
+of intervals); :class:`TimelineRecorder` extends
+:class:`~repro.obs.recorder.SpanRecorder`, so one instance can feed
+both ``--events`` and ``--profile``.
+
+The zero-cost-when-off contract is unchanged: executors guard every
+hook behind the single ``if rec:`` truthiness check, and heartbeats are
+additionally gated on :attr:`Recorder.heartbeat_interval`, which only
+this class sets — attaching a plain counter recorder keeps every
+executor on its pre-telemetry code path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Union
+
+from repro.obs.recorder import SpanRecorder
+
+__all__ = ["TimelineRecorder", "DEFAULT_HEARTBEAT_INTERVAL"]
+
+#: Default heartbeat cadence (seconds).  Chosen so even a CI smoke
+#: batch sees several samples per worker while the per-query cost of
+#: the interval check stays unmeasurable.
+DEFAULT_HEARTBEAT_INTERVAL = 0.25
+
+
+class TimelineRecorder(SpanRecorder):
+    """Counters + spans + a timestamped lifecycle/heartbeat stream.
+
+    Parameters
+    ----------
+    events_path:
+        Append each record as one JSON line here (opened eagerly,
+        truncating; flushed per event).  ``None`` keeps the stream
+        in memory only.
+    heartbeat_interval:
+        Requested worker heartbeat cadence in seconds (executors read
+        it via :attr:`Recorder.heartbeat_interval`).
+    stall_after:
+        Silence threshold in seconds before an in-flight worker is
+        considered stalled; defaults to ``4 * heartbeat_interval``.
+        Executors own the actual detection (they know which workers
+        hold in-flight work) and report verdicts via
+        ``event("stall", ...)``.
+    progress_stream:
+        When set (e.g. ``sys.stderr``), a one-line progress report is
+        written to it at most every ``progress_interval`` seconds as
+        events arrive.
+    """
+
+    def __init__(
+        self,
+        events_path: Optional[Union[str, Path]] = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        stall_after: Optional[float] = None,
+        progress_stream: Optional[IO[str]] = None,
+        progress_interval: float = 1.0,
+    ) -> None:
+        super().__init__()
+        if heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be > 0, got {heartbeat_interval}"
+            )
+        self.heartbeat_interval = heartbeat_interval
+        self.stall_after = (
+            stall_after if stall_after is not None else 4.0 * heartbeat_interval
+        )
+        if self.stall_after <= 0:
+            raise ValueError(f"stall_after must be > 0, got {self.stall_after}")
+        self.events_path = Path(events_path) if events_path is not None else None
+        self.progress_stream = progress_stream
+        self.progress_interval = progress_interval
+        self._tl_lock = threading.Lock()
+        self._timeline: List[dict] = []
+        self._fh: Optional[IO[str]] = (
+            open(self.events_path, "w") if self.events_path is not None else None
+        )
+        # -- progress aggregates (all guarded by _tl_lock) -------------
+        self._total_queries: Optional[int] = None
+        self._done_queries = 0
+        self._crashes = 0
+        self._stalls = 0
+        self._epoch_lag = 0
+        #: worker -> (t, queries_done) of the previous and latest sample,
+        #: for per-worker rate estimation.
+        self._worker_samples: Dict[int, List[tuple]] = {}
+        self._last_render = 0.0
+
+    # ------------------------------------------------------------------
+    def event(self, kind: str, **fields) -> None:
+        record = {"t": round(time.perf_counter() - self.zero, 6), "kind": kind}
+        record.update(fields)
+        with self._tl_lock:
+            self._timeline.append(record)
+            if self._fh is not None:
+                self._fh.write(json.dumps(record) + "\n")
+                self._fh.flush()
+            self._aggregate(record)
+        self.count("timeline.events")
+        if kind == "heartbeat":
+            self.count("timeline.heartbeats")
+        elif kind == "stall":
+            self.count("timeline.stalls")
+        self._maybe_render_progress()
+
+    def heartbeat(self, worker: int, **sample) -> None:
+        self.event("heartbeat", worker=worker, **sample)
+
+    def _aggregate(self, record: dict) -> None:
+        """Fold one record into the progress totals (caller holds
+        ``_tl_lock``)."""
+        kind = record["kind"]
+        if kind == "batch_start":
+            # A new batch resets the progress view (one recorder may
+            # observe a whole mode ladder).
+            self._total_queries = record.get("total_queries")
+            self._done_queries = 0
+            self._worker_samples.clear()
+            self._epoch_lag = 0
+        elif kind == "done":
+            self._done_queries += record.get("queries", 1)
+        elif kind == "crash":
+            self._crashes += 1
+        elif kind == "stall":
+            self._stalls += 1
+        elif kind == "heartbeat":
+            w = record.get("worker")
+            series = self._worker_samples.setdefault(w, [])
+            series.append((record["t"], record.get("queries_done")))
+            if len(series) > 2:
+                del series[0]
+            if "epoch_lag" in record:
+                self._epoch_lag = record["epoch_lag"]
+
+    # ------------------------------------------------------------------
+    def timeline_events(self) -> List[dict]:
+        """All recorded lifecycle/heartbeat records, in arrival order."""
+        with self._tl_lock:
+            return list(self._timeline)
+
+    def events_of(self, kind: str) -> List[dict]:
+        """The records of one ``kind``, in arrival order."""
+        with self._tl_lock:
+            return [e for e in self._timeline if e["kind"] == kind]
+
+    def last_heartbeat(self, worker: int) -> Optional[float]:
+        """Timeline timestamp of ``worker``'s latest sample, if any."""
+        with self._tl_lock:
+            series = self._worker_samples.get(worker)
+            return series[-1][0] if series else None
+
+    def worker_rates(self) -> Dict[int, float]:
+        """Per-worker queries/second estimated from the two most recent
+        heartbeat samples (workers with fewer than two samples, or
+        samples without a ``queries_done`` field, are omitted)."""
+        with self._tl_lock:
+            rates: Dict[int, float] = {}
+            for w, series in self._worker_samples.items():
+                if len(series) < 2:
+                    continue
+                (t0, q0), (t1, q1) = series[-2], series[-1]
+                if q0 is None or q1 is None or t1 <= t0:
+                    continue
+                rates[w] = (q1 - q0) / (t1 - t0)
+            return rates
+
+    def progress_snapshot(self) -> dict:
+        """The live totals behind the one-line progress report."""
+        with self._tl_lock:
+            elapsed = time.perf_counter() - self.zero
+            return {
+                "elapsed_s": elapsed,
+                "done": self._done_queries,
+                "total": self._total_queries,
+                "rate": self._done_queries / elapsed if elapsed > 0 else 0.0,
+                "workers_seen": sorted(
+                    w for w in self._worker_samples if w is not None
+                ),
+                "epoch_lag": self._epoch_lag,
+                "crashes": self._crashes,
+                "stalls": self._stalls,
+            }
+
+    def _maybe_render_progress(self) -> None:
+        stream = self.progress_stream
+        if stream is None:
+            return
+        now = time.perf_counter()
+        with self._tl_lock:
+            if now - self._last_render < self.progress_interval:
+                return
+            self._last_render = now
+        from repro.obs.report import render_progress
+
+        try:
+            stream.write(render_progress(self) + "\n")
+            stream.flush()
+        except (OSError, ValueError):
+            pass  # a closed stream must never kill the batch
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the JSONL event log (idempotent)."""
+        with self._tl_lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "TimelineRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

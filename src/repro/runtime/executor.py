@@ -201,6 +201,15 @@ class ParallelCFL:
             queries = self.default_queries()
         units = self.work_units(queries)
         rt = self.runtime
+        if rec:
+            # The facade brackets every backend's granular events so
+            # timeline consumers (the progress report, the JSONL log)
+            # see batch extents and totals uniformly.
+            rec.event(
+                "batch_start", mode=self.mode, backend=rt.backend,
+                n_workers=self.n_threads, total_queries=len(queries),
+                n_units=len(units),
+            )
         if rt.backend == "mp":
             mexec = MPExecutor(
                 self.pag,
@@ -241,4 +250,9 @@ class ParallelCFL:
             batch = sexec.run_units(units)
         if rec:
             batch.metrics = rec.since(mark)
+            rec.event(
+                "batch_end", mode=self.mode, backend=rt.backend,
+                queries=batch.n_queries, makespan=round(batch.makespan, 6),
+                crashes=batch.n_worker_crashes, retries=batch.n_chunk_retries,
+            )
         return batch

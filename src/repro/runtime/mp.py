@@ -66,6 +66,27 @@ are reported per chunk in ``BatchResult.chunk_status`` (``completed`` /
 ``retried`` / ``quarantined``) with ``n_worker_crashes`` /
 ``n_chunk_retries`` / ``n_worker_respawns`` counters and the recovered
 crash texts in ``BatchResult.errors``.
+
+Live telemetry
+--------------
+
+When the attached recorder is a
+:class:`~repro.obs.timeline.TimelineRecorder` (it sets
+``heartbeat_interval``), workers **piggyback heartbeats on the result
+pipe**: one ``("hb", worker, chunk, sample)`` message on chunk receipt
+and then at most one per ``heartbeat_interval`` at query boundaries —
+no new IPC primitive, no timer thread in the worker.  The coordinator
+folds each sample into the timeline (annotated with that worker's
+epoch lag) and runs **stall detection**: a worker holding in-flight
+work that has been silent — no heartbeat, no result — for longer than
+``stall_after`` is flagged with a ``stall`` event *before* any
+``unit_timeout`` requeue fires, turning "the batch is slow" into "the
+batch is slow because worker 3 went quiet on chunk 17".  Every
+lifecycle transition (dispatch, done, crash, requeue, respawn,
+quarantine, epoch ship) is mirrored as a timeline event, optionally
+streamed to a JSONL log (``repro bench --events``).  Without a
+timeline recorder none of this code runs — heartbeat sends are gated
+worker-side on the interval the coordinator passed at spawn.
 """
 
 from __future__ import annotations
@@ -111,7 +132,8 @@ def _apply_delta(jumps: JumpMap, delta: Sequence[DeltaEntry]) -> None:
 
 def _worker_main(conn, pag, engine_config, sharing: bool,
                  worker_id: int = 0, faults: Optional[FaultPlan] = None,
-                 collect_metrics: bool = False) -> None:
+                 collect_metrics: bool = False,
+                 hb_interval: Optional[float] = None) -> None:
     """Worker loop: receive ("unit", chunk_id, units, delta) messages,
     answer with ("done", chunk_id, records, delta, metrics) until told
     to stop.  Runs in a child process.
@@ -122,11 +144,33 @@ def _worker_main(conn, pag, engine_config, sharing: bool,
     existing result pipe and are merged coordinator-side, so a crashed
     worker loses at most its in-flight chunk's counters (exactly as it
     loses that chunk's answers, which are then recomputed elsewhere).
+
+    With ``hb_interval`` set the worker also piggybacks heartbeat
+    messages on the same pipe: one on every chunk receipt (so even the
+    fastest chunk contributes a liveness sample) and then at most one
+    per interval, checked at query boundaries only — a hung or crashed
+    worker simply goes silent, which is exactly the signal the
+    coordinator's stall detection consumes.
     """
     jumps = JumpMap() if sharing else None
     injector = FaultInjector(faults, worker_id, conn) if faults else None
     perf = time.perf_counter
     chunk_id: Optional[int] = None
+    queries_done = 0
+    units_done = 0
+    last_hb = 0.0
+
+    def beat() -> None:
+        nonlocal last_hb
+        last_hb = perf()
+        try:
+            conn.send(("hb", worker_id, chunk_id, {
+                "queries_done": queries_done,
+                "units_done": units_done,
+            }))
+        except (BrokenPipeError, OSError):
+            pass  # the coordinator is gone; the main recv will notice
+
     try:
         while True:
             msg = conn.recv()
@@ -135,6 +179,8 @@ def _worker_main(conn, pag, engine_config, sharing: bool,
             _tag, chunk_id, unit_chunk, delta = msg
             if sharing and delta:
                 _apply_delta(jumps, delta)
+            if hb_interval:
+                beat()
             wrec = MetricsRecorder() if collect_metrics else None
             records: List[Tuple[object, float, float]] = []
             out_delta: List[DeltaEntry] = []
@@ -142,6 +188,8 @@ def _worker_main(conn, pag, engine_config, sharing: bool,
                 if injector is not None:
                     injector.on_unit_start()
                 for query in unit:
+                    if hb_interval and perf() - last_hb >= hb_interval:
+                        beat()
                     if sharing:
                         layer = LayeredJumpMap(jumps)
                         engine = CFLEngine(pag, engine_config, jumps=layer,
@@ -164,6 +212,8 @@ def _worker_main(conn, pag, engine_config, sharing: bool,
                             if jumps.insert_unfinished(key, steps):
                                 out_delta.append(("unf", key, steps))
                     records.append((result, t0, t1))
+                    queries_done += 1
+                units_done += 1
                 if injector is not None:
                     injector.on_unit_end()
             metrics = wrec.snapshot() if wrec is not None else None
@@ -358,13 +408,24 @@ class MPExecutor:
         #: (span bookkeeping only; ownership lives in ``inflight``).
         sent_at: Dict[int, float] = {}
         perf = time.perf_counter
+        # Heartbeats are requested only by timeline recorders (see
+        # Recorder.heartbeat_interval); everything below that touches
+        # them is additionally gated on hb_interval, so plain counter
+        # recorders keep the pre-telemetry protocol byte-for-byte.
+        hb_interval = rec.heartbeat_interval if rec else None
+        stall_after = getattr(rec, "stall_after", None) if hb_interval else None
+        #: worker -> last proof of liveness (dispatch or heartbeat).
+        last_beat: Dict[int, float] = {}
+        #: (worker, chunk) pairs already flagged stalled (one verdict
+        #: per ownership, not one per silent poll).
+        stall_flagged: Set[Tuple[int, int]] = set()
 
         def spawn(w: int) -> None:
             parent, child = ctx.Pipe()
             proc = ctx.Process(
                 target=_worker_main,
                 args=(child, self.pag, self.engine_config, self.sharing,
-                      w, self.faults, bool(rec)),
+                      w, self.faults, bool(rec), hb_interval),
                 daemon=True,
             )
             proc.start()
@@ -386,6 +447,8 @@ class MPExecutor:
             map/log (the coordinator *is* the commit point)."""
             if rec:
                 rec.count("mp.quarantined_chunks")
+                rec.event("quarantine", chunk=ci,
+                          queries=sum(len(u) for u in chunks[ci]))
             for unit in chunks[ci]:
                 for query in unit:
                     if self.sharing:
@@ -423,6 +486,10 @@ class MPExecutor:
                         )
             status[ci] = "quarantined"
             done.add(ci)
+            if rec:
+                rec.event("done", worker=COORDINATOR, chunk=ci,
+                          queries=sum(len(u) for u in chunks[ci]),
+                          status="quarantined")
 
         def requeue(ci: int, reason: str) -> None:
             nonlocal total_retries
@@ -431,6 +498,7 @@ class MPExecutor:
             errors.append(reason)
             if rec:
                 rec.count("mp.requeues")
+                rec.event("requeue", chunk=ci, retries=retries[ci])
             if retries[ci] > self.max_chunk_retries:
                 run_inline(ci)
             else:
@@ -444,6 +512,7 @@ class MPExecutor:
             alive[w] = False
             if rec:
                 rec.count("mp.crashes")
+                rec.event("crash", worker=w, reason=reason.splitlines()[0][:200])
             try:
                 conns[w].close()
             except OSError:
@@ -462,6 +531,7 @@ class MPExecutor:
                 slot_respawns[w] += 1
                 if rec:
                     rec.count("mp.respawns")
+                    rec.event("respawn", worker=w, attempt=slot_respawns[w])
                 delay = min(
                     self.respawn_backoff * (2 ** (slot_respawns[w] - 1)), 1.0
                 )
@@ -489,6 +559,14 @@ class MPExecutor:
                     counts["mp.delta_bytes_shipped"] = len(pickle.dumps(delta))
                 rec.count_many(counts)
                 sent_at[w] = perf()
+                rec.event("dispatch", worker=w, chunk=ci,
+                          queries=sum(len(u) for u in chunks[ci]))
+                if delta:
+                    rec.event("epoch_ship", worker=w, entries=len(delta))
+            if hb_interval:
+                # A dispatch is a liveness proof: the stall clock for
+                # this ownership starts now.
+                last_beat[w] = perf()
             deadline = (
                 perf() + self.unit_timeout if self.unit_timeout else float("inf")
             )
@@ -500,6 +578,23 @@ class MPExecutor:
             except (EOFError, OSError):
                 exitcode = procs[w].exitcode if procs[w] is not None else None
                 fail_worker(w, f"exited without reporting (exitcode={exitcode})")
+                return
+            ok_hb = (
+                isinstance(msg, tuple) and len(msg) == 4 and msg[0] == "hb"
+            )
+            if ok_hb:
+                # Piggybacked liveness sample: fold it into the
+                # timeline (annotated with this worker's commit-log
+                # lag) and reset its stall clock.  Never an answer, so
+                # ownership bookkeeping is untouched.
+                _tag, _wid, hb_chunk, sample = msg
+                last_beat[w] = perf()
+                if rec:
+                    rec.heartbeat(
+                        worker=w, chunk=hb_chunk,
+                        epoch_lag=len(self._log) - sent_epoch[w],
+                        **sample,
+                    )
                 return
             ok_done = (
                 isinstance(msg, tuple) and len(msg) == 5 and msg[0] == "done"
@@ -526,12 +621,19 @@ class MPExecutor:
                         "mp.delta_entries_merged": accepted,
                         "mp.merge_conflicts": len(delta) - accepted,
                     })
-            if rec and worker_metrics:
-                rec.merge(worker_metrics)
             if ci in done:
                 return  # duplicate answer from a reassigned straggler
+            # Merge worker counters only for the answer the batch
+            # keeps: a straggler's duplicate done must not re-count a
+            # chunk whose re-execution already shipped its counters
+            # (the delta merge above is idempotent; this merge is not).
+            if rec and worker_metrics:
+                rec.merge(worker_metrics)
             done.add(ci)
             status[ci] = "retried" if retries[ci] else "completed"
+            if rec:
+                rec.event("done", worker=w, chunk=ci,
+                          queries=len(records), status=status[ci])
             if rec and dispatched_at is not None:
                 n_q = sum(len(u) for u in chunks[ci])
                 rec.span_abs(
@@ -574,6 +676,11 @@ class MPExecutor:
                     now = perf()
                     soonest = min(dl for _ci, dl in inflight.values())
                     timeout = max(0.0, soonest - now) + 0.01
+                if stall_after and inflight:
+                    # A silent worker sends nothing to wake the wait,
+                    # so the stall sweep needs its own cadence.
+                    tick = stall_after / 2
+                    timeout = tick if timeout is None else min(timeout, tick)
                 ready = mp_connection.wait(list(wait_conns), timeout)
                 for conn in ready:
                     w = wait_conns[conn]
@@ -581,6 +688,14 @@ class MPExecutor:
                     # replaced the slot; only handle current pipes.
                     if alive[w] and conns[w] is conn:
                         handle(conn, w)
+                if stall_after:
+                    now = perf()
+                    for w, (ci, _dl) in inflight.items():
+                        silent = now - last_beat.get(w, now)
+                        if silent > stall_after and (w, ci) not in stall_flagged:
+                            stall_flagged.add((w, ci))
+                            rec.event("stall", worker=w, chunk=ci,
+                                      silent_s=round(silent, 3))
                 if self.unit_timeout:
                     now = perf()
                     for w, (ci, dl) in list(inflight.items()):

@@ -108,6 +108,10 @@ class SimulatedExecutor:
                     tid=w, pid=SIM_PID, cat="query",
                     args={"var": query.var, "steps": result.costs.steps},
                 )
+                # Timeline events are stamped in wall time on arrival;
+                # the simulated interval rides along as fields.
+                rec.event("done", worker=w, queries=1, query=query.var,
+                          sim_start=round(now, 3), sim_finish=round(finish, 3))
             heapq.heappush(heap, (finish, w))
 
         batch = self._finalise(executions, busy)

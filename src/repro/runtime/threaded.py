@@ -12,6 +12,14 @@ commit-order model.  Tests assert that answers remain identical to the
 sequential engine under this adversarial interleaving.  Per-query wall
 times and the batch makespan are measured for real (they are honest,
 just GIL-bound).
+
+When a timeline recorder is attached (it sets
+``Recorder.heartbeat_interval``), an in-process **sampler thread**
+plays the role of the mp workers' piggybacked heartbeats: it
+periodically folds each thread's progress slots (queries done, current
+unit) into the timeline and flags threads that own a unit but have
+made no progress for longer than ``stall_after`` — the thread-backend
+equivalent of coordinator-side stall detection.
 """
 
 from __future__ import annotations
@@ -179,6 +187,16 @@ class ThreadedExecutor:
         mark = rec.mark() if rec else None
         perf = time.perf_counter
         t0 = perf()
+        # In-process telemetry (the thread analogue of the mp workers'
+        # piggybacked heartbeats): per-thread progress slots written by
+        # the workers — single-slot list assignments, safe under the
+        # GIL for a sampling reader — and one sampler thread that folds
+        # them into the timeline.  Armed only by a timeline recorder.
+        hb_interval = rec.heartbeat_interval if rec else None
+        stall_after = getattr(rec, "stall_after", None) if hb_interval else None
+        done_counts = [0] * self.n_threads
+        current_unit: List[Optional[int]] = [None] * self.n_threads
+        last_progress = [t0] * self.n_threads
 
         def fetch() -> Optional[Tuple[int, List[Query]]]:
             with work_lock:
@@ -189,6 +207,7 @@ class ThreadedExecutor:
             failure publishes nothing (the retry re-runs it whole)."""
             out: List[QueryExecution] = []
             spent = 0.0
+            track = hb_interval and 0 <= wid < self.n_threads
             for query in unit:
                 engine = CFLEngine(
                     self.pag, self.engine_config, jumps=self.jumps,
@@ -204,6 +223,9 @@ class ThreadedExecutor:
                         tid=wid, cat="query",
                         args={"var": query.var, "steps": result.costs.steps},
                     )
+                if track:
+                    done_counts[wid] += 1
+                    last_progress[wid] = t0 + finish
                 spent += finish - start
             return out, spent
 
@@ -213,6 +235,10 @@ class ThreadedExecutor:
                 if item is None:
                     return
                 idx, unit = item
+                current_unit[wid] = idx
+                if rec:
+                    rec.event("dispatch", worker=wid, chunk=idx,
+                              queries=len(unit))
                 try:
                     records, spent = run_unit(unit, wid)
                 except BaseException:
@@ -222,19 +248,63 @@ class ThreadedExecutor:
                             f"{traceback.format_exc()}"
                         )
                         status[idx] = "failed"
+                    current_unit[wid] = None
+                    if rec:
+                        rec.event("crash", worker=wid, chunk=idx)
                     continue  # the thread survives; fetch the next unit
                 with out_lock:
                     executions.extend(records)
                     busy[wid] += spent
+                current_unit[wid] = None
+                if rec:
+                    rec.event("done", worker=wid, chunk=idx,
+                              queries=len(records), status="completed")
+
+        stop_sampler = threading.Event()
+
+        def sampler() -> None:
+            flagged = set()
+            while not stop_sampler.wait(hb_interval):
+                now = perf()
+                for wid in range(self.n_threads):
+                    rec.heartbeat(
+                        worker=wid,
+                        queries_done=done_counts[wid],
+                        chunk=current_unit[wid],
+                    )
+                    cu = current_unit[wid]
+                    silent = now - last_progress[wid]
+                    if (
+                        cu is not None and silent > stall_after
+                        and (wid, cu) not in flagged
+                    ):
+                        flagged.add((wid, cu))
+                        rec.event("stall", worker=wid, chunk=cu,
+                                  silent_s=round(silent, 3))
 
         threads = [
             threading.Thread(target=worker, args=(w,), daemon=True)
             for w in range(self.n_threads)
         ]
+        sampler_thread = (
+            threading.Thread(target=sampler, daemon=True) if hb_interval else None
+        )
         for t in threads:
             t.start()
+        if sampler_thread is not None:
+            sampler_thread.start()
         for t in threads:
             t.join()
+        if sampler_thread is not None:
+            stop_sampler.set()
+            sampler_thread.join()
+            # A batch shorter than one sampler tick would otherwise
+            # leave no samples at all; close with one final sweep so
+            # every thread's totals reach the timeline (the analogue of
+            # the mp workers' beat-on-chunk-receipt guarantee).
+            for wid in range(self.n_threads):
+                rec.heartbeat(worker=wid, queries_done=done_counts[wid],
+                              chunk=current_unit[wid])
 
         # One inline, sequential retry per failed unit; a unit that
         # fails deterministically is quarantined with its traceback.
@@ -243,6 +313,8 @@ class ThreadedExecutor:
             if st != "failed":
                 continue
             n_retries += 1
+            if rec:
+                rec.event("requeue", chunk=idx, retries=1)
             try:
                 records, _spent = run_unit(units[idx], -1)
             except BaseException:
@@ -251,9 +323,15 @@ class ThreadedExecutor:
                     f"{traceback.format_exc()}"
                 )
                 status[idx] = "quarantined"
+                if rec:
+                    rec.event("done", worker=-1, chunk=idx, queries=0,
+                              status="quarantined")
                 continue
             executions.extend(records)
             status[idx] = "retried"
+            if rec:
+                rec.event("done", worker=-1, chunk=idx,
+                          queries=len(records), status="retried")
 
         result = BatchResult(
             mode=self.mode,

@@ -1,0 +1,172 @@
+"""Tests for the bench history and the perf-regression gate
+(repro.harness.history) against synthetic bench payloads.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import InputError
+from repro.harness import history
+
+
+def make_payload(speedups=None, walls=None, seq_wall=1.0, host_cpus=8,
+                 effective=8, platform_name="linux-x86_64"):
+    """A minimal bench payload in the BENCH_parallel.json schema."""
+    speedups = speedups if speedups is not None else {"1": 1.0, "2": 1.8}
+    walls = walls if walls is not None else {
+        w: seq_wall / s for w, s in speedups.items()
+    }
+    return {
+        "meta": {
+            "timestamp": "2026-08-05T00:00:00+0000",
+            "mode": "D",
+            "backend": "mp",
+            "smoke": True,
+            "host_cpus": host_cpus,
+            "host_cpus_effective": effective,
+            "cpu_oversubscribed": False,
+            "python": "3.11.7",
+            "platform": platform_name,
+        },
+        "suites": [
+            {
+                "name": "_200_check",
+                "seq_wall_s": seq_wall,
+                "mp_wall_s": dict(walls),
+                "speedup": dict(speedups),
+            }
+        ],
+    }
+
+
+class TestHistoryRecords:
+    def test_one_record_per_suite_and_worker_count(self):
+        records = history.history_records(make_payload())
+        assert len(records) == 2
+        assert [r["workers"] for r in records] == [1, 2]
+        for r in records:
+            assert r["suite"] == "_200_check"
+            assert r["host_cpus"] == 8
+            assert r["host_cpus_effective"] == 8
+            assert r["cpu_oversubscribed"] is False
+            assert r["seq_wall_s"] == 1.0
+            assert r["speedup"] is not None
+
+    def test_append_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        n = history.append_history(make_payload(), path)
+        assert n == 2
+        history.append_history(make_payload(), path)  # appends, not truncates
+        loaded = history.load_history(path)
+        assert len(loaded) == 4
+        for line in path.read_text().splitlines():
+            json.loads(line)  # every line parses standalone
+
+    def test_load_history_missing_file(self, tmp_path):
+        assert history.load_history(tmp_path / "absent.jsonl") == []
+
+
+class TestLoadBaseline:
+    def test_missing_file_raises_input_error(self, tmp_path):
+        with pytest.raises(InputError, match="not found"):
+            history.load_baseline(tmp_path / "absent.json")
+
+    def test_malformed_json_raises_input_error(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        with pytest.raises(InputError, match="not valid JSON"):
+            history.load_baseline(p)
+
+    def test_wrong_schema_raises_input_error(self, tmp_path):
+        p = tmp_path / "odd.json"
+        p.write_text(json.dumps({"something": "else"}))
+        with pytest.raises(InputError, match="suites"):
+            history.load_baseline(p)
+
+
+class TestCompareGate:
+    def test_identical_payloads_pass(self):
+        report = history.compare(make_payload(), make_payload())
+        assert report["ok"] is True
+        assert report["same_host"] is True
+        assert report["regressions"] == []
+
+    def test_inflated_baseline_fails_on_any_host(self):
+        # A baseline claiming speedups no honest run reproduces: the
+        # speedup metric gates regardless of host fingerprint.
+        current = make_payload(speedups={"1": 1.0, "2": 1.5})
+        inflated = make_payload(speedups={"1": 3.0, "2": 9.0})
+        report = history.compare(current, inflated)
+        assert report["ok"] is False
+        assert all(r["metric"] == "speedup" for r in report["regressions"])
+        # Same verdict when the host differs.
+        inflated["meta"]["host_cpus"] = 64
+        report = history.compare(current, inflated)
+        assert report["ok"] is False and report["same_host"] is False
+
+    def test_wall_gates_only_on_same_host(self):
+        # 3x slower in wall seconds, identical speedups.
+        base = make_payload(walls={"1": 10.0, "2": 5.0},
+                            speedups={"1": 1.0, "2": 2.0}, seq_wall=10.0)
+        slow = make_payload(walls={"1": 30.0, "2": 15.0},
+                            speedups={"1": 1.0, "2": 2.0}, seq_wall=30.0)
+        same = history.compare(slow, base)
+        assert same["ok"] is False
+        assert {r["metric"] for r in same["regressions"]} <= {"wall", "seq_wall"}
+        slow_elsewhere = make_payload(walls={"1": 30.0, "2": 15.0},
+                                      speedups={"1": 1.0, "2": 2.0},
+                                      seq_wall=30.0, host_cpus=64, effective=64)
+        other = history.compare(slow_elsewhere, base)
+        assert other["same_host"] is False
+        assert other["ok"] is True  # wall deltas informational off-host
+
+    def test_tiny_walls_never_gate(self):
+        # Sub-min_wall_s measurements are noise-dominated: a 2x "wall
+        # regression" on a 20ms smoke suite must not trip the gate.
+        base = make_payload(walls={"1": 0.020, "2": 0.015},
+                            speedups={"1": 1.0, "2": 1.3}, seq_wall=0.020)
+        noisy = make_payload(walls={"1": 0.040, "2": 0.030},
+                             speedups={"1": 1.0, "2": 1.3}, seq_wall=0.040)
+        report = history.compare(noisy, base)
+        assert report["ok"] is True
+        walls = [c for c in report["comparisons"] if c["metric"] != "speedup"]
+        assert walls and all(not c["gates"] for c in walls)
+
+    def test_improvements_never_gate(self):
+        base = make_payload(speedups={"1": 1.0, "2": 1.5})
+        faster = make_payload(speedups={"1": 2.0, "2": 4.0})
+        assert history.compare(faster, base)["ok"] is True
+
+    def test_threshold_is_configurable(self):
+        base = make_payload(speedups={"1": 1.0, "2": 2.0})
+        current = make_payload(speedups={"1": 0.9, "2": 1.8})  # -10%
+        assert history.compare(current, base, threshold=0.25)["ok"] is True
+        assert history.compare(current, base, threshold=0.05)["ok"] is False
+        with pytest.raises(ValueError):
+            history.compare(current, base, threshold=0.0)
+
+    def test_missing_suite_reported_not_fatal(self):
+        current = make_payload()
+        current["suites"].append({
+            "name": "_brand_new", "seq_wall_s": 1.0,
+            "mp_wall_s": {"1": 1.0}, "speedup": {"1": 1.0},
+        })
+        report = history.compare(current, make_payload())
+        assert report["missing_suites"] == ["_brand_new"]
+        assert report["ok"] is True
+
+
+class TestRenderCompare:
+    def test_render_mentions_verdict_and_flags(self):
+        current = make_payload(speedups={"1": 1.0, "2": 1.0})
+        inflated = make_payload(speedups={"1": 5.0, "2": 5.0})
+        report = history.compare(current, inflated)
+        text = history.render_compare(report)
+        assert "REGRESSION" in text
+        assert "failing" in text
+        ok_text = history.render_compare(
+            history.compare(current, make_payload(speedups={"1": 1.0,
+                                                            "2": 1.0}))
+        )
+        assert "ok" in ok_text

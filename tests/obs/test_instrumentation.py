@@ -12,8 +12,16 @@ The two contracts under test:
   counters survive crash-requeue recovery.
 """
 
+import pytest
+
 from repro.core import EngineConfig, Query
-from repro.obs import MetricsRecorder, NullRecorder, SIM_PID, SpanRecorder
+from repro.obs import (
+    MetricsRecorder,
+    NullRecorder,
+    SIM_PID,
+    SpanRecorder,
+    TimelineRecorder,
+)
 from repro.obs.report import (
     hot_queries,
     metrics_to_json,
@@ -40,8 +48,24 @@ class TestRecorderOffIdentity:
     def test_answers_identical_with_and_without_recorder(self, fig2):
         b, _ = fig2
         baseline = run_batch(b).points_to_map()
-        for rec in (NullRecorder(), MetricsRecorder(), SpanRecorder()):
+        for rec in (NullRecorder(), MetricsRecorder(), SpanRecorder(),
+                    TimelineRecorder()):
             assert run_batch(b, recorder=rec).points_to_map() == baseline
+
+    @pytest.mark.parametrize("backend", ["sim", "threads", "mp"])
+    def test_timeline_recorder_identity_on_every_backend(
+        self, fig2, tmp_path, backend
+    ):
+        # The full telemetry stack armed — heartbeats, stall clocks and
+        # a live JSONL log — must not steer answers on any backend.
+        b, _ = fig2
+        baseline = run_batch(b, backend=backend).points_to_map()
+        with TimelineRecorder(
+            events_path=tmp_path / f"{backend}.jsonl",
+            heartbeat_interval=0.01,
+        ) as rec:
+            observed = run_batch(b, backend=backend, recorder=rec)
+        assert observed.points_to_map() == baseline
 
     def test_null_recorder_collects_nothing(self, fig2):
         b, _ = fig2

@@ -1,0 +1,183 @@
+"""Unit tests for the TimelineRecorder (repro.obs.timeline).
+
+The mp/threads integration paths are covered by
+tests/runtime/test_timeline_mp.py; here the recorder is driven
+directly: event capture, the JSONL log contract (one parseable object
+per line, flushed per event), heartbeat aggregation and rate
+estimation, progress snapshots across batch boundaries, and the
+guard-rails (validation, idempotent close, closed progress streams).
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    TimelineRecorder,
+    render_progress,
+    render_timeline_summary,
+)
+
+
+class TestEventCapture:
+    def test_events_recorded_in_order_with_timestamps(self):
+        rec = TimelineRecorder()
+        rec.event("batch_start", total_queries=10)
+        rec.event("dispatch", worker=0, chunk=0, queries=2)
+        rec.event("done", worker=0, chunk=0, queries=2)
+        events = rec.timeline_events()
+        assert [e["kind"] for e in events] == ["batch_start", "dispatch", "done"]
+        times = [e["t"] for e in events]
+        assert times == sorted(times)
+        assert rec.events_of("dispatch") == [events[1]]
+
+    def test_events_counted_in_metrics(self):
+        rec = TimelineRecorder()
+        rec.event("dispatch", worker=0)
+        rec.heartbeat(worker=0, queries_done=1)
+        rec.event("stall", worker=0, chunk=0, silent_s=1.0)
+        snap = rec.snapshot()
+        assert snap["timeline.events"] == 3
+        assert snap["timeline.heartbeats"] == 1
+        assert snap["timeline.stalls"] == 1
+
+    def test_heartbeat_is_an_event(self):
+        rec = TimelineRecorder()
+        rec.heartbeat(worker=3, queries_done=7, chunk=2)
+        (hb,) = rec.events_of("heartbeat")
+        assert hb["worker"] == 3
+        assert hb["queries_done"] == 7
+        assert hb["chunk"] == 2
+
+
+class TestJsonlLog:
+    def test_one_parseable_object_per_line_flushed_per_event(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        rec = TimelineRecorder(events_path=path)
+        rec.event("batch_start", total_queries=2)
+        rec.event("done", worker=0, queries=2)
+        # Flushed per event: readable before close (the crash-survivable
+        # replayable-prefix contract).
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert [p["kind"] for p in parsed] == ["batch_start", "done"]
+        rec.close()
+
+    def test_close_is_idempotent_and_stops_writing(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        rec = TimelineRecorder(events_path=path)
+        rec.event("done", worker=0, queries=1)
+        rec.close()
+        rec.close()
+        # In-memory capture continues; the file does not grow.
+        rec.event("done", worker=0, queries=1)
+        assert len(rec.timeline_events()) == 2
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TimelineRecorder(events_path=path) as rec:
+            rec.event("done", worker=0, queries=1)
+        assert rec._fh is None
+
+
+class TestHeartbeatAggregation:
+    def test_last_heartbeat_and_rates_from_two_samples(self):
+        rec = TimelineRecorder()
+        assert rec.last_heartbeat(0) is None
+        rec.heartbeat(worker=0, queries_done=0)
+        assert rec.worker_rates() == {}  # one sample: no rate yet
+        rec.heartbeat(worker=0, queries_done=10)
+        assert rec.last_heartbeat(0) is not None
+        rates = rec.worker_rates()
+        assert 0 in rates and rates[0] > 0
+
+    def test_samples_without_progress_field_yield_no_rate(self):
+        rec = TimelineRecorder()
+        rec.heartbeat(worker=1, chunk=0)
+        rec.heartbeat(worker=1, chunk=0)
+        assert rec.worker_rates() == {}
+
+    def test_epoch_lag_tracked_from_samples(self):
+        rec = TimelineRecorder()
+        rec.heartbeat(worker=0, queries_done=1, epoch_lag=5)
+        assert rec.progress_snapshot()["epoch_lag"] == 5
+
+
+class TestProgress:
+    def test_snapshot_accumulates_done_and_faults(self):
+        rec = TimelineRecorder()
+        rec.event("batch_start", total_queries=20)
+        rec.event("done", worker=0, queries=3)
+        rec.event("done", worker=1, queries=4)
+        rec.event("crash", worker=0, reason="killed")
+        rec.event("stall", worker=1, chunk=2, silent_s=1.0)
+        snap = rec.progress_snapshot()
+        assert snap["done"] == 7
+        assert snap["total"] == 20
+        assert snap["crashes"] == 1
+        assert snap["stalls"] == 1
+
+    def test_batch_start_resets_progress_not_fault_totals(self):
+        rec = TimelineRecorder()
+        rec.event("batch_start", total_queries=5)
+        rec.event("done", worker=0, queries=5)
+        rec.event("crash", worker=0, reason="killed")
+        rec.event("batch_start", total_queries=9)
+        snap = rec.progress_snapshot()
+        assert snap["done"] == 0
+        assert snap["total"] == 9
+        assert snap["crashes"] == 1  # faults are run-wide, not per-batch
+
+    def test_progress_stream_receives_report(self):
+        stream = io.StringIO()
+        rec = TimelineRecorder(progress_stream=stream, progress_interval=0.0)
+        rec.event("batch_start", total_queries=4)
+        rec.event("done", worker=0, queries=4)
+        out = stream.getvalue()
+        assert "progress" in out and "4/4 queries" in out
+
+    def test_closed_progress_stream_never_raises(self):
+        stream = io.StringIO()
+        rec = TimelineRecorder(progress_stream=stream, progress_interval=0.0)
+        stream.close()
+        rec.event("done", worker=0, queries=1)  # must not raise
+
+    def test_render_progress_shows_optional_parts_only_when_nonzero(self):
+        rec = TimelineRecorder()
+        rec.event("batch_start", total_queries=2)
+        rec.event("done", worker=0, queries=1)
+        line = render_progress(rec)
+        assert "1/2 queries" in line
+        assert "crash" not in line and "stall" not in line
+        rec.event("crash", worker=0, reason="x")
+        assert "crashes 1" in render_progress(rec)
+
+
+class TestSummary:
+    def test_summary_counts_kinds_and_details_stalls(self):
+        rec = TimelineRecorder()
+        rec.event("dispatch", worker=0, chunk=0)
+        rec.event("stall", worker=0, chunk=0, silent_s=2.5)
+        text = render_timeline_summary(rec)
+        assert "dispatch" in text and "stall" in text
+        assert "worker 0 on chunk 0" in text
+
+    def test_summary_empty(self):
+        assert "no events" in render_timeline_summary(TimelineRecorder())
+
+
+class TestValidation:
+    def test_rejects_nonpositive_intervals(self):
+        with pytest.raises(ValueError):
+            TimelineRecorder(heartbeat_interval=0)
+        with pytest.raises(ValueError):
+            TimelineRecorder(stall_after=-1.0)
+
+    def test_defaults(self):
+        rec = TimelineRecorder()
+        assert rec.heartbeat_interval == DEFAULT_HEARTBEAT_INTERVAL
+        assert rec.stall_after == pytest.approx(4 * DEFAULT_HEARTBEAT_INTERVAL)

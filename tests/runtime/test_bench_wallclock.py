@@ -45,6 +45,39 @@ class TestWallclockPlumbing:
         assert payload["all_identical"] is True  # vacuous, not a failure
 
 
+class TestHostHonesty:
+    def test_meta_records_effective_cpus(self):
+        payload = wallclock.run(
+            benchmarks=["_200_check"], workers=(1,), verify=False, smoke=True
+        )
+        meta = payload["meta"]
+        assert meta["host_cpus_effective"] == wallclock.effective_cpus()
+        assert meta["host_cpus_effective"] >= 1
+        # One worker never oversubscribes.
+        assert meta["cpu_oversubscribed"] is False
+
+    def test_oversubscription_flagged_and_rendered(self, monkeypatch):
+        # Pin the effective-CPU view to 1 so the verdict is
+        # host-independent: 2 workers on 1 cpu is oversubscribed.
+        monkeypatch.setattr(wallclock, "effective_cpus", lambda: 1)
+        payload = wallclock.run(
+            benchmarks=["_200_check"], workers=(1, 2), verify=False,
+            smoke=True,
+        )
+        assert payload["meta"]["cpu_oversubscribed"] is True
+        text = wallclock.render(payload)
+        assert "WARNING" in text and "oversubscribed" in text
+
+    def test_no_warning_when_capacity_suffices(self, monkeypatch):
+        monkeypatch.setattr(wallclock, "effective_cpus", lambda: 64)
+        payload = wallclock.run(
+            benchmarks=["_200_check"], workers=(1, 2), verify=False,
+            smoke=True,
+        )
+        assert payload["meta"]["cpu_oversubscribed"] is False
+        assert "WARNING" not in wallclock.render(payload)
+
+
 @pytest.mark.bench
 class TestBenchTier:
     def test_smoke_suites_identical_and_recorded(self, tmp_path):

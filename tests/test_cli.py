@@ -238,3 +238,78 @@ class TestBatchAndGraph:
     def test_bench_subcommand(self, capsys):
         assert main(["bench", "table2"]) == 0
         assert "TABLE II" in capsys.readouterr().out
+
+
+class TestBatchTelemetry:
+    def test_events_jsonl_on_each_backend(self, java_file, tmp_path, capsys):
+        for backend in ("sim", "threads", "mp"):
+            events = tmp_path / f"{backend}.jsonl"
+            assert main([
+                "batch", str(java_file), "--backend", backend,
+                "--events", str(events),
+            ]) == 0
+            parsed = [json.loads(line)
+                      for line in events.read_text().splitlines()]
+            assert parsed, f"no events on backend {backend}"
+            kinds = {p["kind"] for p in parsed}
+            assert {"batch_start", "done", "batch_end"} <= kinds
+            if backend == "mp":
+                assert {"dispatch", "heartbeat"} <= kinds
+            assert "[events" in capsys.readouterr().out
+
+    def test_progress_renders_to_stderr(self, java_file, capsys):
+        assert main([
+            "batch", str(java_file), "--backend", "threads", "--progress",
+        ]) == 0
+        assert "progress" in capsys.readouterr().err
+
+
+class TestBenchHistoryAndGate:
+    def _bench(self, tmp_path, *extra):
+        out = tmp_path / "out.json"
+        hist = tmp_path / "hist.jsonl"
+        code = main([
+            "bench", "--smoke", "--suite", "_200_check", "--workers", "1",
+            "--no-verify", "--out", str(out), "--history", str(hist),
+            *extra,
+        ])
+        return code, out, hist
+
+    def test_history_appended_and_events_written(self, tmp_path, capsys):
+        events = tmp_path / "e.jsonl"
+        code, out, hist = self._bench(tmp_path, "--events", str(events))
+        assert code == 0
+        assert "[history" in capsys.readouterr().out
+        records = [json.loads(line)
+                   for line in hist.read_text().splitlines()]
+        assert len(records) == 1
+        assert records[0]["suite"] == "_200_check"
+        assert records[0]["host_cpus_effective"] >= 1
+        kinds = {json.loads(line)["kind"]
+                 for line in events.read_text().splitlines()}
+        assert {"dispatch", "done", "heartbeat"} <= kinds
+
+    def test_compare_self_passes_inflated_fails(self, tmp_path, capsys):
+        code, out, _hist = self._bench(tmp_path)
+        assert code == 0
+        baseline = json.loads(out.read_text())
+        # Same payload as baseline: no regression.
+        code, _, _ = self._bench(tmp_path, "--compare", str(out))
+        assert code == 0
+        # A baseline with impossible speedups: the gate trips (exit 3).
+        for suite in baseline["suites"]:
+            suite["speedup"] = {w: s * 10 for w, s in suite["speedup"].items()}
+        inflated = tmp_path / "inflated.json"
+        inflated.write_text(json.dumps(baseline))
+        code, _, _ = self._bench(tmp_path, "--compare", str(inflated))
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "regression" in captured.err
+
+    def test_missing_baseline_exits_two(self, tmp_path, capsys):
+        code, _, _ = self._bench(
+            tmp_path, "--compare", str(tmp_path / "absent.json")
+        )
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
