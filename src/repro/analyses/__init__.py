@@ -11,7 +11,9 @@ null-pointer debugging, alias disambiguation, downcast verification
   :class:`~repro.runtime.executor.ParallelCFL` batch;
 * the built-in checkers: ``null-deref``, ``downcast`` (via
   :class:`~repro.core.refinement.RefinementDriver`), ``may-alias``
-  (Andersen-cross-checked) and ``shared-field-race``;
+  (Andersen-cross-checked), ``shared-field-race``, and the
+  grammar-parameterised ``taint`` and ``escape`` checkers certified
+  against their own :mod:`repro.core.grammar` entries;
 * :mod:`repro.analyses.diagnostics` — text / JSON / SARIF rendering.
 
 Surfaced on the command line as ``python -m repro check FILE``.
@@ -31,6 +33,8 @@ from repro.analyses.nullderef import NullDerefChecker
 from repro.analyses.downcast import DowncastChecker
 from repro.analyses.alias import MayAliasChecker
 from repro.analyses.race import SharedFieldRaceChecker
+from repro.analyses.taint import TaintChecker
+from repro.analyses.escape import EscapeChecker
 
 from repro.analyses.driver import CheckContext, CheckReport, DerefSite, run_checkers
 from repro.analyses.diagnostics import render_json, render_sarif, render_text
@@ -53,4 +57,6 @@ __all__ = [
     "DowncastChecker",
     "MayAliasChecker",
     "SharedFieldRaceChecker",
+    "TaintChecker",
+    "EscapeChecker",
 ]

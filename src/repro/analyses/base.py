@@ -78,6 +78,10 @@ class Finding:
     line: Optional[int] = None
     witness: Optional[str] = None
     witness_certified: Optional[bool] = None
+    #: Ordered value-flow steps (source → ... → sink) rendered as SARIF
+    #: ``codeFlows``.  Each step is ``{"message": str}`` plus optional
+    #: ``"line"``/``"file"`` keys.
+    flow: Optional[List[Dict[str, object]]] = None
     extra: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -103,6 +107,8 @@ class Finding:
         if self.witness is not None:
             out["witness"] = self.witness
             out["witness_certified"] = self.witness_certified
+        if self.flow is not None:
+            out["flow"] = [dict(step) for step in self.flow]
         if self.extra:
             out["extra"] = dict(self.extra)
         return out
@@ -128,6 +134,13 @@ class Checker:
     description: str = ""
     paper_section: str = ""
     default_severity: Severity = Severity.WARNING
+    #: Registered :mod:`repro.core.grammar` id this checker certifies
+    #: its witnesses against (surfaced in SARIF rule properties).
+    grammar: str = "flowsto"
+    #: Whether a bare ``repro check`` (no ``--checker``) runs this
+    #: checker.  Report-style analyses that flag correct-but-interesting
+    #: code (e.g. ``escape``) set this False and are selected explicitly.
+    default_enabled: bool = True
 
     def demands(self, ctx: "CheckContext") -> Iterable[Query]:
         """Points-to queries this checker needs answered."""
@@ -166,9 +179,11 @@ def checker_ids() -> List[str]:
 
 
 def make_checkers(ids: Optional[Sequence[str]] = None) -> List[Checker]:
-    """Instantiate checkers by id (all registered checkers by default)."""
+    """Instantiate checkers by id.  ``None`` selects every registered
+    checker whose ``default_enabled`` flag is set; opt-in checkers must
+    be named explicitly."""
     if ids is None:
-        ids = checker_ids()
+        ids = [cid for cid, cls in _REGISTRY.items() if cls.default_enabled]
     out: List[Checker] = []
     for cid in ids:
         cls = _REGISTRY.get(cid)

@@ -72,6 +72,25 @@ def render_json(report: CheckReport) -> str:
     return json.dumps(doc, indent=2)
 
 
+def _code_flow(f) -> Dict[str, object]:
+    """SARIF ``codeFlow`` object for a finding's value-flow steps."""
+    locations = []
+    for step in f.flow or []:
+        loc: Dict[str, object] = {
+            "message": {"text": str(step.get("message", ""))}
+        }
+        uri = step.get("file", f.file)
+        physical: Dict[str, object] = {}
+        if uri is not None:
+            physical["artifactLocation"] = {"uri": uri}
+        if step.get("line") is not None:
+            physical["region"] = {"startLine": step["line"]}
+        if physical:
+            loc["physicalLocation"] = physical
+        locations.append({"location": loc})
+    return {"threadFlows": [{"locations": locations}]}
+
+
 def render_sarif(report: CheckReport) -> str:
     """SARIF 2.1.0 document."""
     rules = []
@@ -83,7 +102,10 @@ def render_sarif(report: CheckReport) -> str:
                 "defaultConfiguration": {
                     "level": checker.default_severity.sarif_level
                 },
-                "properties": {"paperSection": checker.paper_section},
+                "properties": {
+                    "paperSection": checker.paper_section,
+                    "grammar": checker.grammar,
+                },
             }
         )
     results = []
@@ -107,6 +129,8 @@ def render_sarif(report: CheckReport) -> str:
             ]
         if location:
             result["locations"] = [location]
+        if f.flow:
+            result["codeFlows"] = [_code_flow(f)]
         properties: Dict[str, object] = dict(f.extra)
         if f.witness is not None:
             properties["witness"] = f.witness

@@ -27,15 +27,28 @@ from repro.core.engine import EngineConfig
 from repro.core.query import Query, QueryResult
 from repro.core.scheduling import ScheduleConfig, dedupe_queries
 from repro.core.tracing import TracingEngine, Witness
-from repro.errors import AnalysisError
-from repro.ir.program import Method, Program
-from repro.ir.statements import Load, Statement, Store
+from repro.errors import AnalysisError, ValidationError
+from repro.ir.program import Method, Program, Variable
+from repro.ir.statements import Alloc, Load, Statement, Store
 from repro.pag.build import BuildResult
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.executor import ParallelCFL
 from repro.runtime.results import BatchResult
 
-__all__ = ["CheckContext", "CheckReport", "DerefSite", "run_checkers"]
+__all__ = ["AllocSite", "CheckContext", "CheckReport", "DerefSite", "run_checkers"]
+
+
+class AllocSite(NamedTuple):
+    """One allocation: the object node, its label, and where it is."""
+
+    obj: int
+    label: str
+    method: Optional[Method]
+    stmt: Optional[Statement]
+
+    @property
+    def line(self) -> Optional[int]:
+        return getattr(self.stmt, "loc", None) if self.stmt is not None else None
 
 
 class DerefSite(NamedTuple):
@@ -71,6 +84,7 @@ class CheckContext:
         self._deref_sites: Optional[List[DerefSite]] = None
         self._tracing: Optional[TracingEngine] = None
         self._traced: Set[int] = set()
+        self._alloc_sites: Optional[Dict[int, "AllocSite"]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -96,6 +110,44 @@ class CheckContext:
             g = self.program.globals.get(name)
             nid = self.build.var_ids.get(g.name) if g is not None else None
         return None if nid is None else self.pag.rep(nid)
+
+    def node_of_var(self, var: Variable) -> Optional[int]:
+        """Representative PAG node for an IR :class:`Variable` (globals
+        are keyed by bare name); None for primitives."""
+        nid = self.build.var_ids.get(var.qualified_name)
+        return None if nid is None else self.pag.rep(nid)
+
+    def annotated_nodes(self, annotation: str) -> List[Tuple[Variable, int]]:
+        """``(variable, rep node)`` for every reference-typed variable
+        carrying ``annotation``, in deterministic program order."""
+        out: List[Tuple[Variable, int]] = []
+        for var in self.program.annotated_vars(annotation):
+            nid = self.node_of_var(var)
+            if nid is not None:
+                out.append((var, nid))
+        return out
+
+    def alloc_site_of(self, obj: int) -> Optional[AllocSite]:
+        """The allocation site behind an object node (label decoded back
+        to its method and ``new`` statement).  Cached for the batch."""
+        if self._alloc_sites is None:
+            sites: Dict[int, AllocSite] = {}
+            for label, nid in self.build.obj_ids.items():
+                method: Optional[Method] = None
+                stmt: Optional[Statement] = None
+                # Labels are "o:Class.method:idx" (see pag.build).
+                _o, _, rest = label.partition(":")
+                qual, _, idx_s = rest.rpartition(":")
+                try:
+                    m = self.program.method(qual)
+                    allocs = [s for s in m.body if isinstance(s, Alloc)]
+                    stmt = allocs[int(idx_s)]
+                    method = m
+                except (ValidationError, ValueError, IndexError):
+                    pass
+                sites[nid] = AllocSite(nid, label, method, stmt)
+            self._alloc_sites = sites
+        return self._alloc_sites.get(obj)
 
     def deref_sites(self) -> List[DerefSite]:
         """All field dereferences in application code, with resolved

@@ -1,0 +1,294 @@
+"""Escape checker: objects reachable from a static or parameter root.
+
+An object *escapes* its allocating method when its value becomes
+reachable from outside — it flows to a **root** variable (a global /
+static, or a formal parameter of another method), or it is stored into
+a field of an object that itself escapes.  That is exactly the
+declarative ``escape`` grammar (:mod:`repro.core.grammar`)::
+
+    escapes -> flowsTo | flowsTo st:f flowsToBar escapes
+
+with the root condition as a side condition on the final node (like
+R_CS is a side condition on call strings).  The checker reuses the
+same PAG and the same points-to batch as every other client: it
+demands ``points_to`` for every root and for both sides of every store
+site, then closes the heap-transitive chain with plain set fixpoint
+iteration over the answers.
+
+Witnesses concatenate the chain — a ``flowsTo`` half, the ``st:f``
+terminal, a reversed-barred ``flowsToBar`` half, recursively — and are
+certified by CYK membership under the ``escape`` grammar.  The grammar
+declares ``context_condition=False``: spliced chains join
+independently-derived flowsTo witnesses whose call strings need not
+compose into one realisable stack.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.analyses.base import Checker, Finding, Severity, register
+from repro.core.cfl import bar
+from repro.core.context import Context
+from repro.core.grammar import get_grammar
+from repro.core.query import Query
+from repro.ir.program import Variable
+from repro.ir.statements import Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analyses.driver import CheckContext
+
+__all__ = ["EscapeChecker"]
+
+#: An object occurrence in an answer set.
+ObjItem = Tuple[int, Context]
+
+
+class RootReason(NamedTuple):
+    """The object flows directly to a root variable."""
+
+    var: Variable
+    node: int
+
+
+class StoreReason(NamedTuple):
+    """The object was stored into a field of an escaped object."""
+
+    field_name: str
+    value: int     #: PAG node of the stored value
+    base: int      #: PAG node of the store's base
+    via: ObjItem   #: the (already escaped) base object
+
+
+Reason = Union[RootReason, StoreReason]
+
+#: Chain-length cap for witness reconstruction (defensive; reasons form
+#: a DAG by construction because each object records its *first* cause).
+_MAX_CHAIN = 32
+
+
+@register
+class EscapeChecker(Checker):
+    id = "escape"
+    description = (
+        "Object escapes its allocating method: reachable from a global "
+        "(static) variable or a formal parameter, directly or through "
+        "stores into escaped objects."
+    )
+    paper_section = (
+        "Section V (client analyses); escape analysis as "
+        "CFL-reachability under the escape grammar over the same PAG"
+    )
+    default_severity = Severity.WARNING
+    grammar = "escape"
+    #: Opt-in: flags correct-but-interesting code on essentially every
+    #: program (anything passed to a method reaches a parameter root),
+    #: so a bare ``repro check`` must stay quiet on clean fixtures.
+    default_enabled = False
+
+    def demands(self, ctx: "CheckContext") -> Iterable[Query]:
+        for _var, node in self._roots(ctx):
+            yield Query(node)
+        for site in ctx.deref_sites():
+            if site.kind != "store" or not isinstance(site.stmt, Store):
+                continue
+            if site.base_node is not None:
+                yield Query(site.base_node)
+            value = ctx.node_for(site.method, site.stmt.source)
+            if value is not None:
+                yield Query(value)
+
+    def finish(self, ctx: "CheckContext") -> List[Finding]:
+        # Pass 1: objects directly visible from a root.
+        escaped: Dict[ObjItem, Reason] = {}
+        for var, node in self._roots(ctx):
+            res = ctx.answer(node)
+            if res is None:
+                continue
+            for item in sorted(res.points_to):
+                escaped.setdefault(item, RootReason(var, node))
+
+        # Pass 2: heap-transitive closure over store sites —
+        # ``base.f = value`` leaks pts(value) when pts(base) contains an
+        # escaped object (first cause wins, so reasons form a DAG).
+        stores = [
+            s for s in ctx.deref_sites()
+            if s.kind == "store" and isinstance(s.stmt, Store)
+        ]
+        changed = True
+        while changed:
+            changed = False
+            for site in stores:
+                base = site.base_node
+                if base is None or not isinstance(site.stmt, Store):
+                    continue
+                value = ctx.node_for(site.method, site.stmt.source)
+                if value is None:
+                    continue
+                base_res = ctx.answer(base)
+                value_res = ctx.answer(value)
+                if base_res is None or value_res is None:
+                    continue
+                base_escaped = [
+                    item for item in sorted(base_res.points_to)
+                    if item in escaped
+                ]
+                if not base_escaped:
+                    continue
+                via = base_escaped[0]
+                for item in sorted(value_res.points_to):
+                    if item not in escaped:
+                        escaped[item] = StoreReason(
+                            site.field, value, base, via
+                        )
+                        changed = True
+
+        findings: List[Finding] = []
+        for item in sorted(escaped):
+            obj, _obj_ctx = item
+            site_info = ctx.alloc_site_of(obj)
+            # Only report app-code allocations with a known site: library
+            # internals escape by design and have no actionable location.
+            if (
+                site_info is None
+                or site_info.method is None
+                or not site_info.method.is_app
+            ):
+                continue
+            findings.append(self._escape_finding(ctx, item, escaped))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _roots(self, ctx: "CheckContext") -> List[Tuple[Variable, int]]:
+        """Root variables: globals, then formal parameters (including
+        receivers) of application methods, in program order."""
+        roots: List[Tuple[Variable, int]] = []
+        for var in ctx.program.globals.values():
+            node = ctx.node_of_var(var)
+            if node is not None:
+                roots.append((var, node))
+        for method in ctx.program.methods():
+            if not method.is_app:
+                continue
+            for var in method.locals.values():
+                if not var.is_param:
+                    continue
+                node = ctx.node_of_var(var)
+                if node is not None:
+                    roots.append((var, node))
+        return roots
+
+    # ------------------------------------------------------------------
+    def _escape_finding(
+        self,
+        ctx: "CheckContext",
+        item: ObjItem,
+        escaped: Dict[ObjItem, Reason],
+    ) -> Finding:
+        obj, _obj_ctx = item
+        site = ctx.alloc_site_of(obj)
+        assert site is not None and site.method is not None
+        chain = self._chain_of(item, escaped)
+        last = chain[-1][1]
+        assert isinstance(last, RootReason)  # chains terminate at a root
+        root_var = last.var
+        via = " -> ".join(
+            f"field {r.field_name!r} of {_label(ctx, r.via[0])}"
+            for _it, r in chain if isinstance(r, StoreReason)
+        )
+        how = f"to root {root_var.qualified_name}"
+        if via:
+            how = f"through {via}, then {how}"
+        terms, certified = self._witness(ctx, chain)
+        flow: List[Dict[str, object]] = []
+        for it, reason in chain:
+            step: Dict[str, object] = {
+                "message": f"object {_label(ctx, it[0])}"
+            }
+            s = ctx.alloc_site_of(it[0])
+            if s is not None and s.line is not None:
+                step["line"] = s.line
+            flow.append(step)
+            if isinstance(reason, StoreReason):
+                flow.append(
+                    {"message": f"stored into field {reason.field_name!r} "
+                                f"of an escaped object"}
+                )
+        flow.append(
+            {"message": f"reachable from root {root_var.qualified_name}"}
+        )
+        return self.finding(
+            f"object {site.label} escapes {site.method.qualified_name} "
+            f"{how}",
+            method=site.method.qualified_name,
+            statement=repr(site.stmt) if site.stmt is not None else None,
+            line=site.line,
+            witness=(
+                f"escapes({site.label}): " + " ".join(terms)
+                if terms is not None else None
+            ),
+            witness_certified=certified,
+            flow=flow,
+            extra={
+                "object": site.label,
+                "root": root_var.qualified_name,
+                "chain_length": len(chain),
+            },
+        )
+
+    def _chain_of(
+        self, item: ObjItem, escaped: Dict[ObjItem, Reason]
+    ) -> List[Tuple[ObjItem, Reason]]:
+        """The reason chain from ``item`` to its terminating root."""
+        chain: List[Tuple[ObjItem, Reason]] = []
+        seen: Set[ObjItem] = set()
+        cur: Optional[ObjItem] = item
+        while cur is not None and cur not in seen and len(chain) < _MAX_CHAIN:
+            seen.add(cur)
+            reason = escaped[cur]
+            chain.append((cur, reason))
+            cur = reason.via if isinstance(reason, StoreReason) else None
+        return chain
+
+    def _witness(
+        self, ctx: "CheckContext", chain: List[Tuple[ObjItem, Reason]]
+    ) -> Tuple[Optional[List[str]], Optional[bool]]:
+        """Terminal string for the whole escape chain, certified under
+        the escape grammar; (None, None) when any half is untraceable."""
+        terms: List[str] = []
+        for it, reason in chain:
+            obj, obj_ctx = it
+            if isinstance(reason, RootReason):
+                w = ctx.witness_for(reason.node, obj, obj_ctx)
+                if w is None:
+                    return None, None
+                terms.extend(w.terminals())
+            else:
+                w_val = ctx.witness_for(reason.value, obj, obj_ctx)
+                w_base = ctx.witness_for(
+                    reason.base, reason.via[0], reason.via[1]
+                )
+                if w_val is None or w_base is None:
+                    return None, None
+                terms.extend(w_val.terminals())
+                terms.append(f"st:{reason.field_name}")
+                terms.extend(bar(t) for t in reversed(w_base.terminals()))
+        fields = sorted(
+            set(ctx.pag.stores_by_field) | set(ctx.pag.loads_by_field)
+        )
+        return terms, get_grammar(self.grammar).certify(terms, fields)
+
+
+def _label(ctx: "CheckContext", obj: int) -> str:
+    site = ctx.alloc_site_of(obj)
+    return site.label if site is not None else str(ctx.pag.name(obj))

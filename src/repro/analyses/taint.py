@@ -1,0 +1,145 @@
+"""Taint checker: ``@source`` values must not reach ``@sink`` variables.
+
+FlowCFL-style (PAPERS.md, arXiv:2005.06496) taint tracking is
+CFL-reachability with a different start symbol: a source leaks into a
+sink exactly when the two *alias* — some object's value flows to both —
+so the declarative ``taint`` grammar (:mod:`repro.core.grammar`) derives
+``taint -> alias -> flowsToBar flowsTo``.  Assignments, field
+store/load matching and call-string realisability are inherited from
+the flowsTo productions unchanged, which is why this checker rides the
+standard points-to batch: it demands ``points_to`` for every annotated
+variable and intersects the context-tagged answers.
+
+Witnesses splice the two halves of the alias derivation — the
+source-side ``flowsTo`` witness reversed and barred, then the
+sink-side witness — and are certified by CYK membership under the
+``taint`` grammar plus R_CS realisability, exactly like engine
+witnesses.  Intersecting on full ``(object, context)`` pairs keeps the
+spliced call strings realisable: both halves meet at the same object
+under the same context.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+from repro.analyses.base import Checker, Finding, Severity, register
+from repro.core.cfl import bar
+from repro.core.context import Context
+from repro.core.grammar import get_grammar
+from repro.core.query import Query
+from repro.ir.program import Variable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analyses.driver import CheckContext
+
+__all__ = ["TaintChecker", "SOURCE", "SINK"]
+
+#: Annotation names (written ``@source`` / ``@sink`` in ``.mj`` syntax).
+SOURCE = "source"
+SINK = "sink"
+
+
+@register
+class TaintChecker(Checker):
+    id = "taint"
+    description = (
+        "Value annotated @source flows to a variable annotated @sink "
+        "(source and sink alias through a shared object)."
+    )
+    paper_section = (
+        "Section V (client analyses); FlowCFL taint tracking as the "
+        "same CFL-reachability shape under the taint grammar"
+    )
+    default_severity = Severity.ERROR
+    grammar = "taint"
+
+    def demands(self, ctx: "CheckContext") -> Iterable[Query]:
+        for _var, node in ctx.annotated_nodes(SOURCE):
+            yield Query(node)
+        for _var, node in ctx.annotated_nodes(SINK):
+            yield Query(node)
+
+    def finish(self, ctx: "CheckContext") -> List[Finding]:
+        sources = ctx.annotated_nodes(SOURCE)
+        sinks = ctx.annotated_nodes(SINK)
+        findings: List[Finding] = []
+        for src_var, src_node in sources:
+            src_res = ctx.answer(src_node)
+            if src_res is None:
+                continue
+            for snk_var, snk_node in sinks:
+                snk_res = ctx.answer(snk_node)
+                if snk_res is None:
+                    continue
+                # Same (object, context) pair on both sides: the alias
+                # witness's two halves meet at one realisable point.
+                shared = sorted(src_res.points_to & snk_res.points_to)
+                if not shared:
+                    continue
+                obj, obj_ctx = shared[0]
+                findings.append(
+                    self._leak_finding(
+                        ctx, src_var, src_node, snk_var, snk_node, obj, obj_ctx
+                    )
+                )
+        return findings
+
+    # ------------------------------------------------------------------
+    def _leak_finding(
+        self,
+        ctx: "CheckContext",
+        src_var: Variable,
+        src_node: int,
+        snk_var: Variable,
+        snk_node: int,
+        obj: int,
+        obj_ctx: Context,
+    ) -> Finding:
+        site = ctx.alloc_site_of(obj)
+        obj_name = site.label if site is not None else ctx.pag.name(obj)
+        witness_text: Optional[str] = None
+        certified: Optional[bool] = None
+        w_src = ctx.witness_for(src_node, obj, obj_ctx)
+        w_snk = ctx.witness_for(snk_node, obj, obj_ctx)
+        if w_src is not None and w_snk is not None:
+            terms = [bar(t) for t in reversed(w_src.terminals())]
+            terms += w_snk.terminals()
+            fields = sorted(
+                set(ctx.pag.stores_by_field) | set(ctx.pag.loads_by_field)
+            )
+            certified = get_grammar(self.grammar).certify(terms, fields)
+            witness_text = (
+                f"taint({_var_ref(src_var)} ~> {_var_ref(snk_var)}): "
+                + " ".join(terms)
+            )
+        flow: List[Dict[str, object]] = [
+            {"message": f"tainted source {_var_ref(src_var)}"},
+            {"message": f"shared object {obj_name}"},
+            {"message": f"reaches sink {_var_ref(snk_var)}"},
+        ]
+        if site is not None and site.line is not None:
+            flow[1]["line"] = site.line
+        return self.finding(
+            f"taint flow: @source {_var_ref(src_var)} reaches @sink "
+            f"{_var_ref(snk_var)} via shared object {obj_name}",
+            method=(
+                snk_var.method.qualified_name
+                if snk_var.method is not None else None
+            ),
+            line=site.line if site is not None else None,
+            witness=witness_text,
+            witness_certified=certified,
+            flow=flow,
+            extra={
+                "source": _var_ref(src_var),
+                "sink": _var_ref(snk_var),
+                "object": obj_name,
+            },
+        )
+
+
+def _var_ref(var: Variable) -> str:
+    """Stable human-readable variable reference (``name`` for globals,
+    ``name@Class.method`` for locals)."""
+    return var.qualified_name

@@ -29,10 +29,11 @@ Commands
 
 ``check FILE``
     Run the client checkers (``repro.analyses``) — null-deref, downcast,
-    may-alias, shared-field-race — dispatching all demanded points-to
-    queries in one scheduled batch.
+    may-alias, shared-field-race, taint, escape — dispatching all
+    demanded points-to queries in one scheduled batch.
 
-    * ``--checker ID`` (repeatable) — subset of checkers to run.
+    * ``--checker ID[,ID...]`` (repeatable or comma-separated) — subset
+      of checkers to run, e.g. ``--checker taint,escape``.
     * ``--format text|json|sarif`` — output format.
     * ``--severity note|warning|error`` — exit nonzero only when a
       finding at or above this level exists (default: warning).
@@ -283,9 +284,16 @@ def _cmd_check(args) -> int:
         )
     threshold = Severity.parse(args.severity)
     budget = args.budget if args.budget is not None else DEFAULT_BUDGET
+    # --checker accepts both repeated flags and comma-separated lists
+    # (``--checker taint,escape``).
+    selected = [
+        cid for raw in (args.checker or [])
+        for cid in (part.strip() for part in raw.split(","))
+        if cid
+    ]
     report = run_checkers(
         build,
-        args.checker or None,
+        selected or None,
         file=str(args.file),
         mode=args.mode or "DQ",
         n_threads=args.threads if args.threads is not None else 8,
@@ -472,8 +480,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     check = sub.add_parser("check", parents=[common_file, common_run],
                            help="run the client checkers")
     check.add_argument(
-        "--checker", action="append", metavar="ID",
-        help="checker id to run (repeatable; default: all registered)",
+        "--checker", action="append", metavar="ID[,ID...]",
+        help="checker id(s) to run (repeatable or comma-separated; "
+             "default: all registered)",
     )
     check.add_argument(
         "--format", choices=("text", "json", "sarif"), default="text",

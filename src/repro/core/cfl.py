@@ -21,7 +21,7 @@ the test assertions are independent of the engine's traversal code.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import AnalysisError
 
@@ -63,6 +63,16 @@ class CFG:
         self._cnf = None
         return self
 
+    def with_start(self, start: Symbol) -> "CFG":
+        """This grammar re-rooted at ``start`` (productions shared).
+
+        Used by the derived analysis grammars in
+        :mod:`repro.core.grammar`, which extend the flowsTo productions
+        and certify from a different start symbol.
+        """
+        self.start = start
+        return self
+
     @property
     def nonterminals(self) -> FrozenSet[Symbol]:
         return frozenset(self.productions)
@@ -74,7 +84,7 @@ class CFG:
                 out.update(s for s in rhs if s not in self.productions)
         return frozenset(out)
 
-    def recognizes(self, string: Sequence[Symbol], start: Symbol | None = None) -> bool:
+    def recognizes(self, string: Sequence[Symbol], start: Optional[Symbol] = None) -> bool:
         """Is ``string`` in the language of ``start`` (default: the
         grammar's start symbol)?"""
         if self._cnf is None:
@@ -187,6 +197,7 @@ class _CNF:
         table: List[List[Set[Symbol]]] = [
             [set() for _ in range(n + 1)] for _ in range(n)
         ]
+        cell: Set[Symbol]
         for i, sym in enumerate(string):
             cell = set(self.term.get(sym, ()))
             proxy = self.term_index  # proxies map proxy->terminal
@@ -196,7 +207,7 @@ class _CNF:
             table[i][1] = self._close(cell)
         for length in range(2, n + 1):
             for i in range(0, n - length + 1):
-                cell: Set[Symbol] = set()
+                cell = set()
                 for split in range(1, length):
                     left = table[i][split]
                     right = table[i + split][length - split]

@@ -37,6 +37,7 @@ from dataclasses import InitVar, dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.context import Context, EMPTY_CTX
+from repro.core.grammar import DEFAULT_GRAMMAR, get_grammar
 from repro.core.jumpmap import JumpMap, LayeredJumpMap
 from repro.core.query import Query, QueryResult, QueryState
 from repro.errors import AnalysisError, BudgetExhausted
@@ -96,6 +97,12 @@ class EngineConfig:
     record_empty_rounds: bool = False
     #: Safety valve for the chaotic-iteration loop.
     max_passes: int = 64
+    #: Registered :mod:`repro.core.grammar` id the engine analyses
+    #: under.  Every built-in grammar shares the ``flowsto`` traversal
+    #: core, so this selects certification semantics and metric labels,
+    #: not different sweeps; the engine refuses grammars whose declared
+    #: ``traversal`` it has no compiled sweeps for.
+    grammar: str = DEFAULT_GRAMMAR
     #: Deprecated core->runtime layering leak: the fault plan belongs to
     #: :class:`repro.runtime.config.RuntimeConfig`.  Still accepted (and
     #: readable via the ``faults`` property) so old callers keep
@@ -118,6 +125,9 @@ class EngineConfig:
             raise AnalysisError(
                 f"field_mode must be sensitive/match/none, got {self.field_mode!r}"
             )
+        # Validate eagerly: a typo'd grammar id should fail at config
+        # construction, not at first query.
+        get_grammar(self.grammar)
         if faults is not None:
             warnings.warn(
                 "EngineConfig(faults=...) is deprecated; fault plans are a "
@@ -194,6 +204,25 @@ class CFLEngine:
         self.pag = pag
         self.cfg = config or EngineConfig()
         self._field_mode = self.cfg.field_mode
+        #: The declarative grammar this engine analyses under (resolved
+        #: from the config's registered id).  The sweeps below are the
+        #: hand-compiled ``flowsto`` traversal core; a grammar declaring
+        #: any other core has no compiled implementation here.
+        self.grammar = get_grammar(self.cfg.grammar)
+        if self.grammar.traversal != "flowsto":
+            raise AnalysisError(
+                f"grammar {self.grammar.name!r} declares traversal core "
+                f"{self.grammar.traversal!r}; this engine only compiles "
+                "the 'flowsto' core"
+            )
+        if jumps is not None:
+            jumps_grammar = getattr(jumps, "grammar", DEFAULT_GRAMMAR)
+            if jumps_grammar != self.cfg.grammar:
+                raise AnalysisError(
+                    f"jump map is labelled for grammar {jumps_grammar!r} "
+                    f"but the engine runs {self.cfg.grammar!r}; sharing "
+                    "summaries across grammars is unsound"
+                )
         self.jumps = jumps
         #: Optional :class:`repro.obs.Recorder`.  The engine's only
         #: instrumentation point is a single per-query bulk flush in
@@ -288,7 +317,7 @@ class CFLEngine:
         )
         rec = self.recorder
         if rec:
-            rec.record_query(answer)
+            rec.record_query(answer, self.cfg.grammar)
         return answer
 
     # ------------------------------------------------------------------

@@ -42,7 +42,7 @@ class IncrementalAnalysis:
     def __init__(self, pag: PAG, config: Optional[EngineConfig] = None) -> None:
         self.pag = pag
         self.cfg = config or EngineConfig()
-        self.jumps = JumpMap()
+        self.jumps = JumpMap(self.cfg.grammar)
         self._engine = CFLEngine(pag, self.cfg, jumps=self.jumps)
         #: generation counter: bumps on every edit
         self.generation = 0

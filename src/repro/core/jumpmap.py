@@ -49,9 +49,17 @@ class JumpMapStats:
 
 
 class JumpMap:
-    """Single-writer jump store (sequential engine / committed base)."""
+    """Single-writer jump store (sequential engine / committed base).
 
-    def __init__(self) -> None:
+    ``grammar`` labels the store with the :mod:`repro.core.grammar` id
+    whose summary edges it holds; the engine refuses to share a map
+    labelled for a different grammar (mixing summaries across analyses
+    would be unsound), and the observability layer uses the label to
+    split its jump-map metrics per grammar.
+    """
+
+    def __init__(self, grammar: str = "flowsto") -> None:
+        self.grammar = grammar
         self._fin: Dict[JumpKey, Tuple[FinishedJump, ...]] = {}
         self._unf: Dict[JumpKey, int] = {}
         self.stats = JumpMapStats()
@@ -124,6 +132,11 @@ class JumpMap:
     def merge_from(self, other: "JumpMap") -> int:
         """Commit ``other``'s entries into this map (executor commit
         step).  Returns the number of accepted insertions."""
+        if other.grammar != self.grammar:
+            raise ValueError(
+                f"cannot merge jump map for grammar {other.grammar!r} "
+                f"into one for {self.grammar!r}"
+            )
         accepted = 0
         for key, edges in other._fin.items():
             if self.insert_finished(key, edges):
@@ -155,7 +168,8 @@ class LayeredJumpMap:
 
     def __init__(self, base: JumpMap) -> None:
         self.base = base
-        self.overlay = JumpMap()
+        self.grammar = base.grammar
+        self.overlay = JumpMap(base.grammar)
 
     def finished(self, key: JumpKey) -> Optional[Tuple[FinishedJump, ...]]:
         got = self.overlay.finished(key)

@@ -27,9 +27,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.core.cfl import bar, is_realizable, lfs_grammar
+from repro.core.cfl import bar
 from repro.core.context import Context
 from repro.core.engine import CFLEngine, EngineConfig, FLOWS_TO, POINTS_TO
+from repro.core.grammar import CFLGrammar, DEFAULT_GRAMMAR, get_grammar
 from repro.errors import AnalysisError
 from repro.pag.graph import PAG
 
@@ -98,6 +99,8 @@ class Witness:
     obj_ctx: Context
     #: nested terminal tree (alias derivations as sub-trees)
     tree: Tree = field(default_factory=list)
+    #: Registered grammar id this witness certifies against by default.
+    grammar: str = DEFAULT_GRAMMAR
 
     # ------------------------------------------------------------------
     def terminals(self) -> List[str]:
@@ -132,25 +135,26 @@ class Witness:
     def has_global_crossing(self) -> bool:
         return any(t.lstrip("~") == "reset" for t in self.terminals())
 
-    def certify(self, fields: Optional[Sequence[str]] = None) -> bool:
-        """Check the witness against the formal languages: membership in
-        L_FS (grammar (2), via CYK) and — when the path does not cross a
-        context-clearing global — realisability R_CS (grammar (3)).
+    def certify(
+        self,
+        fields: Optional[Sequence[str]] = None,
+        grammar: Optional[Union[str, CFLGrammar]] = None,
+    ) -> bool:
+        """Check the witness against the formal languages: CYK
+        membership under its declarative grammar (default: the grammar
+        the producing engine ran, usually ``flowsto`` — grammar (2))
+        and, when the grammar enforces it and the path does not cross a
+        context-clearing global, realisability R_CS (grammar (3)).
         """
         if fields is None:
             fields = sorted(
                 set(self.pag.stores_by_field) | set(self.pag.loads_by_field)
             )
-        grammar = lfs_grammar(fields)
-        if not grammar.recognizes(self.grammar_terminals()):
-            return False
-        if self.has_global_crossing():
-            # Globals are analysed context-insensitively; the flat
-            # single-stack R_CS does not apply across the reset.
-            return True
-        # forward-convention realisability == backward convention on the
-        # barred string
-        return is_realizable([bar(t) for t in self.terminals()])
+        if grammar is None:
+            grammar = self.grammar
+        if isinstance(grammar, str):
+            grammar = get_grammar(grammar)
+        return grammar.certify(self.terminals(), fields)
 
     def pretty(self) -> str:
         """Readable one-line rendering with nested alias brackets."""
@@ -198,7 +202,9 @@ class TracingEngine(CFLEngine):
         onstack: Set[Key] = set()
         bar_tree = self._pt_tree(key, (obj, obj_ctx), onstack)
         tree = _reverse_bar(bar_tree)
-        return Witness(self.pag, var, var_ctx, obj, obj_ctx, tree)
+        return Witness(
+            self.pag, var, var_ctx, obj, obj_ctx, tree, self.cfg.grammar
+        )
 
     # ------------------------------------------------------------------
     # tree construction

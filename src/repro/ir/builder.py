@@ -18,7 +18,7 @@ chain.  :meth:`ProgramBuilder.build` validates and seals the program.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence
 
 from repro.errors import IRError
 from repro.ir.program import Clazz, Method, Program, THIS_VAR
@@ -42,9 +42,18 @@ class MethodBuilder:
     # ------------------------------------------------------------------
     # declarations
     # ------------------------------------------------------------------
-    def local(self, name: str, type_name: str) -> "MethodBuilder":
-        """Declare a local variable (type checked at build time)."""
-        self._method.declare_local(name, type_name)
+    def local(
+        self,
+        name: str,
+        type_name: str,
+        annotations: Sequence[str] = (),
+    ) -> "MethodBuilder":
+        """Declare a local variable (type checked at build time).
+
+        ``annotations`` are checker tags (``@source``/``@sink`` in the
+        concrete syntax), stored without the ``@``.
+        """
+        self._method.declare_local(name, type_name, annotations=tuple(annotations))
         return self
 
     # ------------------------------------------------------------------
@@ -139,16 +148,17 @@ class ClassBuilder:
     def method(
         self,
         name: str,
-        params: Iterable[Tuple[str, str]] = (),
+        params: Iterable[Sequence[str]] = (),
         returns: str = "void",
         static: bool = False,
         is_app: Optional[bool] = None,
     ) -> MethodBuilder:
         """Declare a method and return its body builder.
 
-        ``params`` is a sequence of ``(name, type_name)`` pairs.
-        Instance methods get an implicit ``this`` formal of the owning
-        class's type.
+        ``params`` is a sequence of ``(name, type_name)`` pairs — or
+        ``(name, type_name, annotations)`` triples for annotated
+        formals.  Instance methods get an implicit ``this`` formal of
+        the owning class's type.
         """
         app = self._clazz.is_app if is_app is None else is_app
         method = Method(
@@ -156,8 +166,10 @@ class ClassBuilder:
         )
         if not static:
             method.declare_local(THIS_VAR, self._clazz.name, is_param=True)
-        for p_name, p_type in params:
-            method.declare_local(p_name, p_type, is_param=True)
+        for param in params:
+            p_name, p_type = param[0], param[1]
+            p_annos = tuple(param[2]) if len(param) > 2 else ()
+            method.declare_local(p_name, p_type, is_param=True, annotations=p_annos)
         self._clazz.add_method(method)
         return MethodBuilder(self._program, method)
 
@@ -183,10 +195,15 @@ class ProgramBuilder:
         self._class_builders[name] = cb
         return cb
 
-    def global_var(self, name: str, type_name: str) -> "ProgramBuilder":
+    def global_var(
+        self,
+        name: str,
+        type_name: str,
+        annotations: Sequence[str] = (),
+    ) -> "ProgramBuilder":
         """Declare a top-level global (static) variable.  Forward type
         references are fine: types are checked at build time."""
-        self._program.declare_global(name, type_name)
+        self._program.declare_global(name, type_name, annotations=tuple(annotations))
         return self
 
     def build(self, validate: bool = True) -> Program:

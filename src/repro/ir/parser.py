@@ -24,12 +24,14 @@ and inspected as plain text::
 Grammar (EBNF)::
 
     program    := (classdecl | globaldecl)*
-    globaldecl := "global" NAME ":" type
+    globaldecl := anno* "global" NAME ":" type
     classdecl  := ["library"] "class" NAME ["extends" NAME] "{" member* "}"
     member     := "field" NAME ":" type
                 | ["static"] "method" NAME "(" params ")" [":" type] "{" stmt* "}"
-    params     := [NAME ":" type ("," NAME ":" type)*]
-    stmt       := "var" NAME ":" type
+    params     := [param ("," param)*]
+    param      := anno* NAME ":" type
+    anno       := "@" NAME                                    # e.g. @source, @sink
+    stmt       := anno* "var" NAME ":" type
                 | NAME "=" "new" type
                 | NAME "=" NAME
                 | NAME "=" "(" type ")" NAME                  # checked downcast
@@ -70,6 +72,7 @@ _TOKEN_RE = re.compile(
     r"""
     (?P<ws>\s+)
   | (?P<comment>(//|\#)[^\n]*)
+  | (?P<anno>@[A-Za-z_][A-Za-z0-9_]*)
   | (?P<name>(<[A-Za-z][A-Za-z0-9_]*>|[A-Za-z_$][A-Za-z0-9_$]*)(\[\])*)
   | (?P<punct>::|[{}():,.=])
     """,
@@ -94,6 +97,8 @@ def tokenize(text: str) -> List[Token]:
         chunk = m.group(0)
         if m.lastgroup == "name":
             tokens.append(Token("NAME", chunk, line))
+        elif m.lastgroup == "anno":
+            tokens.append(Token("ANNO", chunk, line))
         elif m.lastgroup == "punct":
             tokens.append(Token("PUNCT", chunk, line))
         line += chunk.count("\n")
@@ -150,12 +155,24 @@ class _Cursor:
         return False
 
 
+def _parse_annotations(cur: _Cursor) -> Tuple[str, ...]:
+    """Zero or more ``@name`` annotation tokens (``@`` stripped)."""
+    annos: List[str] = []
+    while True:
+        tok = cur.peek()
+        if tok is None or tok.kind != "ANNO":
+            return tuple(annos)
+        cur.next()
+        annos.append(tok.text[1:])
+
+
 def parse_program(text: str, validate: bool = True) -> Program:
     """Parse source text into a sealed (and by default validated)
     :class:`~repro.ir.program.Program`."""
     cur = _Cursor(tokenize(text))
     builder = ProgramBuilder()
     while not cur.exhausted:
+        annos = _parse_annotations(cur)
         tok = cur.peek()
         assert tok is not None
         if tok.text == "global":
@@ -163,8 +180,14 @@ def parse_program(text: str, validate: bool = True) -> Program:
             name = cur.expect_name("global name")
             cur.expect(":")
             type_name = cur.expect_name("type name")
-            builder.global_var(name, type_name)
+            builder.global_var(name, type_name, annotations=annos)
         elif tok.text in ("class", "library"):
+            if annos:
+                raise ParseError(
+                    "annotations apply to globals, locals and parameters, "
+                    "not classes",
+                    tok.line,
+                )
             _parse_class(cur, builder)
         else:
             raise ParseError(
@@ -205,13 +228,14 @@ def _parse_method(cur: _Cursor, cb: ClassBuilder) -> None:
     cur.expect("method")
     name = cur.expect_name("method name")
     cur.expect("(")
-    params: List[Tuple[str, str]] = []
+    params: List[Tuple[str, str, Tuple[str, ...]]] = []
     if not cur.accept(")"):
         while True:
+            p_annos = _parse_annotations(cur)
             p_name = cur.expect_name("parameter name")
             cur.expect(":")
             p_type = cur.expect_name("type name")
-            params.append((p_name, p_type))
+            params.append((p_name, p_type, p_annos))
             if cur.accept(")"):
                 break
             cur.expect(",")
@@ -225,6 +249,7 @@ def _parse_method(cur: _Cursor, cb: ClassBuilder) -> None:
 
 
 def _parse_statement(cur: _Cursor, mb: MethodBuilder) -> None:
+    annos = _parse_annotations(cur)
     tok = cur.peek()
     if tok is None:
         raise ParseError("unterminated method body", cur.line)
@@ -234,8 +259,14 @@ def _parse_statement(cur: _Cursor, mb: MethodBuilder) -> None:
         name = cur.expect_name("local name")
         cur.expect(":")
         type_name = cur.expect_name("type name")
-        mb.local(name, type_name)
+        mb.local(name, type_name, annotations=annos)
         return
+    if annos:
+        raise ParseError(
+            "annotations apply to 'var' declarations, parameters and "
+            "globals, not statements",
+            line,
+        )
     if tok.text == "return":
         cur.next()
         mb.ret(cur.expect_name("return value"), loc=line)

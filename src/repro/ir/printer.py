@@ -38,15 +38,21 @@ def _stmt_src(stmt) -> str:
     raise TypeError(f"unknown statement {stmt!r}")
 
 
+def _annos(var) -> str:
+    return "".join(f"@{a} " for a in var.annotations)
+
+
 def _method_src(method: Method, lines: List[str]) -> None:
-    params = ", ".join(f"{v.name}: {v.type_name}" for v in method.params)
+    params = ", ".join(
+        f"{_annos(v)}{v.name}: {v.type_name}" for v in method.params
+    )
     head = "static method" if method.is_static else "method"
     returns = f": {method.return_type}" if method.return_type != "void" else ""
     lines.append(f"  {head} {method.name}({params}){returns} {{")
     for var in method.locals.values():
         if var.is_param or var.name in (THIS_VAR, RET_VAR):
             continue
-        lines.append(f"    var {var.name}: {var.type_name}")
+        lines.append(f"    {_annos(var)}var {var.name}: {var.type_name}")
     for stmt in method.body:
         lines.append(f"    {_stmt_src(stmt)}")
     lines.append("  }")
@@ -56,7 +62,7 @@ def program_to_source(program: Program) -> str:
     """Emit parseable concrete syntax for ``program``."""
     lines: List[str] = []
     for g in program.globals.values():
-        lines.append(f"global {g.name}: {g.type_name}")
+        lines.append(f"{_annos(g)}global {g.name}: {g.type_name}")
     for clazz in program.classes.values():
         prefix = "" if clazz.is_app else "library "
         extends = f" extends {clazz.superclass}" if clazz.superclass != "Object" else ""

@@ -28,7 +28,7 @@ THIS_VAR = "this"
 class Variable:
     """A named variable: a method local/formal or a program global."""
 
-    __slots__ = ("name", "type_name", "method", "is_global", "is_param")
+    __slots__ = ("name", "type_name", "method", "is_global", "is_param", "annotations")
 
     def __init__(
         self,
@@ -36,6 +36,7 @@ class Variable:
         type_name: str,
         method: Optional["Method"] = None,
         is_param: bool = False,
+        annotations: Tuple[str, ...] = (),
     ) -> None:
         self.name = name
         self.type_name = type_name
@@ -43,6 +44,13 @@ class Variable:
         self.method = method
         self.is_global = method is None
         self.is_param = is_param
+        #: Checker annotations (``@source``/``@sink`` in the concrete
+        #: syntax, stored without the ``@``).  Free-form: the IR layer
+        #: carries them; individual checkers decide which names matter.
+        self.annotations = tuple(annotations)
+
+    def has_annotation(self, name: str) -> bool:
+        return name in self.annotations
 
     @property
     def qualified_name(self) -> str:
@@ -103,10 +111,18 @@ class Method:
         return f"{self.owner}.{self.name}"
 
     # ------------------------------------------------------------------
-    def declare_local(self, name: str, type_name: str, is_param: bool = False) -> Variable:
+    def declare_local(
+        self,
+        name: str,
+        type_name: str,
+        is_param: bool = False,
+        annotations: Tuple[str, ...] = (),
+    ) -> Variable:
         if name in self.locals:
             raise IRError(f"duplicate local {name!r} in {self.qualified_name}")
-        var = Variable(name, type_name, method=self, is_param=is_param)
+        var = Variable(
+            name, type_name, method=self, is_param=is_param, annotations=annotations
+        )
         self.locals[name] = var
         if is_param and name != THIS_VAR:
             self.params.append(var)
@@ -182,11 +198,13 @@ class Program:
         self.classes[clazz.name] = clazz
         return clazz
 
-    def declare_global(self, name: str, type_name: str) -> Variable:
+    def declare_global(
+        self, name: str, type_name: str, annotations: Tuple[str, ...] = ()
+    ) -> Variable:
         self._check_mutable()
         if name in self.globals:
             raise IRError(f"duplicate global {name!r}")
-        var = Variable(name, type_name, method=None)
+        var = Variable(name, type_name, method=None, annotations=annotations)
         self.globals[name] = var
         return var
 
@@ -230,6 +248,17 @@ class Program:
         """All methods in deterministic (class, declaration) order."""
         for clazz in self.classes.values():
             yield from clazz.methods.values()
+
+    def annotated_vars(self, annotation: str) -> Iterator[Variable]:
+        """Every variable carrying ``annotation`` (globals first, then
+        method locals in deterministic program order)."""
+        for var in self.globals.values():
+            if annotation in var.annotations:
+                yield var
+        for method in self.methods():
+            for var in method.locals.values():
+                if annotation in var.annotations:
+                    yield var
 
     def method(self, qualified: str) -> Method:
         """Look up ``Class.method``."""

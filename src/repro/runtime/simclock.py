@@ -62,7 +62,7 @@ class SimulatedExecutor:
         #: per query, plus per-query spans on the simulated-clock lane.
         self.recorder = recorder
         #: Committed jump edges (shared across batches run on this executor).
-        self.jumps = JumpMap() if sharing else None
+        self.jumps = JumpMap(self.engine_config.grammar) if sharing else None
 
     # ------------------------------------------------------------------
     def run_units(self, units: Sequence[Sequence[Query]]) -> BatchResult:

@@ -49,10 +49,11 @@ class ConcurrentJumpMap:
     key guarded by one of ``n_stripes`` locks.
     """
 
-    def __init__(self, n_stripes: int = 32) -> None:
+    def __init__(self, n_stripes: int = 32, grammar: str = "flowsto") -> None:
         if n_stripes < 1:
             raise RuntimeConfigError("n_stripes must be >= 1")
-        self._inner = JumpMap()
+        self.grammar = grammar
+        self._inner = JumpMap(grammar)
         self._locks = [threading.Lock() for _ in range(n_stripes)]
 
     def _lock(self, key: JumpKey) -> threading.Lock:
@@ -153,7 +154,8 @@ class ThreadedExecutor:
         #: thread-safe, so worker threads share it directly).
         self.recorder = recorder
         self.jumps: Optional[ConcurrentJumpMap] = (
-            ConcurrentJumpMap() if sharing else None
+            ConcurrentJumpMap(grammar=self.engine_config.grammar)
+            if sharing else None
         )
 
     def run_units(self, units: Sequence[Sequence[Query]]) -> BatchResult:

@@ -120,8 +120,15 @@ class TestRegistry:
             checker_ids()
         )
 
-    def test_make_checkers_default_is_all(self):
-        assert [c.id for c in make_checkers()] == checker_ids()
+    def test_make_checkers_default_is_default_enabled(self):
+        default_ids = [c.id for c in make_checkers()]
+        assert default_ids == [
+            cid for cid in checker_ids() if _REGISTRY[cid].default_enabled
+        ]
+        # Opt-in checkers are registered but not run by a bare check.
+        assert "escape" in checker_ids()
+        assert "escape" not in default_ids
+        assert "taint" in default_ids
 
     def test_unknown_id_raises(self):
         with pytest.raises(AnalysisError, match="unknown checker"):

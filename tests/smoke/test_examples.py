@@ -7,6 +7,7 @@ Excluded from the default (tier-1) run via the ``smoke`` marker — see
     PYTHONPATH=src python -m pytest -m smoke -q
 """
 
+import json
 import os
 import subprocess
 import sys
@@ -69,3 +70,29 @@ def test_check_formats_parse(fmt):
     )
     assert proc.returncode == 1
     json.loads(proc.stdout)
+
+
+@pytest.mark.parametrize("name", ["taint_leak", "escape_pool"])
+def test_check_taint_escape_matches_golden(name):
+    # Relative path: the golden files cite `examples/<name>.mj:<line>`.
+    proc = _run(
+        [sys.executable, "-m", "repro", "check",
+         f"examples/{name}.mj", "--checker", "taint,escape"]
+    )
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    golden = (EXAMPLES / f"{name}.golden.txt").read_text()
+    assert proc.stdout == golden
+
+
+def test_check_taint_smoke_job():
+    # Mirror of the CI `repro check --checker taint` smoke step.
+    proc = _run(
+        [sys.executable, "-m", "repro", "check",
+         "examples/taint_leak.mj", "--checker", "taint",
+         "--format", "sarif"]
+    )
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    doc = json.loads(proc.stdout)
+    results = doc["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["taint"]
+    assert results[0]["codeFlows"]
