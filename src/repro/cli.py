@@ -20,7 +20,9 @@ Commands
     print the mode ladder (seq / naive / D / DQ), on any backend.
 
     * ``--mode`` — restrict the ladder to one parallel mode.
-    * ``--backend sim|threads|mp`` — execution substrate (default sim).
+    * ``--backend sim|threads|mp|matrix|hybrid`` — execution substrate
+      (default sim; ``matrix`` is the bulk all-pairs kernel, ``hybrid``
+      routes by batch size — see ``RuntimeConfig.hybrid_crossover``).
     * ``--metrics`` / ``--metrics-json`` — observability counters
       (:mod:`repro.obs`) plus the top-N hot-query report.
     * ``--events out.jsonl`` — structured JSONL lifecycle log (one
@@ -63,8 +65,10 @@ Commands
     * ``--history PATH`` / ``--no-history`` — per-configuration run
       records appended to ``BENCH_history.jsonl`` by default.
     * ``--suite NAME`` (repeatable) / ``--workers 1,2,4`` /
-      ``--repeat N`` / ``--mode naive|D|DQ`` / ``--backend threads|mp``
-      / ``--out PATH``.
+      ``--repeat N`` / ``--mode naive|D|DQ`` /
+      ``--backend threads|mp|matrix`` / ``--out PATH``.  With
+      ``matrix`` both sides run at the exhaustive budget (the bulk
+      kernel is exact) and the worker axis collapses to one lane.
     * With a positional experiment name (``table1``, ``fig6``, ...)
       it instead forwards to ``python -m repro.harness``.
 
@@ -325,6 +329,12 @@ def _cmd_bench(args) -> int:
         raise ReproError(
             "bench measures wall-clock time; the sim backend's clock is "
             "simulated — use --backend mp (or threads)"
+        )
+    if backend == "hybrid":
+        raise ReproError(
+            "bench measures each engine separately; hybrid just routes "
+            "between them by batch size — bench --backend matrix and "
+            "--backend mp (or threads) directly to locate the crossover"
         )
     if args.workers:
         workers = _parse_workers(args.workers)

@@ -87,9 +87,19 @@ class CFG:
     def recognizes(self, string: Sequence[Symbol], start: Optional[Symbol] = None) -> bool:
         """Is ``string`` in the language of ``start`` (default: the
         grammar's start symbol)?"""
+        return self.cnf().recognizes(tuple(string), start or self.start)
+
+    def cnf(self) -> "_CNF":
+        """The Chomsky-normal-form compilation of this grammar (lazy,
+        cached).  The ``pair``/``unit``/``term``/``nullable`` tables are
+        what both CYK and the bulk matrix kernel
+        (:mod:`repro.core.matrix`) iterate: a production ``A -> B C``
+        appears as ``pair[(B, C)] ∋ A``, terminals are lifted into proxy
+        nonterminals recorded in ``term``, and ``unit`` is the
+        transitively closed unit-production relation."""
         if self._cnf is None:
             self._cnf = _CNF(self)
-        return self._cnf.recognizes(tuple(string), start or self.start)
+        return self._cnf
 
 
 class _CNF:

@@ -36,13 +36,37 @@ __all__ = [
     "ScheduleConfig",
     "QueryGroup",
     "MERGED_COMPONENT",
+    "DEFAULT_BULK_CROSSOVER",
     "schedule_queries",
     "connection_distances",
     "dedupe_queries",
+    "prefer_bulk",
 ]
 
 #: Sentinel component id for a work unit merged across components.
 MERGED_COMPONENT = -1
+
+#: Batch size at which the ``hybrid`` backend hands a batch to the bulk
+#: matrix kernel instead of the demand engine.  Measured, not guessed:
+#: ``repro bench --backend matrix --compare`` against the demand
+#: baseline (DESIGN.md §4.15) shows the bulk kernel losing on every
+#: suite whose standard workload stays in the low hundreds of queries
+#: and winning from roughly the _213_javac scale (~1,000 queries, ~2x
+#: on tomcat's 1,940) — interactive/sparse batches stay on the demand
+#: engine well clear of the crossover.
+DEFAULT_BULK_CROSSOVER = 1000
+
+
+def prefer_bulk(n_queries: int, crossover: Optional[int] = None) -> bool:
+    """Hybrid routing policy: should a batch of ``n_queries`` go to the
+    bulk matrix kernel (True) or the demand engine (False)?
+
+    ``crossover`` overrides the measured default
+    (:data:`DEFAULT_BULK_CROSSOVER`; see
+    ``RuntimeConfig.hybrid_crossover``).
+    """
+    limit = DEFAULT_BULK_CROSSOVER if crossover is None else crossover
+    return n_queries >= limit
 
 
 def dedupe_queries(pag: PAG, queries: Sequence[Query]) -> List[Query]:

@@ -19,6 +19,12 @@ Per suite entry the record holds:
   sharing run is checked with subset/exact-on-complete invariants by
   the test suite instead).
 
+``--backend matrix`` swaps the parallel side for the bulk all-pairs
+kernel (:mod:`repro.core.matrix`): the worker axis collapses to one
+lane and, unless ``--budget`` is given, both sides run at
+:data:`MATRIX_EXACT_BUDGET` so the exact kernel is compared against an
+equally exact demand baseline.
+
 ``python -m repro bench`` is the CLI entry point (``--smoke`` for the
 CI-sized variant, ``--faults`` to add the fault-injection drill: a
 4-worker share-nothing run with worker 0 killed mid-batch, asserting
@@ -53,12 +59,19 @@ __all__ = [
     "write_json",
     "effective_cpus",
     "DEFAULT_WORKERS",
+    "MATRIX_EXACT_BUDGET",
     "SMOKE_SUITES",
     "SMOKE_WORKERS",
     "FAULT_DRILL_WORKERS",
 ]
 
 DEFAULT_WORKERS: Tuple[int, ...] = (1, 2, 4, 8)
+
+#: Budget forced onto both sides of a ``--backend matrix`` comparison.
+#: The bulk kernel computes the exact (never-exhausted) relation, so a
+#: budget-truncated demand baseline would diverge by construction; an
+#: effectively unlimited budget keeps ``identical`` a real contract.
+MATRIX_EXACT_BUDGET = 10**9
 
 #: The CI-sized subset: the three smallest entries by budget/queries.
 SMOKE_SUITES: Tuple[str, ...] = ("_200_check", "_999_checkit", "_209_db")
@@ -163,6 +176,12 @@ def bench_suite(
     cfg = spec.engine_config()
     if budget is not None:
         cfg.budget = budget
+    elif backend == "matrix":
+        cfg.budget = MATRIX_EXACT_BUDGET
+    if backend == "matrix":
+        # The bulk kernel answers the whole batch from one fixpoint;
+        # worker counts are meaningless, so one lane is the whole sweep.
+        workers = (1,)
     row = SuiteBench(
         name=name,
         n_queries=len(queries),
@@ -286,6 +305,8 @@ def run(
     if smoke:
         benchmarks = list(benchmarks or SMOKE_SUITES)
         workers = list(workers if tuple(workers) != DEFAULT_WORKERS else SMOKE_WORKERS)
+    if backend == "matrix":
+        workers = (1,)  # kept in sync with bench_suite's collapse
     names = list(benchmarks) if benchmarks else suite_names()
     rows = [
         bench_suite(name, workers=workers, repeat=repeat, mode=mode,
@@ -342,7 +363,8 @@ def render(payload: dict) -> str:
         f"WALL-CLOCK seq vs {meta.get('backend', 'mp')} (mode {meta['mode']}, "
         f"{cpus}, repeat {meta['repeat']})"
     )
-    cols = "".join(f"  mp x{w:<3d}" for w in workers)
+    be = meta.get("backend", "mp")
+    cols = "".join(f"  {be + ' x' + str(w):>9s}" for w in workers)
     lines = [head, f"{'benchmark':16s} {'queries':>7s} {'seq (s)':>9s}{cols}  {'ident':>5s}"]
     if meta.get("cpu_oversubscribed"):
         lines.insert(1, (
@@ -355,7 +377,7 @@ def render(payload: dict) -> str:
         for w in workers:
             wall = row["mp_wall_s"].get(str(w))
             sp = row["speedup"].get(str(w))
-            cells += f"  {sp:5.2f}x " if wall is not None else "      - "
+            cells += f"  {sp:8.2f}x" if wall is not None else f"  {'-':>9s}"
         ident = {True: "yes", False: "NO", None: "-"}[row["identical"]]
         lines.append(
             f"{row['name']:16s} {row['n_queries']:7d} {row['seq_wall_s']:9.3f}"

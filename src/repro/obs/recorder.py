@@ -86,6 +86,15 @@ COUNTER_DOCS: Dict[str, str] = {
     "timeline.events": "lifecycle events folded into the timeline",
     "timeline.heartbeats": "worker heartbeat samples received",
     "timeline.stalls": "workers flagged stalled before the unit deadline",
+    "matrix.states": "context-expanded (node, ctx) states discovered",
+    "matrix.edges": "terminal edges lowered onto the state graph",
+    "matrix.fixpoint_rounds": "semi-naive closure rounds to fixpoint",
+    "matrix.products": "boolean matrix products computed",
+    "matrix.word_ops": "uint64 words ORed by matrix products",
+    "matrix.frontier_bits": "delta bits entering each round (summed)",
+    "matrix.routed_bulk": "hybrid batches routed to the bulk kernel",
+    "matrix.routed_demand": "hybrid batches routed to the demand engine",
+    # per-symbol nnz counters are dynamic: matrix.nnz.<nonterminal>
 }
 
 

@@ -23,8 +23,9 @@ __all__ = ["RuntimeConfig", "MODES", "BACKENDS"]
 #: The paper's four analysis configurations (Section IV-C).
 MODES = ("seq", "naive", "D", "DQ")
 #: Execution substrates: deterministic simulator, real threads, real
-#: processes.
-BACKENDS = ("sim", "threads", "mp")
+#: processes, the bulk matrix kernel, and the size-routed hybrid of the
+#: last two (matrix for large batches, threads for sparse ones).
+BACKENDS = ("sim", "threads", "mp", "matrix", "hybrid")
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,10 @@ class RuntimeConfig:
     respawn_backoff: float = 0.05
     #: multiprocessing start method override (mp; None: fork if available).
     start_method: Optional[str] = None
+    #: Batch size at which the ``hybrid`` backend routes to the bulk
+    #: matrix kernel instead of the demand engine (None: the measured
+    #: default, :data:`repro.core.scheduling.DEFAULT_BULK_CROSSOVER`).
+    hybrid_crossover: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -93,6 +98,18 @@ class RuntimeConfig:
             raise RuntimeConfigError(
                 f"respawn_backoff must be >= 0, got {self.respawn_backoff}"
             )
+        if self.hybrid_crossover is not None and self.hybrid_crossover < 1:
+            raise RuntimeConfigError(
+                f"hybrid_crossover must be >= 1, got {self.hybrid_crossover}"
+            )
+        if self.backend in ("matrix", "hybrid"):
+            # Eager validation: a missing numpy should fail loudly at
+            # config construction with an InputError, not as an
+            # ImportError mid-batch.  Local import — the demand
+            # backends must never pull the numpy-backed module in.
+            from repro.core.matrix import ensure_numpy
+
+            ensure_numpy()
 
     # ------------------------------------------------------------------
     @property

@@ -35,11 +35,12 @@ from typing import List, Optional, Sequence, Union
 
 from repro.core.engine import EngineConfig
 from repro.core.query import Query
-from repro.core.scheduling import ScheduleConfig, schedule_queries
+from repro.core.scheduling import ScheduleConfig, prefer_bulk, schedule_queries
 from repro.ir.types import TypeTable
 from repro.pag.build import BuildResult
 from repro.pag.graph import PAG
 from repro.runtime.config import BACKENDS, MODES, RuntimeConfig
+from repro.runtime.matrix import MatrixExecutor
 from repro.runtime.mp import MPExecutor
 from repro.runtime.results import BatchResult
 from repro.runtime.simclock import SimulatedExecutor
@@ -199,18 +200,42 @@ class ParallelCFL:
         mark = rec.mark() if rec else None
         if queries is None:
             queries = self.default_queries()
-        units = self.work_units(queries)
         rt = self.runtime
+        backend = rt.backend
+        if backend == "hybrid":
+            # Route by batch size: large/dense batches amortise the bulk
+            # kernel's all-pairs fixpoint, sparse interactive ones don't.
+            bulk = prefer_bulk(len(queries), rt.hybrid_crossover)
+            backend = "matrix" if bulk else "threads"
+            if rec:
+                rec.count("matrix.routed_bulk" if bulk else "matrix.routed_demand")
+                rec.event("route", backend=backend, queries=len(queries))
+        if backend == "matrix":
+            # The bulk kernel answers the whole batch from one closed
+            # fixpoint; per-unit scheduling has nothing to schedule.
+            units = [list(queries)]
+        else:
+            units = self.work_units(queries)
         if rec:
             # The facade brackets every backend's granular events so
             # timeline consumers (the progress report, the JSONL log)
             # see batch extents and totals uniformly.
             rec.event(
-                "batch_start", mode=self.mode, backend=rt.backend,
+                "batch_start", mode=self.mode, backend=backend,
                 n_workers=self.n_threads, total_queries=len(queries),
                 n_units=len(units),
             )
-        if rt.backend == "mp":
+        if backend == "matrix":
+            xexec = MatrixExecutor(
+                self.pag,
+                self.n_threads,
+                engine_config=self.engine_config,
+                sharing=self.sharing,
+                mode=self.mode,
+                recorder=rec,
+            )
+            batch = xexec.run_units(units)
+        elif backend == "mp":
             mexec = MPExecutor(
                 self.pag,
                 self.n_threads,
@@ -227,7 +252,7 @@ class ParallelCFL:
                 recorder=rec,
             )
             batch = mexec.run_units(units)
-        elif rt.backend == "threads":
+        elif backend == "threads":
             texec = ThreadedExecutor(
                 self.pag,
                 self.n_threads,
@@ -251,7 +276,7 @@ class ParallelCFL:
         if rec:
             batch.metrics = rec.since(mark)
             rec.event(
-                "batch_end", mode=self.mode, backend=rt.backend,
+                "batch_end", mode=self.mode, backend=backend,
                 queries=batch.n_queries, makespan=round(batch.makespan, 6),
                 crashes=batch.n_worker_crashes, retries=batch.n_chunk_retries,
             )

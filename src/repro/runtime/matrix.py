@@ -1,0 +1,83 @@
+"""``backend="matrix"`` — one bulk kernel run per batch.
+
+The other executors fan work units out to workers; the matrix backend
+inverts that: the whole batch is one unit, answered from a single
+closed all-pairs fixpoint (:class:`repro.core.matrix.MatrixKernel`).
+Parallelism comes from numpy's word-level bit operations rather than
+from worker concurrency, so ``n_workers`` only sizes the reported
+worker lanes (always 1) and ``sharing`` is meaningless here — the
+kernel shares *everything* by construction.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
+
+from repro.core.engine import EngineConfig
+from repro.core.matrix import MatrixKernel, ensure_numpy
+from repro.core.query import Query
+from repro.pag.graph import PAG, FrozenPAG
+from repro.runtime.results import BatchResult, QueryExecution
+
+if TYPE_CHECKING:
+    from repro.obs.recorder import Recorder
+
+__all__ = ["MatrixExecutor"]
+
+
+class MatrixExecutor:
+    """Run query batches through the bulk matrix kernel.
+
+    Mirrors the other executors' construction surface
+    (``pag, n_workers, engine_config=, sharing=, mode=, recorder=``) so
+    the :class:`~repro.runtime.executor.ParallelCFL` facade can treat
+    it uniformly; the concurrency knobs are accepted and ignored.
+    """
+
+    def __init__(
+        self,
+        pag: Union[PAG, FrozenPAG],
+        n_workers: int = 1,
+        engine_config: Optional[EngineConfig] = None,
+        sharing: bool = False,
+        mode: str = "matrix",
+        recorder: Optional["Recorder"] = None,
+    ) -> None:
+        ensure_numpy()
+        self.pag = pag
+        self.n_workers = n_workers
+        self.engine_config = engine_config or EngineConfig()
+        self.sharing = sharing
+        self.mode = mode
+        self.recorder = recorder
+
+    def run(self, queries: Sequence[Query]) -> BatchResult:
+        return self.run_units([list(queries)])
+
+    def run_units(self, units: Sequence[Sequence[Query]]) -> BatchResult:
+        """Flatten the units and answer them from one closed fixpoint."""
+        queries: List[Query] = [q for unit in units for q in unit]
+        rec = self.recorder
+        kernel = MatrixKernel(self.pag, self.engine_config, recorder=rec)
+        if rec:
+            rec.event("dispatch", worker=0, unit=0, queries=len(queries))
+        t0 = time.perf_counter()
+        results = kernel.run_batch(queries)
+        wall = time.perf_counter() - t0
+        if rec:
+            rec.event(
+                "done", worker=0, unit=0, queries=len(results),
+                wall=round(wall, 6),
+            )
+        executions = [
+            QueryExecution(result=r, worker=0, start=0.0, finish=wall)
+            for r in results
+        ]
+        return BatchResult(
+            mode=self.mode,
+            n_threads=1,
+            executions=executions,
+            makespan=wall,
+            worker_busy=[wall],
+        )

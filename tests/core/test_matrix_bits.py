@@ -1,0 +1,146 @@
+"""Packed-bitset primitives (:mod:`repro.core.matrix`) against a pure
+Python set-based reference.
+
+Every primitive the bulk kernel builds on — packing, OR-merge,
+transpose, the boolean matrix product, popcount — is cross-checked on
+randomised boolean matrices spanning the word-boundary cases (widths
+1, 63, 64, 65, 130) where bit packing bugs live.
+"""
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.matrix import (  # noqa: E402
+    WORD_BITS,
+    matmul,
+    n_words,
+    or_into,
+    pack_rows,
+    popcount,
+    row_indices,
+    set_bit,
+    transpose,
+    unpack_rows,
+    zero_matrix,
+)
+
+SHAPES = [(1, 1), (3, 63), (2, 64), (5, 65), (4, 130), (64, 7), (65, 65)]
+
+
+def random_rows(n_rows, n_cols, rng, density=0.3):
+    return [
+        {c for c in range(n_cols) if rng.random() < density}
+        for _ in range(n_rows)
+    ]
+
+
+def ref_matmul(left_rows, right_rows, n_cols):
+    """Boolean product over sets: out[i] = union of right[j] for j in left[i]."""
+    out = []
+    for row in left_rows:
+        acc = set()
+        for j in row:
+            if j < len(right_rows):
+                acc |= right_rows[j]
+        out.append(acc)
+    return out
+
+
+def test_n_words_boundaries():
+    assert n_words(0) == 1
+    assert n_words(1) == 1
+    assert n_words(WORD_BITS) == 1
+    assert n_words(WORD_BITS + 1) == 2
+    assert n_words(3 * WORD_BITS) == 3
+
+
+@pytest.mark.parametrize("n_rows,n_cols", SHAPES)
+def test_pack_unpack_roundtrip(n_rows, n_cols):
+    rng = random.Random(n_rows * 1000 + n_cols)
+    rows = random_rows(n_rows, n_cols, rng)
+    m = pack_rows(rows, n_cols)
+    assert m.shape == (n_rows, n_words(n_cols))
+    assert unpack_rows(m) == rows
+    for i, row in enumerate(rows):
+        assert row_indices(m[i]) == sorted(row)
+
+
+def test_set_get_bit():
+    from repro.core.matrix import get_bit
+
+    m = zero_matrix(2, 130)
+    for col in (0, 63, 64, 129):
+        assert not get_bit(m, 1, col)
+        set_bit(m, 1, col)
+        assert get_bit(m, 1, col)
+    assert unpack_rows(m) == [set(), {0, 63, 64, 129}]
+
+
+@pytest.mark.parametrize("n_rows,n_cols", SHAPES)
+def test_or_into_matches_union(n_rows, n_cols):
+    rng = random.Random(n_rows * 77 + n_cols)
+    a = random_rows(n_rows, n_cols, rng)
+    b = random_rows(n_rows, n_cols, rng)
+    ma, mb = pack_rows(a, n_cols), pack_rows(b, n_cols)
+    changed = or_into(ma, mb)
+    assert unpack_rows(ma) == [x | y for x, y in zip(a, b)]
+    assert changed == any(y - x for x, y in zip(a, b))
+    # Idempotent: a second merge of the same bits changes nothing.
+    assert or_into(ma, mb) is False
+
+
+@pytest.mark.parametrize("n_rows,n_cols", SHAPES)
+def test_transpose_matches_reference(n_rows, n_cols):
+    rng = random.Random(n_rows * 31 + n_cols)
+    rows = random_rows(n_rows, n_cols, rng)
+    t = transpose(pack_rows(rows, n_cols), n_rows, n_cols)
+    expect = [
+        {i for i, row in enumerate(rows) if c in row} for c in range(n_cols)
+    ]
+    assert unpack_rows(t) == expect
+
+
+@pytest.mark.parametrize("n", [1, 5, 63, 64, 65, 100])
+def test_matmul_matches_reference(n):
+    rng = random.Random(n)
+    left = random_rows(n, n, rng)
+    right = random_rows(n, n, rng)
+    got = matmul(pack_rows(left, n), pack_rows(right, n))
+    assert unpack_rows(got) == ref_matmul(left, right, n)
+
+
+def test_matmul_accumulates_into_out():
+    n = 70
+    rng = random.Random(7)
+    left = random_rows(n, n, rng)
+    right = random_rows(n, n, rng)
+    seed = random_rows(n, n, rng, density=0.05)
+    out = pack_rows(seed, n)
+    matmul(pack_rows(left, n), pack_rows(right, n), out=out)
+    expect = [s | p for s, p in zip(seed, ref_matmul(left, right, n))]
+    assert unpack_rows(out) == expect
+
+
+def test_matmul_word_ops_stat():
+    n = 66
+    rng = random.Random(11)
+    left = pack_rows(random_rows(n, n, rng), n)
+    right = pack_rows(random_rows(n, n, rng), n)
+    stats = {}
+    matmul(left, right, stats=stats)
+    assert stats["word_ops"] > 0
+    # Empty operands do no word work.
+    stats2 = {}
+    matmul(zero_matrix(n, n), right, stats=stats2)
+    assert stats2.get("word_ops", 0) == 0
+
+
+@pytest.mark.parametrize("n_rows,n_cols", SHAPES)
+def test_popcount_matches_reference(n_rows, n_cols):
+    rng = random.Random(n_rows + n_cols)
+    rows = random_rows(n_rows, n_cols, rng)
+    assert popcount(pack_rows(rows, n_cols)) == sum(len(r) for r in rows)
+    assert popcount(zero_matrix(n_rows, n_cols)) == 0

@@ -65,7 +65,7 @@ class TestRuntimeConfig:
 
     def test_mode_and_backend_vocabularies_exported(self):
         assert set(MODES) == {"seq", "naive", "D", "DQ"}
-        assert set(BACKENDS) == {"sim", "threads", "mp"}
+        assert set(BACKENDS) == {"sim", "threads", "mp", "matrix", "hybrid"}
 
 
 class TestParallelCFLConfigAPI:

@@ -19,14 +19,18 @@ RUFF_TARGETS = [
     "src/repro/core/cfl.py",
     "src/repro/core/grammar.py",
     "src/repro/core/conformance.py",
+    "src/repro/core/matrix.py",
     "src/repro/analyses/taint.py",
     "src/repro/analyses/escape.py",
+    "src/repro/runtime/matrix.py",
 ]
 
 MYPY_STRICT_TARGETS = [
     "src/repro/core/cfl.py",
+    "src/repro/core/matrix.py",
     "src/repro/analyses/taint.py",
     "src/repro/analyses/escape.py",
+    "src/repro/runtime/matrix.py",
 ]
 
 
