@@ -44,6 +44,19 @@ Commands
 ``graph FILE``
     Emit the program's PAG in Graphviz DOT form.
 
+``snapshot save FILE`` / ``snapshot load SNAP``
+    Warm-start snapshots (:mod:`repro.core.snapshot`).  ``save`` parses
+    the program, runs a warming pass over every application local (at
+    τ_F = τ_U = 0, so every completed round publishes) and writes the
+    FrozenPAG + jump-map commit log + invalidation footprints to
+    ``FILE.snap`` (or ``--out``).  ``load`` validates a snapshot's
+    integrity header and prints it; with ``--file PROGRAM`` it also
+    checks the PAG fingerprint against the current source, and with
+    ``--verify`` it replays the snapshot into a fresh session and
+    asserts warm answers byte-identical to a cold engine at the
+    exhaustive budget (exit 1 on divergence).  A stale, corrupt or
+    mismatched snapshot exits 2 (:class:`~repro.errors.SnapshotError`).
+
 ``bench``
     Wall-clock seq-vs-parallel benchmark over the benchgen suite: runs
     the share-nothing sequential baseline and the chosen wall-clock
@@ -51,6 +64,10 @@ Commands
     writes ``BENCH_parallel.json``.
 
     * ``--smoke`` — CI-sized run (3 small suites, 1-2 workers).
+    * ``--warm`` — add the cold-vs-warm axis per suite: cold run →
+      on-disk snapshot → reload → warm run on a fresh engine; gates on
+      byte-identity, entries actually loaded and shortcuts actually
+      taken (exit 1 otherwise).
     * ``--faults`` — add the fault-injection drill per suite: a
       4-worker share-nothing run with worker 0 killed mid-batch must
       complete with zero lost queries, byte-identical answers, and at
@@ -78,7 +95,8 @@ parent parser; each command only sets its own defaults.
 
 Exit codes: 0 success (for ``check``: no finding at/above the
 threshold), 1 analysis error or findings at/above the threshold, 2 the
-input file could not be read, 3 the bench regression gate tripped.
+input file could not be read or a snapshot failed validation, 3 the
+bench regression gate tripped.
 """
 
 from __future__ import annotations
@@ -357,6 +375,7 @@ def _cmd_bench(args) -> int:
         faults=args.faults,
         backend=backend,
         budget=args.budget,
+        warm=args.warm,
         recorder=recorder,
     )
     print(wallclock.render(payload))
@@ -391,6 +410,10 @@ def _cmd_bench(args) -> int:
         print("error: fault drill lost queries or answers diverged",
               file=sys.stderr)
         return 1
+    if not payload.get("warm_ok", True):
+        print("error: warm start diverged from cold or reused nothing",
+              file=sys.stderr)
+        return 1
     if compare_report is not None and not compare_report["ok"]:
         print(f"error: perf regression beyond "
               f"{compare_report['threshold']:.0%} vs {args.compare}",
@@ -415,6 +438,84 @@ def _cmd_graph(args) -> int:
     build, _kind = _load(args.file, args.language)
     print(to_dot(build.pag))
     return 0
+
+
+def _warm_session(build, budget: int):
+    """An IncrementalAnalysis at the publish-everything thresholds —
+    the configuration both snapshot subcommands warm and verify with."""
+    from repro.core import EngineConfig
+    from repro.core.incremental import IncrementalAnalysis
+
+    return IncrementalAnalysis(
+        build.pag, EngineConfig(budget=budget, tau_f=0, tau_u=0)
+    )
+
+
+def _cmd_snapshot_save(args) -> int:
+    build, _kind = _load(args.file, args.language)
+    budget = args.budget if args.budget is not None else DEFAULT_BUDGET
+    inc = _warm_session(build, budget)
+    for var in build.pag.app_locals():
+        inc.points_to(var)
+    out = args.out or args.file.with_suffix(".snap")
+    header = inc.save_snapshot(out)
+    print(
+        f"[snapshot {out}: {header.n_entries} entries, "
+        f"{header.n_nodes} nodes / {header.n_edges} edges, "
+        f"grammar {header.grammar}, "
+        f"fingerprint {header.pag_fingerprint[:12]}]"
+    )
+    return 0
+
+
+def _cmd_snapshot_load(args) -> int:
+    from repro.core.snapshot import load_snapshot
+
+    build = None
+    if args.file is not None:
+        build, _kind = _load(args.file, args.language)
+    snap = load_snapshot(
+        args.snapshot,
+        expect_pag=build.pag if build is not None else None,
+    )
+    h = snap.header
+    print(
+        f"[snapshot {args.snapshot}: format v{h.format_version}, "
+        f"grammar {h.grammar}, {h.n_entries} entries, "
+        f"{h.n_nodes} nodes / {h.n_edges} edges, "
+        f"fingerprint {h.pag_fingerprint[:12]}"
+        + (", matches program" if build is not None else "")
+        + "]"
+    )
+    if not args.verify:
+        return 0
+    if build is None:
+        raise ReproError("snapshot load --verify needs --file PROGRAM "
+                         "to run the warm-vs-cold comparison against")
+    # Verify at the exhaustive budget (as `bench --backend matrix`
+    # does) so byte-identity is the determinism contract: finished
+    # entries are exact per-round results and unfinished markers can
+    # never fire, whatever budget the snapshot was saved under.
+    from repro.core import CFLEngine, EngineConfig
+    from repro.harness.wallclock import MATRIX_EXACT_BUDGET
+
+    budget = args.budget if args.budget is not None else MATRIX_EXACT_BUDGET
+    inc = _warm_session(build, budget)
+    loaded = inc.warm_from(snap.log, snap.footprints)
+    cold = CFLEngine(build.pag, EngineConfig(budget=budget))
+    diverged = 0
+    hits = 0
+    for var in build.pag.app_locals():
+        warm_result = inc.points_to(var)
+        hits += warm_result.costs.jmp_taken
+        if warm_result.points_to != cold.points_to(var).points_to:
+            diverged += 1
+            print(f"verify: DIVERGED on {build.pag.name(var)}",
+                  file=sys.stderr)
+    verdict = "ok" if diverged == 0 else "FAILED"
+    print(f"[verify {verdict}: {loaded} entries warmed, {hits} shortcut "
+          f"hits, {diverged} divergent answers]")
+    return 0 if diverged == 0 else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -507,6 +608,35 @@ def main(argv: Optional[List[str]] = None) -> int:
                            help="emit the PAG as Graphviz DOT")
     graph.set_defaults(func=_cmd_graph)
 
+    snapshot = sub.add_parser(
+        "snapshot", help="save/load warm-start snapshots")
+    snap_sub = snapshot.add_subparsers(dest="snapshot_command", required=True)
+    snap_save = snap_sub.add_parser(
+        "save", parents=[common_file],
+        help="warm a session over the program and write FILE.snap")
+    snap_save.add_argument("--out", type=Path, default=None, metavar="SNAP",
+                           help="snapshot path (default: FILE with .snap)")
+    snap_save.add_argument("--budget", type=int, default=None,
+                           help=f"warming per-query budget "
+                                f"(default {DEFAULT_BUDGET})")
+    snap_save.set_defaults(func=_cmd_snapshot_save)
+    snap_load = snap_sub.add_parser(
+        "load", help="validate a snapshot; optionally verify warm answers")
+    snap_load.add_argument("snapshot", type=Path, help="snapshot file")
+    snap_load.add_argument("--file", type=Path, default=None,
+                           metavar="PROGRAM",
+                           help="program source to check the PAG "
+                                "fingerprint against")
+    snap_load.add_argument("--language", choices=("java", "c"), default=None,
+                           help="front-end override (default: by file suffix)")
+    snap_load.add_argument("--verify", action="store_true",
+                           help="replay the snapshot and assert warm answers "
+                                "byte-identical to a cold engine (needs "
+                                "--file; exit 1 on divergence)")
+    snap_load.add_argument("--budget", type=int, default=None,
+                           help="verify budget (default: exhaustive)")
+    snap_load.set_defaults(func=_cmd_snapshot_load)
+
     bench = sub.add_parser(
         "bench", parents=[common_run, common_telemetry],
         help="wall-clock seq-vs-parallel benchmark (default) or, with "
@@ -514,6 +644,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     bench.add_argument("--smoke", action="store_true",
                        help="CI-sized run: 3 small suites, 1-2 workers")
+    bench.add_argument("--warm", action="store_true",
+                       help="add the cold-vs-warm axis: snapshot the cold "
+                            "run, reload, re-run warm; gate on byte-identity "
+                            "and nonzero reuse")
     bench.add_argument("--faults", action="store_true",
                        help="add the fault-injection drill: kill 1 of 4 "
                             "workers mid-batch, assert zero lost queries "

@@ -12,13 +12,16 @@
   (grouping, connection distances, dependence depths).
 * :mod:`repro.core.cfl` — executable definitions of the paper's
   grammars (1)-(4), used by tests to certify witness paths.
+* :mod:`repro.core.snapshot` — versioned on-disk warm-start snapshots
+  (FrozenPAG + jump-map commit log + invalidation footprints).
 """
 
 from repro.core.context import EMPTY_CTX, ctx_pop, ctx_push, ctx_top
 from repro.core.engine import CFLEngine, EngineConfig, FIELD_MODES
-from repro.core.jumpmap import JumpMap, LayeredJumpMap
+from repro.core.jumpmap import JumpMap, JumpMapLifecycle, LayeredJumpMap
 from repro.core.query import Query, QueryResult
 from repro.core.incremental import IncrementalAnalysis
+from repro.core.snapshot import Snapshot, SnapshotHeader, load_snapshot, save_snapshot
 from repro.core.refinement import RefinedAnswer, RefinementDriver
 from repro.core.tracing import TracingEngine, Witness
 from repro.core.scheduling import (
@@ -45,7 +48,12 @@ __all__ = [
     "EngineConfig",
     "FIELD_MODES",
     "JumpMap",
+    "JumpMapLifecycle",
     "LayeredJumpMap",
+    "Snapshot",
+    "SnapshotHeader",
+    "load_snapshot",
+    "save_snapshot",
     "Query",
     "QueryResult",
     "ctx_pop",

@@ -34,11 +34,11 @@ from __future__ import annotations
 import sys
 import warnings
 from dataclasses import InitVar, dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.context import Context, EMPTY_CTX
 from repro.core.grammar import DEFAULT_GRAMMAR, get_grammar
-from repro.core.jumpmap import JumpMap, LayeredJumpMap
+from repro.core.jumpmap import JumpMapLifecycle
 from repro.core.query import Query, QueryResult, QueryState
 from repro.errors import AnalysisError, BudgetExhausted
 from repro.pag.extended import FinishedJump
@@ -197,7 +197,7 @@ class CFLEngine:
         self,
         pag: PAG,
         config: Optional[EngineConfig] = None,
-        jumps: Optional[JumpMap | LayeredJumpMap] = None,
+        jumps: Optional[JumpMapLifecycle] = None,
         prefilter=None,
         recorder=None,
     ) -> None:
@@ -238,6 +238,14 @@ class CFLEngine:
         #: Optional witness recorder (see repro.core.tracing); set by
         #: TracingEngine.  Adds provenance bookkeeping to every sweep.
         self.tracer = None
+        #: Optional footprint sink (see repro.core.incremental's
+        #: FootprintCollector); set by IncrementalAnalysis.  Records,
+        #: per query, the node/field/jump-entry surface the traversal
+        #: touched so edits can invalidate selectively.  Like the
+        #: recorder, every hook sits behind an ``is not None`` guard at
+        #: sweep/round granularity — never inside the inner edge loops —
+        #: so a ``None`` run is the unchanged hot path.
+        self.footprint: Optional[Any] = None
         #: Context interning caches: the sweeps perform the same
         #: call-string pushes/pops millions of times, so each distinct
         #: extended context is materialised once and the same tuple
@@ -390,6 +398,12 @@ class CFLEngine:
                 self._sweep_forwards(worklist, visited, q, result)
         finally:
             q.note_live(-len(visited))
+            fp = self.footprint
+            if fp is not None:
+                # Record even when the sweep aborted on BudgetExhausted:
+                # entries published earlier in the query still need
+                # their touched surface attributed.
+                fp.add_nodes(visited)
 
     def _ctx_push(self, c: Context, site: int) -> Context:
         """Interned ``ctx_push``: one tuple per distinct extension."""
@@ -442,6 +456,9 @@ class CFLEngine:
                 self._sweep_forwards_traced(worklist, push, q, result, key)
         finally:
             q.note_live(-len(visited))
+            fp = self.footprint
+            if fp is not None:
+                fp.add_nodes(visited)
 
     def _step(self, q: QueryState) -> None:
         """Algorithm 1 lines 5-6: count a node traversal, enforce budget."""
@@ -715,6 +732,14 @@ class CFLEngine:
             heap_edges = pag.store_out.get(x)
         if not heap_edges:
             return []
+        fp = self.footprint
+        if fp is not None:
+            # The round's answer depends on every store/load of these
+            # fields program-wide (stores_by_field/loads_by_field), so a
+            # later edit on one of them must invalidate whatever this
+            # query caches or publishes.
+            for _b, f in heap_edges:
+                fp.add_field(f)
 
         if self._field_mode == "match":
             # Field-based matching: skip the alias test entirely and
@@ -750,6 +775,12 @@ class CFLEngine:
                 if fin is not None:
                     # Fig. 3(a): take the shortcuts; charge the recorded
                     # cost so budget behaviour matches a full traversal.
+                    if fp is not None:
+                        # The shortcut hides the nodes behind the entry,
+                        # so the consumer's node footprint is incomplete
+                        # — record the dependency instead; invalidating
+                        # the entry then cascades to its consumers.
+                        fp.add_consumed(key)
                     s_max = max((e.steps for e in fin), default=0)
                     q.steps += s_max
                     q.saved += s_max
@@ -836,6 +867,8 @@ class CFLEngine:
                 edges = tuple(FinishedJump(t, tc, s) for ((t, tc), s) in rch)
                 if jumps.insert_finished(key, edges):
                     q.jmp_inserts += max(1, len(edges))
+                    if fp is not None:
+                        fp.add_published(key)
             else:
                 # A publishable (final) round gated out by τ_F alone.
                 q.tau_f_suppressed += 1

@@ -1,110 +1,510 @@
-"""Incremental (add-only) analysis sessions.
+"""Incremental (add-only) analysis sessions with selective invalidation.
 
 Section V-A cites incremental CFL-reachability techniques [6], [16]
 "tailored for scenarios where code changes are small", which "take
 advantage of previously computed CFL-reachable paths to avoid
 unnecessary reanalysis".  This module provides the add-only variant on
-top of the data-sharing machinery:
+top of the data-sharing machinery.  Where the first cut dropped *every*
+finished jump entry on *every* edit, invalidation is now selective:
 
-* an :class:`IncrementalAnalysis` session owns a PAG and a shared
-  :class:`~repro.core.jumpmap.JumpMap`, so answers computed before an
-  edit keep accelerating queries after it — as far as soundly possible;
-* **edits** (new nodes and edges, e.g. a newly loaded class) invalidate
-  the map's *finished* entries — an added edge can extend a completed
-  round, so its recorded shortcut set may now be incomplete — while
-  **unfinished markers survive**: added edges only increase traversal
-  costs, so an out-of-budget certificate stays valid;
-* per-query results are never cached across edits (queries are
-  demand-driven anyway), so correctness never depends on invalidation
-  finesse — the property tests compare every post-edit answer against a
-  from-scratch engine.
+* while a query runs, a :class:`FootprintCollector` attached to the
+  engine (``CFLEngine.footprint``) records the **surface the traversal
+  touched** — visited representative nodes, consulted heap fields, and
+  consumed finished jump entries;
+* the whole query's footprint is attributed to every entry the query
+  publishes and to its own cached answer — a sound superset (memoised
+  sweeps mean a per-round attribution would under-approximate);
+* a :class:`_ReverseIndex` maps node -> entries, field -> entries and
+  consumed-entry -> dependents, so an edit invalidates exactly the
+  entries whose witness paths could touch the new edge, plus their
+  transitive consumers (a shortcut hides the nodes behind it, so
+  dependents cannot be found by node lookup alone);
+* **unfinished markers survive** every edit: added edges only increase
+  traversal costs, so an out-of-budget certificate stays valid;
+* non-exhausted answers are cached per ``(direction, node, ctx)`` and
+  requeued (dropped) only when affected — exhausted answers are never
+  cached, since budget behaviour legitimately depends on jump state.
+
+Soundness of the endpoint rule: a new edge can only change an answer
+whose traversal would *traverse* it, and a sweep traverses an edge only
+from a visited endpoint; ``load``/``store`` edges additionally join the
+global per-field indexes, which every alias round on that field
+consults — hence the extra field seeding.  Edit endpoints are resolved
+through ``pag.rep()`` because sweeps visit representatives.  The
+property tests compare every post-edit answer against a from-scratch
+engine.
+
+Sessions also participate in the warm-start lifecycle
+(:mod:`repro.core.snapshot`): :meth:`IncrementalAnalysis.save_snapshot`
+persists the jump map *with* its reverse-index footprints, and
+:meth:`IncrementalAnalysis.warm_from_snapshot` replays them so a
+restarted session keeps selective invalidation; warmed entries that
+arrive without footprints are conservatively invalidated by the first
+edge edit.
 
 Removals are out of scope (as in [16]'s "preliminary experience", the
 additive case — loading code — is the common one).
+
+This session type drives the **sequential** engine only; parallel
+backends share summaries through the same lifecycle interface instead
+(``MPExecutor.warm_from`` / ``ConcurrentJumpMap.warm_from``), so
+``backend=`` values other than ``"seq"`` raise
+:class:`~repro.errors.InputError` rather than silently degrading.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+    cast,
+)
 
 from repro.core.context import Context, EMPTY_CTX
-from repro.core.engine import CFLEngine, EngineConfig
-from repro.core.jumpmap import JumpMap
+from repro.core.engine import CFLEngine, EngineConfig, FLOWS_TO, POINTS_TO
+from repro.core.jumpmap import DeltaEntry, JumpMap, JumpMapLifecycle
 from repro.core.query import QueryResult
+from repro.core.snapshot import (
+    FootprintData,
+    SnapshotHeader,
+    load_snapshot as _load_snapshot,
+    save_snapshot as _save_snapshot,
+)
+from repro.errors import InputError
+from repro.pag.extended import FinishedJump, JumpKey
 from repro.pag.graph import PAG
 
-__all__ = ["IncrementalAnalysis"]
+__all__ = ["FootprintCollector", "FootprintRecord", "IncrementalAnalysis"]
+
+#: Backends an IncrementalAnalysis session can drive directly.
+_SUPPORTED_BACKENDS = ("seq",)
+
+#: Cache key of a session query: (direction, representative node, ctx).
+_QueryKey = Tuple[bool, int, Context]
+
+#: Reverse-index token: ``("jmp", JumpKey)`` for a published finished
+#: entry, ``("qry", _QueryKey)`` for a cached answer.
+_Token = Tuple[str, Any]
+
+
+class FootprintRecord(NamedTuple):
+    """The touched surface attributed to one entry/answer."""
+
+    nodes: FrozenSet[int]          #: visited representative node ids
+    fields: FrozenSet[str]         #: heap fields whose global indexes were read
+    consumed: Tuple[JumpKey, ...]  #: finished entries taken as shortcuts
+
+
+class FootprintCollector:
+    """Engine-side footprint sink (the ``CFLEngine.footprint`` hook).
+
+    The engine calls :meth:`add_nodes` once per sweep (with the sweep's
+    visited set), :meth:`add_field` / :meth:`add_consumed` /
+    :meth:`add_published` once per alias round — never inside the inner
+    edge loops, mirroring the recorder's zero-cost-when-off contract.
+    """
+
+    __slots__ = ("nodes", "fields", "consumed", "published")
+
+    def __init__(self) -> None:
+        self.nodes: Set[int] = set()
+        self.fields: Set[str] = set()
+        self.consumed: Set[JumpKey] = set()
+        self.published: Set[JumpKey] = set()
+
+    def add_nodes(self, items: Iterable[Tuple[int, Context]]) -> None:
+        self.nodes.update(n for n, _c in items)
+
+    def add_field(self, field: str) -> None:
+        self.fields.add(field)
+
+    def add_consumed(self, key: JumpKey) -> None:
+        self.consumed.add(key)
+
+    def add_published(self, key: JumpKey) -> None:
+        self.published.add(key)
+
+    def reset(self) -> None:
+        self.nodes.clear()
+        self.fields.clear()
+        self.consumed.clear()
+        self.published.clear()
+
+    def record(self) -> FootprintRecord:
+        return FootprintRecord(
+            frozenset(self.nodes), frozenset(self.fields), tuple(self.consumed)
+        )
+
+
+class _ReverseIndex:
+    """PAG surface -> jump entries / cached answers whose witness paths
+    touch it, plus the consumed-entry dependency graph."""
+
+    def __init__(self) -> None:
+        self._by_node: Dict[int, Set[_Token]] = {}
+        self._by_field: Dict[str, Set[_Token]] = {}
+        #: consumed finished entry -> tokens that took it as a shortcut
+        self._deps: Dict[JumpKey, Set[_Token]] = {}
+        self._records: Dict[_Token, FootprintRecord] = {}
+        #: warmed entries with no footprint: affected by *any* edge edit
+        self._unindexed: Set[_Token] = set()
+
+    def __len__(self) -> int:
+        return len(self._records) + len(self._unindexed)
+
+    def register(self, token: _Token, record: FootprintRecord) -> None:
+        if token in self._records:
+            self.discard((token,))
+        self._unindexed.discard(token)
+        self._records[token] = record
+        for n in record.nodes:
+            self._by_node.setdefault(n, set()).add(token)
+        for f in record.fields:
+            self._by_field.setdefault(f, set()).add(token)
+        for k in record.consumed:
+            self._deps.setdefault(k, set()).add(token)
+
+    def register_unindexed(self, token: _Token) -> None:
+        if token not in self._records:
+            self._unindexed.add(token)
+
+    def affected(
+        self, nodes: Iterable[int], fields: Iterable[str]
+    ) -> Set[_Token]:
+        """Tokens an edit on ``nodes``/``fields`` may have changed:
+        direct node/field hits, every unindexed token, and the
+        transitive closure through consumed-entry dependencies."""
+        seed: Set[_Token] = set()
+        for n in nodes:
+            seed |= self._by_node.get(n, set())
+        for f in fields:
+            seed |= self._by_field.get(f, set())
+        seed |= self._unindexed
+        out: Set[_Token] = set()
+        stack = list(seed)
+        while stack:
+            token = stack.pop()
+            if token in out:
+                continue
+            out.add(token)
+            if token[0] == "jmp":
+                for dep in self._deps.get(token[1], ()):
+                    if dep not in out:
+                        stack.append(dep)
+        return out
+
+    def discard(self, tokens: Iterable[_Token]) -> None:
+        for token in tokens:
+            self._unindexed.discard(token)
+            record = self._records.pop(token, None)
+            if record is None:
+                continue
+            for n in record.nodes:
+                bucket = self._by_node.get(n)
+                if bucket is not None:
+                    bucket.discard(token)
+                    if not bucket:
+                        del self._by_node[n]
+            for f in record.fields:
+                bucket = self._by_field.get(f)
+                if bucket is not None:
+                    bucket.discard(token)
+                    if not bucket:
+                        del self._by_field[f]
+            for k in record.consumed:
+                bucket = self._deps.get(k)
+                if bucket is not None:
+                    bucket.discard(token)
+                    if not bucket:
+                        del self._deps[k]
+
+    def export_footprints(self) -> FootprintData:
+        """The jump-entry records in snapshot form (queries are
+        session-local and never persisted)."""
+        out: FootprintData = {}
+        for (kind, key), record in self._records.items():
+            if kind == "jmp":
+                out[cast(JumpKey, key)] = (
+                    tuple(sorted(record.nodes)),
+                    tuple(sorted(record.fields)),
+                    record.consumed,
+                )
+        return out
 
 
 class IncrementalAnalysis:
-    """A long-lived analysis session over an evolving (growing) PAG."""
+    """A long-lived analysis session over an evolving (growing) PAG.
 
-    def __init__(self, pag: PAG, config: Optional[EngineConfig] = None) -> None:
+    ``jumps`` may inject any :class:`~repro.core.jumpmap.JumpMapLifecycle`
+    store (e.g. a :class:`~repro.runtime.threaded.ConcurrentJumpMap`
+    also serving a thread pool) — it must carry the session's grammar.
+    ``backend`` documents the limitation that the session itself drives
+    the sequential engine; anything else raises
+    :class:`~repro.errors.InputError` instead of silently degrading.
+    """
+
+    def __init__(
+        self,
+        pag: PAG,
+        config: Optional[EngineConfig] = None,
+        *,
+        jumps: Optional[JumpMapLifecycle] = None,
+        backend: str = "seq",
+        recorder: Optional[Any] = None,
+    ) -> None:
+        if backend not in _SUPPORTED_BACKENDS:
+            raise InputError(
+                f"IncrementalAnalysis drives the sequential engine only "
+                f"(got backend={backend!r}); to warm a parallel session, "
+                "export this session's state with save_snapshot()/"
+                "jumps.export_log() and replay it via "
+                "MPExecutor.warm_from() or ConcurrentJumpMap.warm_from()"
+            )
         self.pag = pag
         self.cfg = config or EngineConfig()
-        self.jumps = JumpMap(self.cfg.grammar)
-        self._engine = CFLEngine(pag, self.cfg, jumps=self.jumps)
-        #: generation counter: bumps on every edit
+        if jumps is None:
+            jumps = JumpMap(self.cfg.grammar)
+        else:
+            if not isinstance(jumps, JumpMapLifecycle):
+                raise InputError(
+                    "injected jump map does not implement the lifecycle "
+                    "interface (finished/insert_finished/export_log/"
+                    "warm_from/invalidate_keys/clear_finished)"
+                )
+            if jumps.grammar != self.cfg.grammar:
+                raise InputError(
+                    f"injected jump map is labelled for grammar "
+                    f"{jumps.grammar!r} but the session runs "
+                    f"{self.cfg.grammar!r}; sharing summaries across "
+                    "grammars is unsound"
+                )
+        self.jumps: JumpMapLifecycle = jumps
+        self._engine = CFLEngine(pag, self.cfg, jumps=jumps)
+        self._collector = FootprintCollector()
+        self._engine.footprint = self._collector
+        self._index = _ReverseIndex()
+        self._cache: Dict[_QueryKey, QueryResult] = {}
+        #: Optional :class:`repro.obs.Recorder` (inc.* / snapshot.* counters).
+        self.recorder = recorder
+        #: generation counter: bumps on every edit, node adds included
         self.generation = 0
-        #: finished entries dropped across all edits
+        #: finished entries (summed jmp edges) dropped across all edits
         self.n_invalidated = 0
+        #: entries dropped / surviving on the most recent edit
+        self.last_edit_invalidated = 0
+        self.last_edit_survived = 0
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def points_to(self, var: int, ctx: Context = EMPTY_CTX) -> QueryResult:
-        return self._engine.points_to(var, ctx)
+        return self._run(POINTS_TO, var, ctx, self._engine.points_to)
 
     def flows_to(self, obj: int, ctx: Context = EMPTY_CTX) -> QueryResult:
-        return self._engine.flows_to(obj, ctx)
+        return self._run(FLOWS_TO, obj, ctx, self._engine.flows_to)
+
+    def _run(
+        self,
+        direction: bool,
+        node: int,
+        ctx: Context,
+        runner: Callable[[int, Context], QueryResult],
+    ) -> QueryResult:
+        rep = self.pag.rep(node)
+        if self.pag.is_global(rep):
+            ctx = EMPTY_CTX  # mirrors the engine's cache-key normalisation
+        qkey: _QueryKey = (direction, rep, ctx)
+        cached = self._cache.get(qkey)
+        if cached is not None:
+            rec = self.recorder
+            if rec:
+                rec.count("inc.queries_reused")
+            return cached
+        collector = self._collector
+        collector.reset()
+        result = runner(node, ctx)
+        record = collector.record()
+        for key in collector.published:
+            self._index.register(("jmp", key), record)
+        if not result.exhausted:
+            # Exhausted answers are never cached: they are budget
+            # artefacts, and the budget story legitimately shifts as
+            # the jump map warms.
+            self._cache[qkey] = result
+            self._index.register(("qry", qkey), record)
+        return result
 
     # ------------------------------------------------------------------
     # edits — mirror the PAG construction API, with invalidation
     # ------------------------------------------------------------------
-    def _edited(self) -> None:
+    def _node_added(self) -> None:
+        # A fresh node is unconnected, so no existing answer can change:
+        # generation moves (pollers observe the edit) but invalidation
+        # stays a no-op until an edge uses the node.
         self.generation += 1
-        self.n_invalidated += self.jumps.clear_finished()
 
-    def add_local(self, name: str, **kw) -> int:
-        # new isolated nodes don't affect existing rounds
-        return self.pag.add_local(name, **kw)
+    def _edited(self, nodes: Sequence[int], fields: Sequence[str] = ()) -> None:
+        self.generation += 1
+        reps = {self.pag.rep(n) for n in nodes}
+        tokens = self._index.affected(reps, fields)
+        jump_keys: List[JumpKey] = [
+            cast(JumpKey, payload) for kind, payload in tokens if kind == "jmp"
+        ]
+        dropped = self.jumps.invalidate_keys(jump_keys)
+        requeued = 0
+        for kind, payload in tokens:
+            if kind == "qry" and self._cache.pop(payload, None) is not None:
+                requeued += 1
+        self._index.discard(tokens)
+        survived = self.jumps.n_finished_edges
+        self.n_invalidated += dropped
+        self.last_edit_invalidated = dropped
+        self.last_edit_survived = survived
+        rec = self.recorder
+        if rec:
+            rec.count_many({
+                "inc.edits": 1,
+                "inc.entries_invalidated": dropped,
+                "inc.entries_survived": survived,
+                "inc.queries_invalidated": requeued,
+            })
 
-    def add_global(self, name: str, **kw) -> int:
-        return self.pag.add_global(name, **kw)
+    def add_local(self, name: str, **kw: Any) -> int:
+        nid = self.pag.add_local(name, **kw)
+        self._node_added()
+        return nid
+
+    def add_global(self, name: str, **kw: Any) -> int:
+        nid = self.pag.add_global(name, **kw)
+        self._node_added()
+        return nid
 
     def add_obj(self, label: str, type_name: Optional[str] = None) -> int:
-        return self.pag.add_obj(label, type_name)
+        nid = self.pag.add_obj(label, type_name)
+        self._node_added()
+        return nid
 
     def add_new_edge(self, var: int, obj: int) -> None:
         self.pag.add_new_edge(var, obj)
-        self._edited()
+        self._edited((var, obj))
 
     def add_assign_edge(self, dst: int, src: int) -> None:
         self.pag.add_assign_edge(dst, src)
-        self._edited()
+        self._edited((dst, src))
 
     def add_gassign_edge(self, dst: int, src: int) -> None:
         self.pag.add_gassign_edge(dst, src)
-        self._edited()
+        self._edited((dst, src))
 
     def add_load_edge(self, target: int, base: int, field: str) -> None:
         self.pag.add_load_edge(target, base, field)
-        self._edited()
+        # the edge also joins loads_by_field[field], which every
+        # FLOWSTO-side alias round on the field consults
+        self._edited((target, base), (field,))
 
     def add_store_edge(self, base: int, field: str, value: int) -> None:
         self.pag.add_store_edge(base, field, value)
-        self._edited()
+        self._edited((base, value), (field,))
 
     def add_param_edge(self, formal: int, actual: int, site: int) -> None:
         self.pag.add_param_edge(formal, actual, site)
-        self._edited()
+        self._edited((formal, actual))
 
     def add_ret_edge(self, result: int, retvar: int, site: int) -> None:
         self.pag.add_ret_edge(result, retvar, site)
-        self._edited()
+        self._edited((result, retvar))
+
+    # ------------------------------------------------------------------
+    # warm starts (repro.core.snapshot)
+    # ------------------------------------------------------------------
+    def warm_from(
+        self,
+        log: Iterable[DeltaEntry],
+        footprints: Optional[FootprintData] = None,
+    ) -> int:
+        """Replay an exported commit log into the session's map.
+
+        Entries arriving with a footprint are indexed for selective
+        invalidation; entries without one are registered as unindexed —
+        sound, but the first edge edit drops them.  Returns the number
+        of accepted insertions."""
+        fps: FootprintData = footprints or {}
+        accepted = 0
+        for tag, key, payload in log:
+            if tag == "fin":
+                if self.jumps.insert_finished(
+                    key, cast(Tuple[FinishedJump, ...], payload)
+                ):
+                    accepted += 1
+                    fp = fps.get(key)
+                    if fp is not None:
+                        nodes, fields, consumed = fp
+                        self._index.register(
+                            ("jmp", key),
+                            FootprintRecord(
+                                frozenset(nodes),
+                                frozenset(fields),
+                                tuple(consumed),
+                            ),
+                        )
+                    else:
+                        self._index.register_unindexed(("jmp", key))
+            elif tag == "unf":
+                if self.jumps.insert_unfinished(key, cast(int, payload)):
+                    accepted += 1
+            else:
+                raise ValueError(f"unknown delta entry tag {tag!r}")
+        rec = self.recorder
+        if rec and accepted:
+            rec.count("inc.entries_warmed", accepted)
+        return accepted
+
+    def save_snapshot(self, path: Union[str, Path]) -> SnapshotHeader:
+        """Persist the session (FrozenPAG + commit log + footprints)."""
+        return _save_snapshot(
+            path,
+            self.pag,
+            self.jumps.export_log(),
+            grammar=self.cfg.grammar,
+            footprints=self._index.export_footprints(),
+            recorder=self.recorder,
+        )
+
+    def warm_from_snapshot(self, path: Union[str, Path]) -> int:
+        """Load a snapshot saved for *this* program/grammar and replay
+        it; stale or mismatched snapshots raise
+        :class:`~repro.errors.SnapshotError`."""
+        snap = _load_snapshot(
+            path,
+            expect_pag=self.pag,
+            expect_grammar=self.cfg.grammar,
+            recorder=self.recorder,
+        )
+        return self.warm_from(snap.log, snap.footprints)
 
     # ------------------------------------------------------------------
     @property
     def n_reusable_markers(self) -> int:
         """Unfinished markers carried across the last edit."""
         return self.jumps.n_unfinished_edges
+
+    @property
+    def n_cached_queries(self) -> int:
+        """Answers reusable without re-running the engine."""
+        return len(self._cache)
+
+    @property
+    def n_tracked_entries(self) -> int:
+        """Tokens (entries + cached answers) in the reverse index."""
+        return len(self._index)

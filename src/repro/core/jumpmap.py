@@ -30,11 +30,74 @@ by the executor at the query's finish time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.pag.extended import FinishedJump, JumpKey
 
-__all__ = ["JumpMap", "LayeredJumpMap", "JumpMapStats"]
+__all__ = [
+    "DeltaEntry",
+    "JumpMap",
+    "JumpMapLifecycle",
+    "LayeredJumpMap",
+    "JumpMapStats",
+]
+
+#: One committed jump entry in transit or at rest: ``("fin", key,
+#: edges)`` or ``("unf", key, steps)``.  This is simultaneously the mp
+#: epoch protocol's wire format (the coordinator's commit log is a
+#: ``List[DeltaEntry]``; workers receive log suffixes) and the payload
+#: format of warm-start snapshots (:mod:`repro.core.snapshot`), so one
+#: replay routine (:meth:`JumpMap.warm_from`) serves both.
+DeltaEntry = Tuple[str, JumpKey, object]
+
+
+@runtime_checkable
+class JumpMapLifecycle(Protocol):
+    """The jump-map lifecycle: create / warm / invalidate / snapshot / ship.
+
+    Implemented by :class:`JumpMap` (seq engine, mp coordinator base),
+    :class:`LayeredJumpMap` (simulated executor's transactional view)
+    and :class:`~repro.runtime.threaded.ConcurrentJumpMap` (thread
+    backend), so every backend can warm-start from — and contribute to —
+    the same on-disk artifact.  ``grammar`` labels the store; sharing
+    entries across grammars is unsound and every implementation refuses
+    it at merge/engine-attach time.
+    """
+
+    grammar: str
+
+    def finished(self, key: JumpKey) -> Optional[Tuple[FinishedJump, ...]]: ...
+
+    def unfinished(self, key: JumpKey) -> Optional[int]: ...
+
+    def insert_finished(
+        self, key: JumpKey, edges: Tuple[FinishedJump, ...]
+    ) -> bool: ...
+
+    def insert_unfinished(self, key: JumpKey, steps: int) -> bool: ...
+
+    @property
+    def n_finished_edges(self) -> int: ...
+
+    @property
+    def n_unfinished_edges(self) -> int: ...
+
+    def export_log(self) -> List[DeltaEntry]: ...
+
+    def warm_from(self, log: Iterable[DeltaEntry]) -> int: ...
+
+    def invalidate_keys(self, keys: Iterable[JumpKey]) -> int: ...
+
+    def clear_finished(self) -> int: ...
 
 
 @dataclass
@@ -124,10 +187,49 @@ class JumpMap:
         sets may have become incomplete).  Unfinished markers stay —
         added edges only increase traversal costs, so an out-of-budget
         certificate remains valid.  Returns the number of dropped
-        entries."""
-        n = len(self._fin)
+        entries (summed jmp edges, consistent with
+        :attr:`n_finished_edges` — not the number of dropped keys)."""
+        n = sum(len(v) for v in self._fin.values())
         self._fin.clear()
         return n
+
+    def invalidate_keys(self, keys: Iterable[JumpKey]) -> int:
+        """Selectively drop the finished entries stored under ``keys``
+        (absent keys are ignored).  Unfinished markers survive for the
+        same monotonicity reason as in :meth:`clear_finished`.  Returns
+        the number of dropped entries (summed jmp edges)."""
+        dropped = 0
+        for key in keys:
+            edges = self._fin.pop(key, None)
+            if edges is not None:
+                dropped += len(edges)
+        return dropped
+
+    def export_log(self) -> List[DeltaEntry]:
+        """Serialise the store as a replayable commit log in the mp
+        epoch :data:`DeltaEntry` wire format — the artifact that
+        snapshots persist and warm starts replay."""
+        log: List[DeltaEntry] = [
+            ("fin", key, edges) for key, edges in self._fin.items()
+        ]
+        log.extend(("unf", key, steps) for key, steps in self._unf.items())
+        return log
+
+    def warm_from(self, log: Iterable[DeltaEntry]) -> int:
+        """Replay a commit log into this store (idempotent: entries the
+        store already owns lose first-writer-wins and are dropped).
+        Returns the number of accepted insertions."""
+        accepted = 0
+        for tag, key, payload in log:
+            if tag == "fin":
+                ok = self.insert_finished(key, payload)  # type: ignore[arg-type]
+            elif tag == "unf":
+                ok = self.insert_unfinished(key, payload)  # type: ignore[arg-type]
+            else:
+                raise ValueError(f"unknown delta entry tag {tag!r}")
+            if ok:
+                accepted += 1
+        return accepted
 
     def merge_from(self, other: "JumpMap") -> int:
         """Commit ``other``'s entries into this map (executor commit
@@ -202,6 +304,33 @@ class LayeredJumpMap:
     def n_jumps(self) -> int:
         return self.base.n_jumps + self.overlay.n_jumps
 
+    @property
+    def n_finished_edges(self) -> int:
+        return self.base.n_finished_edges + self.overlay.n_finished_edges
+
+    @property
+    def n_unfinished_edges(self) -> int:
+        return self.base.n_unfinished_edges + self.overlay.n_unfinished_edges
+
     def commit(self) -> int:
         """Merge the overlay into the base; returns accepted insertions."""
         return self.base.merge_from(self.overlay)
+
+    # -- lifecycle (JumpMapLifecycle) ----------------------------------
+    # The layered view participates in the lifecycle so a simulated
+    # session can be snapshotted/warmed like any other: exports cover
+    # both layers, replays land in the committed base (they are already
+    # committed state from elsewhere), invalidation must hit both
+    # layers to be sound.
+    def export_log(self) -> List[DeltaEntry]:
+        return self.base.export_log() + self.overlay.export_log()
+
+    def warm_from(self, log: Iterable[DeltaEntry]) -> int:
+        return self.base.warm_from(log)
+
+    def invalidate_keys(self, keys: Iterable[JumpKey]) -> int:
+        keys = list(keys)
+        return self.base.invalidate_keys(keys) + self.overlay.invalidate_keys(keys)
+
+    def clear_finished(self) -> int:
+        return self.base.clear_finished() + self.overlay.clear_finished()

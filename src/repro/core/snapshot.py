@@ -1,0 +1,271 @@
+"""Versioned on-disk warm-start snapshots (ROADMAP item 2).
+
+A production service sees the *same program, slightly edited* thousands
+of times, yet every process start used to begin at epoch 0: empty jump
+map, every alias-matching round recomputed.  This module persists the
+expensive state — the :class:`~repro.pag.graph.FrozenPAG` plus the
+authoritative jump-map commit log in the mp epoch
+:data:`~repro.core.jumpmap.DeltaEntry` wire format — so a restart or a
+new batch replays a prior session's summaries instead of rediscovering
+them.  Any :class:`~repro.core.jumpmap.JumpMapLifecycle` store can warm
+from the artifact, so seq, threads and mp sessions all share one
+snapshot format.
+
+File layout (one file, three sections)::
+
+    REPROSNAP\\n                         magic
+    {"format_version": 1, ...}\\n        integrity header, one JSON line
+    <pickle>                            payload: FrozenPAG + log (+ footprints)
+
+The header is validated **before** the payload is unpickled: wrong
+magic, a future ``format_version``, a different ``grammar`` (sharing
+summaries across grammars is unsound) or a stale ``pag_fingerprint``
+(the program changed since the snapshot) all raise
+:class:`~repro.errors.SnapshotError` without touching the pickle.  The
+fingerprint is a SHA-256 over a canonical encoding of the frozen
+graph's structure — node kinds, union-find representatives, names and
+every inbound adjacency list — not Python's randomised ``hash``.
+
+The optional ``footprints`` section carries the reverse-index records
+of :mod:`repro.core.incremental` so a warmed session keeps *selective*
+invalidation; without them, warmed entries are conservatively dropped
+on the first edit (sound, just less selective).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.jumpmap import DeltaEntry
+from repro.errors import SnapshotError
+from repro.pag.extended import JumpKey
+from repro.pag.graph import PAG, FrozenPAG
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "FootprintData",
+    "Snapshot",
+    "SnapshotHeader",
+    "load_snapshot",
+    "pag_fingerprint",
+    "save_snapshot",
+]
+
+#: First bytes of every snapshot file.
+MAGIC = b"REPROSNAP\n"
+
+#: Current writer version.  Readers accept any version ``<= FORMAT_VERSION``
+#: (additions must stay backward-compatible) and refuse future versions.
+FORMAT_VERSION = 1
+
+#: Serialised reverse-index records: jump key -> (touched rep-node ids,
+#: consulted fields, consumed jump keys).  Kept as plain tuples so the
+#: pickle payload has no dependency on :mod:`repro.core.incremental`.
+FootprintData = Dict[JumpKey, Tuple[Tuple[int, ...], Tuple[str, ...], Tuple[JumpKey, ...]]]
+
+#: Adjacency maps folded into the fingerprint.  Inbound edges plus the
+#: global field indexes determine the outbound maps, so this covers the
+#: whole traversal surface.
+_FINGERPRINT_ADJ = (
+    "new_in",
+    "assign_in",
+    "gassign_in",
+    "load_in",
+    "store_in",
+    "param_in",
+    "ret_in",
+    "stores_by_field",
+    "loads_by_field",
+)
+
+
+@dataclass(frozen=True)
+class SnapshotHeader:
+    """The JSON integrity header (everything checked before unpickling)."""
+
+    format_version: int
+    grammar: str
+    pag_fingerprint: str
+    n_entries: int
+    n_nodes: int
+    n_edges: int
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A loaded, validated snapshot."""
+
+    header: SnapshotHeader
+    pag: FrozenPAG
+    log: List[DeltaEntry]
+    footprints: Optional[FootprintData]
+
+
+def pag_fingerprint(pag: Union[PAG, FrozenPAG]) -> str:
+    """SHA-256 over a canonical encoding of the graph's structure.
+
+    Deterministic across processes (no reliance on ``PYTHONHASHSEED``)
+    and sensitive to exactly what the engine traverses: node kinds,
+    resolved representatives, node names, and every inbound adjacency
+    list (sorted by key; value order is the PAG's deterministic
+    insertion order).  A mutable :class:`PAG` is frozen first, so a
+    live graph and its frozen snapshot fingerprint identically.
+    """
+    frozen = pag.freeze() if isinstance(pag, PAG) else pag
+    h = hashlib.sha256()
+    h.update(frozen._kind)
+    h.update(repr(frozen._rep).encode("ascii"))
+    h.update(repr(frozen._names).encode("utf-8"))
+    for label in _FINGERPRINT_ADJ:
+        adj: Mapping[Any, Any] = getattr(frozen, label)
+        h.update(label.encode("ascii"))
+        h.update(repr(sorted(adj.items())).encode("utf-8"))
+    return h.hexdigest()
+
+
+def save_snapshot(
+    path: Union[str, Path],
+    pag: Union[PAG, FrozenPAG],
+    log: Sequence[DeltaEntry],
+    *,
+    grammar: str,
+    footprints: Optional[FootprintData] = None,
+    recorder: Optional[Any] = None,
+) -> SnapshotHeader:
+    """Write a snapshot of ``pag`` + ``log`` to ``path``.
+
+    ``log`` is a jump-map commit log as produced by
+    ``JumpMapLifecycle.export_log()`` / ``MPExecutor.export_log()``.
+    Returns the written header.
+    """
+    frozen = pag.freeze() if isinstance(pag, PAG) else pag
+    entries = list(log)
+    header = SnapshotHeader(
+        format_version=FORMAT_VERSION,
+        grammar=grammar,
+        pag_fingerprint=pag_fingerprint(frozen),
+        n_entries=len(entries),
+        n_nodes=frozen.n_nodes,
+        n_edges=frozen.n_edges,
+    )
+    payload = {
+        "pag": frozen,
+        "log": entries,
+        "footprints": dict(footprints) if footprints is not None else None,
+    }
+    blob = (
+        MAGIC
+        + json.dumps(asdict(header), sort_keys=True).encode("ascii")
+        + b"\n"
+        + pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+    out = Path(path)
+    out.write_bytes(blob)
+    if recorder:
+        recorder.count("snapshot.bytes", len(blob))
+        recorder.count("snapshot.entries_saved", len(entries))
+    return header
+
+
+def _parse_header(raw: bytes, path: Path) -> SnapshotHeader:
+    try:
+        obj = json.loads(raw.decode("ascii"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SnapshotError(f"{path}: corrupt snapshot header ({exc})") from exc
+    if not isinstance(obj, dict):
+        raise SnapshotError(f"{path}: corrupt snapshot header (not an object)")
+    try:
+        header = SnapshotHeader(
+            format_version=int(obj["format_version"]),
+            grammar=str(obj["grammar"]),
+            pag_fingerprint=str(obj["pag_fingerprint"]),
+            n_entries=int(obj["n_entries"]),
+            n_nodes=int(obj["n_nodes"]),
+            n_edges=int(obj["n_edges"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError(f"{path}: snapshot header missing fields ({exc})") from exc
+    return header
+
+
+def load_snapshot(
+    path: Union[str, Path],
+    *,
+    expect_pag: Optional[Union[PAG, FrozenPAG]] = None,
+    expect_grammar: Optional[str] = None,
+    recorder: Optional[Any] = None,
+) -> Snapshot:
+    """Read and validate a snapshot.
+
+    Validation order (each failure is a :class:`SnapshotError`, mapped
+    to CLI exit 2): magic -> format version -> grammar -> PAG
+    fingerprint -> payload integrity.  ``expect_pag`` guards against
+    warming a session for a *different or edited* program;
+    ``expect_grammar`` against mixing summaries across analyses.  Both
+    checks run on the header alone, so a stale snapshot is rejected
+    without unpickling its payload.
+    """
+    p = Path(path)
+    try:
+        data = p.read_bytes()
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {p}: {exc}") from exc
+    if not data.startswith(MAGIC):
+        raise SnapshotError(f"{p}: not a repro snapshot (bad magic)")
+    body = data[len(MAGIC):]
+    nl = body.find(b"\n")
+    if nl < 0:
+        raise SnapshotError(f"{p}: truncated snapshot (missing header line)")
+    header = _parse_header(body[:nl], p)
+    if header.format_version > FORMAT_VERSION:
+        raise SnapshotError(
+            f"{p}: snapshot format v{header.format_version} is newer than "
+            f"this reader (v{FORMAT_VERSION}); refusing to guess"
+        )
+    if header.format_version < 1:
+        raise SnapshotError(
+            f"{p}: invalid snapshot format version {header.format_version}"
+        )
+    if expect_grammar is not None and header.grammar != expect_grammar:
+        raise SnapshotError(
+            f"{p}: snapshot holds {header.grammar!r} summaries but the "
+            f"session runs {expect_grammar!r}; sharing summaries across "
+            "grammars is unsound"
+        )
+    if expect_pag is not None and pag_fingerprint(expect_pag) != header.pag_fingerprint:
+        raise SnapshotError(
+            f"{p}: stale snapshot — PAG fingerprint mismatch (the program "
+            "changed since the snapshot was saved); re-run `repro snapshot save`"
+        )
+    try:
+        payload = pickle.loads(body[nl + 1:])
+    except Exception as exc:  # pickle raises a zoo of exception types
+        raise SnapshotError(f"{p}: corrupt snapshot payload ({exc})") from exc
+    if not isinstance(payload, dict):
+        raise SnapshotError(f"{p}: corrupt snapshot payload (not a dict)")
+    pag = payload.get("pag")
+    log = payload.get("log")
+    footprints = payload.get("footprints")
+    if not isinstance(pag, FrozenPAG) or not isinstance(log, list):
+        raise SnapshotError(f"{p}: corrupt snapshot payload (bad sections)")
+    if footprints is not None and not isinstance(footprints, dict):
+        raise SnapshotError(f"{p}: corrupt snapshot payload (bad footprints)")
+    if pag_fingerprint(pag) != header.pag_fingerprint:
+        raise SnapshotError(
+            f"{p}: snapshot payload does not match its header fingerprint"
+        )
+    if len(log) != header.n_entries:
+        raise SnapshotError(
+            f"{p}: snapshot payload holds {len(log)} log entries, "
+            f"header promises {header.n_entries}"
+        )
+    if recorder:
+        recorder.count("snapshot.bytes", len(data))
+        recorder.count("snapshot.entries_loaded", len(log))
+    return Snapshot(header=header, pag=pag, log=log, footprints=footprints)

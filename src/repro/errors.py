@@ -10,6 +10,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "InputError",
+    "SnapshotError",
     "IRError",
     "ParseError",
     "ValidationError",
@@ -30,6 +31,14 @@ class InputError(ReproError):
     """An input file could not be read (missing, unreadable, a
     directory, not valid text).  CLI front-ends map this to exit code 2
     so that CI can distinguish bad invocations from analysis findings."""
+
+
+class SnapshotError(InputError):
+    """A warm-start snapshot could not be used: not a snapshot file,
+    written by a newer format version, produced under a different
+    grammar, or stale (its PAG fingerprint no longer matches the
+    program).  A subtype of :class:`InputError` so the CLI's exit-2
+    handling covers it."""
 
 
 class IRError(ReproError):

@@ -31,6 +31,14 @@ CI-sized variant, ``--faults`` to add the fault-injection drill: a
 the batch completes with zero lost queries, byte-identical answers,
 and at least one retried chunk — the recovery paths of
 :mod:`repro.runtime.mp` exercised against real process deaths).
+
+``--warm`` adds the cold-vs-warm axis per suite: a cold sequential run
+fills a jump map, the map is snapshotted to disk
+(:mod:`repro.core.snapshot`), reloaded, replayed into a **fresh**
+engine, and the warm run is timed against the cold one.  Both runs use
+the exhaustive budget (like ``--backend matrix``) so byte-identity is
+a theorem, not a coincidence; the payload gates on ``warm_ok`` — every
+suite identical, entries actually loaded, shortcuts actually taken.
 """
 
 from __future__ import annotations
@@ -55,6 +63,7 @@ __all__ = [
     "SuiteBench",
     "run",
     "fault_drill",
+    "warm_bench",
     "render",
     "write_json",
     "effective_cpus",
@@ -289,6 +298,82 @@ def fault_drill(name: str, workers: int = FAULT_DRILL_WORKERS) -> dict:
     }
 
 
+def warm_bench(
+    name: str,
+    budget: Optional[int] = None,
+    recorder=None,
+) -> dict:
+    """The cold-vs-warm axis for one suite: does a warm start actually
+    skip the epoch-0 rebuild?
+
+    Cold run: a fresh sequential engine over the workload with a fresh
+    jump map (τ_F = τ_U = 0 so every completed round publishes — the
+    snapshot should hold the point of maximal sharing).  The map is
+    then written to a real on-disk snapshot, reloaded (full integrity
+    validation included), replayed into a *fresh* map, and a fresh
+    engine re-runs the same workload warm.  Both sides run at the
+    exhaustive budget unless ``budget`` is given, so the byte-identity
+    reported in ``identical`` is the determinism contract, not luck.
+    """
+    import tempfile
+
+    from repro.core.jumpmap import JumpMap
+    from repro.core.snapshot import load_snapshot, save_snapshot
+
+    spec = spec_of(name)
+    build = load_benchmark(name)
+    queries = spec.workload()
+    cfg = spec.engine_config(
+        budget=budget if budget is not None else MATRIX_EXACT_BUDGET,
+        tau_f=0, tau_u=0,
+    )
+
+    cold_map = JumpMap(cfg.grammar)
+    cold_engine = CFLEngine(build.pag, cfg, jumps=cold_map)
+    t0 = time.perf_counter()
+    cold = {(q.var, q.ctx): cold_engine.run_query(q) for q in queries}
+    cold_wall = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        snap_path = Path(tmp) / f"{name}.snap"
+        save_snapshot(
+            snap_path, build.pag, cold_map.export_log(),
+            grammar=cfg.grammar, recorder=recorder,
+        )
+        snapshot_bytes = snap_path.stat().st_size
+        snap = load_snapshot(
+            snap_path, expect_pag=build.pag, expect_grammar=cfg.grammar,
+            recorder=recorder,
+        )
+
+    warm_map = JumpMap(cfg.grammar)
+    entries_loaded = warm_map.warm_from(snap.log)
+    warm_engine = CFLEngine(build.pag, cfg, jumps=warm_map)
+    t0 = time.perf_counter()
+    warm = {(q.var, q.ctx): warm_engine.run_query(q) for q in queries}
+    warm_wall = time.perf_counter() - t0
+
+    jmp_taken = sum(r.costs.jmp_taken for r in warm.values())
+    identical = all(
+        warm[k].points_to == cold[k].points_to
+        and warm[k].exhausted == cold[k].exhausted
+        for k in cold
+    )
+    return {
+        "suite": name,
+        "n_queries": len(queries),
+        "budget": cfg.budget,
+        "cold_wall_s": round(cold_wall, 6),
+        "warm_wall_s": round(warm_wall, 6),
+        "warm_speedup": round(cold_wall / warm_wall, 3) if warm_wall > 0 else float("inf"),
+        "snapshot_bytes": snapshot_bytes,
+        "entries_loaded": entries_loaded,
+        "warm_jmp_taken": jmp_taken,
+        "identical": identical,
+        "ok": bool(identical and entries_loaded > 0 and jmp_taken > 0),
+    }
+
+
 def run(
     benchmarks: Optional[Sequence[str]] = None,
     workers: Sequence[int] = DEFAULT_WORKERS,
@@ -299,6 +384,7 @@ def run(
     faults: bool = False,
     backend: str = "mp",
     budget: Optional[int] = None,
+    warm: bool = False,
     recorder=None,
 ) -> dict:
     """Run the wall-clock comparison; returns the JSON-ready payload."""
@@ -335,6 +421,7 @@ def run(
             "repeat": repeat,
             "smoke": smoke,
             "faults": faults,
+            "warm": warm,
         },
         "suites": [row.as_dict() for row in rows],
         "best_speedup": (
@@ -348,6 +435,11 @@ def run(
         drills = [fault_drill(name) for name in names]
         payload["fault_drill"] = drills
         payload["faults_ok"] = all(d["ok"] for d in drills)
+    if warm:
+        warms = [warm_bench(name, budget=budget, recorder=recorder)
+                 for name in names]
+        payload["warm_axis"] = warms
+        payload["warm_ok"] = all(w["ok"] for w in warms)
     return payload
 
 
@@ -403,6 +495,22 @@ def render(payload: dict) -> str:
                 f"crashes={d['crashes']} retried={d['chunks_retried']} "
                 f"quarantined={d['chunks_quarantined']} "
                 f"respawns={d['respawns']}  [{verdict}]"
+            )
+    warms = payload.get("warm_axis")
+    if warms:
+        lines.append(
+            "WARM START (cold run -> snapshot -> reload -> warm run, "
+            "exhaustive budget)"
+        )
+        for w in warms:
+            verdict = "ok" if w["ok"] else "FAILED"
+            lines.append(
+                f"{w['suite']:16s} cold={w['cold_wall_s']:.3f}s "
+                f"warm={w['warm_wall_s']:.3f}s "
+                f"speedup={w['warm_speedup']:.2f}x "
+                f"loaded={w['entries_loaded']} hits={w['warm_jmp_taken']} "
+                f"snap={w['snapshot_bytes']}B "
+                f"identical={'yes' if w['identical'] else 'NO'}  [{verdict}]"
             )
     return "\n".join(lines)
 

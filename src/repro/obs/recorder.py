@@ -83,6 +83,16 @@ COUNTER_DOCS: Dict[str, str] = {
     "mp.crashes": "worker failures observed",
     "mp.respawns": "worker slots respawned",
     "mp.quarantined_chunks": "chunks executed inline by the coordinator",
+    "mp.warm_entries": "commit-log entries seeded by a warm start",
+    "snapshot.bytes": "snapshot bytes written plus bytes read back",
+    "snapshot.entries_saved": "jump-map log entries persisted to snapshots",
+    "snapshot.entries_loaded": "jump-map log entries read from snapshots",
+    "inc.edits": "incremental session edits applied",
+    "inc.entries_invalidated": "finished jmp edges dropped by selective invalidation",
+    "inc.entries_survived": "finished jmp edges surviving each edit (summed)",
+    "inc.entries_warmed": "entries replayed into an incremental session",
+    "inc.queries_invalidated": "cached incremental answers requeued by edits",
+    "inc.queries_reused": "incremental queries answered from the session cache",
     "timeline.events": "lifecycle events folded into the timeline",
     "timeline.heartbeats": "worker heartbeat samples received",
     "timeline.stalls": "workers flagged stalled before the unit deadline",

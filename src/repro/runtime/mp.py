@@ -100,7 +100,7 @@ from multiprocessing import connection as mp_connection
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.engine import CFLEngine, EngineConfig
-from repro.core.jumpmap import JumpMap, LayeredJumpMap
+from repro.core.jumpmap import DeltaEntry, JumpMap, LayeredJumpMap
 from repro.core.query import Query
 from repro.errors import RuntimeConfigError, WorkerCrash
 from repro.obs.recorder import MetricsRecorder
@@ -108,11 +108,11 @@ from repro.pag.graph import PAG, FrozenPAG
 from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.results import BatchResult, QueryExecution
 
-__all__ = ["MPExecutor", "WorkerCrash", "COORDINATOR"]
+__all__ = ["MPExecutor", "WorkerCrash", "COORDINATOR", "DeltaEntry"]
 
-#: One committed jump entry in transit: ("fin", key, edges) or
-#: ("unf", key, steps).
-DeltaEntry = Tuple[str, tuple, object]
+# DeltaEntry — ("fin", key, edges) / ("unf", key, steps) — now lives in
+# repro.core.jumpmap (it doubles as the snapshot payload format) and is
+# re-exported here for existing importers of the wire type.
 
 #: Pseudo worker id recorded on executions the coordinator ran inline
 #: (quarantined chunks and the no-workers-left drain).
@@ -347,6 +347,27 @@ class MPExecutor:
             if ok:
                 self._log.append(entry)
                 accepted += 1
+        return accepted
+
+    def export_log(self) -> List[DeltaEntry]:
+        """A copy of the authoritative commit log — the artifact
+        :mod:`repro.core.snapshot` persists and warm starts replay."""
+        return list(self._log)
+
+    def warm_from(self, log: Sequence[DeltaEntry]) -> int:
+        """Seed the coordinator map *and* the commit log from a prior
+        session's exported log before the first batch, so workers
+        receive the warmed entries as the epoch-0 delta with their
+        first chunk instead of rediscovering them.  Idempotent
+        (first-writer-wins); returns the number of accepted entries."""
+        if self.jumps is None:
+            raise RuntimeConfigError(
+                "warm start requires a shared jump map (sharing=True)"
+            )
+        accepted = self._merge_delta(log)
+        rec = self.recorder
+        if rec and accepted:
+            rec.count("mp.warm_entries", accepted)
         return accepted
 
     def _chunks(

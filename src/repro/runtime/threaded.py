@@ -28,10 +28,10 @@ import threading
 import time
 import traceback
 from collections import deque
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import Deque, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.engine import CFLEngine, EngineConfig
-from repro.core.jumpmap import JumpMap
+from repro.core.jumpmap import DeltaEntry, JumpMap
 from repro.core.query import Query
 from repro.errors import RuntimeConfigError
 from repro.pag.extended import FinishedJump, JumpKey
@@ -127,6 +127,38 @@ class ConcurrentJumpMap:
                 self._inner.n_finished_edges,
                 self._inner.n_unfinished_edges,
             )
+        finally:
+            self._unlock_all()
+
+    # -- lifecycle (JumpMapLifecycle) ----------------------------------
+    # Rare whole-map operations (session start, edit, snapshot); each
+    # takes the stop-the-world all-stripes lock so exports are
+    # consistent and replays/invalidations are atomic w.r.t. writers.
+    def export_log(self) -> List[DeltaEntry]:
+        self._lock_all()
+        try:
+            return self._inner.export_log()
+        finally:
+            self._unlock_all()
+
+    def warm_from(self, log: Iterable[DeltaEntry]) -> int:
+        self._lock_all()
+        try:
+            return self._inner.warm_from(log)
+        finally:
+            self._unlock_all()
+
+    def invalidate_keys(self, keys: Iterable[JumpKey]) -> int:
+        self._lock_all()
+        try:
+            return self._inner.invalidate_keys(keys)
+        finally:
+            self._unlock_all()
+
+    def clear_finished(self) -> int:
+        self._lock_all()
+        try:
+            return self._inner.clear_finished()
         finally:
             self._unlock_all()
 

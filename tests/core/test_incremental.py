@@ -4,6 +4,9 @@ import pytest
 
 from repro.core import CFLEngine, EngineConfig
 from repro.core.incremental import IncrementalAnalysis
+from repro.core.jumpmap import JumpMap
+from repro.errors import InputError
+from repro.obs import MetricsRecorder
 from repro.pag import PAG
 
 
@@ -22,7 +25,7 @@ class TestIncrementalEdits:
         o2 = inc.add_obj("o2")
         inc.add_new_edge(a, o2)
         assert {o for o, _ in inc.points_to(a).points_to} == {o1, o2}
-        assert inc.generation == 1
+        assert inc.generation == 2  # node add + edge add both count
 
     def test_post_edit_answers_match_scratch(self, fig2):
         b, n = fig2
@@ -78,7 +81,9 @@ class TestIncrementalEdits:
         inc.add_local("island@y")
         inc.add_obj("island_obj")
         assert inc.jumps.n_finished_edges == fin
-        assert inc.generation == 0
+        # node-only edits are observable (generation moves) but still
+        # invalidate nothing — a fresh node is unconnected
+        assert inc.generation == 2
 
     def test_generation_counts_edits(self):
         pag = PAG()
@@ -87,7 +92,7 @@ class TestIncrementalEdits:
         inc.add_assign_edge(a, b_)
         o = inc.add_obj("o")
         inc.add_new_edge(b_, o)
-        assert inc.generation == 2
+        assert inc.generation == 3
 
     def test_gassign_and_load_edits(self):
         pag = PAG()
@@ -100,8 +105,61 @@ class TestIncrementalEdits:
         inc.add_new_edge(a, o)
         inc.add_gassign_edge(g, a)
         inc.add_load_edge(x, p, "f")
-        assert inc.generation == 3
+        assert inc.generation == 4
         assert {obj for obj, _ in inc.points_to(g).points_to} == {o}
+
+    def test_selective_invalidation_spares_untouched_island(self):
+        # Two disjoint heap islands; an edit in one must not drop the
+        # other's finished entries (the blanket-clear regression).
+        pag = PAG()
+        nodes = {}
+        for tag in ("a", "b"):
+            p = pag.add_local(f"p_{tag}@M.m")
+            v = pag.add_local(f"v_{tag}@M.m")
+            x = pag.add_local(f"x_{tag}@M.m")
+            pag.add_new_edge(p, pag.add_obj(f"o_base_{tag}"))
+            pag.add_new_edge(v, pag.add_obj(f"o_val_{tag}"))
+            pag.add_store_edge(p, f"f_{tag}", v)
+            pag.add_load_edge(x, p, f"f_{tag}")
+            nodes[tag] = (p, v, x)
+        rec = MetricsRecorder()
+        inc = IncrementalAnalysis(
+            pag, EngineConfig(tau_f=0, tau_u=0), recorder=rec
+        )
+        for tag in ("a", "b"):
+            inc.points_to(nodes[tag][2])
+        fin_before = inc.jumps.n_finished_edges
+        assert fin_before > 0
+        # edit island b: new value stored into its base object
+        extra = inc.add_local("extra@M.m")
+        o_new = inc.add_obj("o_extra")
+        inc.add_new_edge(extra, o_new)
+        inc.add_store_edge(nodes["b"][0], "f_b", extra)
+        # island a's entries survived, island b's were dropped
+        assert inc.last_edit_invalidated > 0
+        assert inc.last_edit_survived > 0
+        counts = rec.snapshot()
+        assert counts["inc.entries_survived"] > 0
+        assert counts["inc.entries_invalidated"] > 0
+        # both islands still answer exactly like a from-scratch engine
+        scratch = CFLEngine(pag, EngineConfig())
+        for tag in ("a", "b"):
+            x = nodes[tag][2]
+            assert inc.points_to(x).points_to == \
+                scratch.points_to(x).points_to, tag
+
+    def test_cached_answers_are_reused(self, fig2):
+        b, n = fig2
+        rec = MetricsRecorder()
+        inc = IncrementalAnalysis(b.pag, recorder=rec)
+        first = inc.points_to(n["s1"])
+        again = inc.points_to(n["s1"])
+        assert again is first
+        assert rec.snapshot()["inc.queries_reused"] == 1
+        # an edit touching the answer's footprint requeues it
+        extra = inc.add_local("extra@Main.main")
+        inc.add_assign_edge(n["s1"], extra)
+        assert inc.points_to(n["s1"]) is not first
 
     def test_flows_to_in_session(self):
         pag = PAG()
@@ -111,3 +169,46 @@ class TestIncrementalEdits:
         inc.add_new_edge(a, o)
         reached = {v for v, _ in inc.flows_to(o).points_to}
         assert reached == {a}
+
+
+class TestSessionConfiguration:
+    def test_unsupported_backend_raises(self, fig2):
+        b, _n = fig2
+        with pytest.raises(InputError, match="sequential engine only"):
+            IncrementalAnalysis(b.pag, backend="mp")
+
+    def test_injected_lifecycle_map_is_used(self, fig2):
+        from repro.runtime.threaded import ConcurrentJumpMap
+
+        b, n = fig2
+        shared = ConcurrentJumpMap()
+        inc = IncrementalAnalysis(
+            b.pag, EngineConfig(tau_f=0, tau_u=0), jumps=shared
+        )
+        inc.points_to(n["s1"])
+        assert shared.n_finished_edges > 0  # published into the store
+
+    def test_injected_wrong_grammar_raises(self, fig2):
+        b, _n = fig2
+        with pytest.raises(InputError, match="unsound"):
+            IncrementalAnalysis(b.pag, jumps=JumpMap(grammar="taint"))
+
+    def test_injected_non_lifecycle_raises(self, fig2):
+        b, _n = fig2
+        with pytest.raises(InputError, match="lifecycle"):
+            IncrementalAnalysis(b.pag, jumps=object())
+
+    def test_clear_finished_counts_entries_not_keys(self):
+        # Regression: clear_finished() used to report dropped *keys*;
+        # it must report summed jmp edges, same unit as
+        # n_finished_edges (multi-edge sets undercounted before).
+        from repro.pag.extended import FinishedJump
+
+        jm = JumpMap()
+        edges = tuple(
+            FinishedJump(target=t, target_ctx=(), steps=5) for t in (1, 2, 3)
+        )
+        jm.insert_finished((0, (), False), edges)
+        jm.insert_finished((1, (), False), (edges[0],))
+        assert jm.n_finished_edges == 4
+        assert jm.clear_finished() == 4

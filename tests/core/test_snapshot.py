@@ -1,0 +1,289 @@
+"""Tests for warm-start snapshots (repro.core.snapshot).
+
+Round-trip byte-identity, header validation order (everything rejected
+before the pickle payload is touched), fingerprint determinism, and
+footprint persistence (a warmed session keeps *selective*
+invalidation).
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.core import CFLEngine, EngineConfig
+from repro.core.incremental import IncrementalAnalysis
+from repro.core.jumpmap import JumpMap
+from repro.core.snapshot import (
+    FORMAT_VERSION,
+    MAGIC,
+    load_snapshot,
+    pag_fingerprint,
+    save_snapshot,
+)
+from repro.errors import InputError, SnapshotError
+from repro.obs import MetricsRecorder
+from repro.pag import PAG
+
+
+def warm_session(b, **cfg):
+    """A session with every completed round published (tau 0)."""
+    inc = IncrementalAnalysis(b.pag, EngineConfig(tau_f=0, tau_u=0, **cfg))
+    for var in b.pag.app_locals():
+        inc.points_to(var)
+    return inc
+
+
+class TestRoundTrip:
+    def test_byte_identical_answers_after_reload(self, fig2, tmp_path):
+        b, _n = fig2
+        inc = warm_session(b)
+        assert inc.jumps.n_finished_edges > 0
+        path = tmp_path / "fig2.snap"
+        header = inc.save_snapshot(path)
+        assert header.format_version == FORMAT_VERSION
+        assert header.n_entries > 0
+
+        fresh = IncrementalAnalysis(b.pag, EngineConfig(tau_f=0, tau_u=0))
+        loaded = fresh.warm_from_snapshot(path)
+        assert loaded == header.n_entries
+        scratch = CFLEngine(b.pag, EngineConfig())
+        for var in b.pag.app_locals():
+            got = fresh.points_to(var)
+            want = scratch.points_to(var)
+            assert got.points_to == want.points_to, b.pag.name(var)
+
+    def test_warm_run_takes_shortcuts(self, fig2, tmp_path):
+        b, n = fig2
+        inc = warm_session(b)
+        path = tmp_path / "fig2.snap"
+        inc.save_snapshot(path)
+        fresh = IncrementalAnalysis(b.pag, EngineConfig(tau_f=0, tau_u=0))
+        fresh.warm_from_snapshot(path)
+        result = fresh.points_to(n["s1"])
+        assert result.costs.jmp_taken > 0  # reused, not recomputed
+
+    def test_counters_roundtrip(self, fig2, tmp_path):
+        b, _n = fig2
+        rec = MetricsRecorder()
+        inc = IncrementalAnalysis(
+            b.pag, EngineConfig(tau_f=0, tau_u=0), recorder=rec
+        )
+        for var in b.pag.app_locals():
+            inc.points_to(var)
+        path = tmp_path / "fig2.snap"
+        inc.save_snapshot(path)
+        fresh = IncrementalAnalysis(
+            b.pag, EngineConfig(tau_f=0, tau_u=0), recorder=rec
+        )
+        fresh.warm_from_snapshot(path)
+        counts = rec.snapshot()
+        assert counts["snapshot.bytes"] >= 2 * path.stat().st_size
+        assert counts["snapshot.entries_saved"] > 0
+        assert counts["snapshot.entries_loaded"] == counts["snapshot.entries_saved"]
+        assert counts["inc.entries_warmed"] == counts["snapshot.entries_loaded"]
+
+    def test_unfinished_markers_roundtrip(self, fig2, tmp_path):
+        b, n = fig2
+        inc = IncrementalAnalysis(
+            b.pag, EngineConfig(budget=10, tau_f=0, tau_u=0)
+        )
+        inc.points_to(n["s1"])  # exhausts, plants markers
+        assert inc.jumps.n_unfinished_edges > 0
+        path = tmp_path / "markers.snap"
+        inc.save_snapshot(path)
+        fresh = IncrementalAnalysis(b.pag, EngineConfig(budget=10))
+        fresh.warm_from_snapshot(path)
+        assert fresh.jumps.n_unfinished_edges == inc.jumps.n_unfinished_edges
+
+    def test_any_lifecycle_map_can_warm(self, fig2, tmp_path):
+        # The artifact is not tied to IncrementalAnalysis: a plain
+        # JumpMap (and through the same interface, the threaded and mp
+        # stores) replays the same log.
+        b, _n = fig2
+        inc = warm_session(b)
+        path = tmp_path / "fig2.snap"
+        header = inc.save_snapshot(path)
+        snap = load_snapshot(path, expect_pag=b.pag)
+        plain = JumpMap()
+        assert plain.warm_from(snap.log) == header.n_entries
+        assert plain.n_finished_edges == inc.jumps.n_finished_edges
+
+
+class TestValidation:
+    def make_snap(self, fig2, tmp_path, name="a.snap"):
+        b, _n = fig2
+        inc = warm_session(b)
+        path = tmp_path / name
+        inc.save_snapshot(path)
+        return b, path
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.snap"
+        path.write_bytes(b"NOTASNAP\n{}\n")
+        with pytest.raises(SnapshotError, match="bad magic"):
+            load_snapshot(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load_snapshot(tmp_path / "absent.snap")
+
+    def _tamper_header(self, path, **patch):
+        data = path.read_bytes()
+        body = data[len(MAGIC):]
+        nl = body.find(b"\n")
+        header = json.loads(body[:nl])
+        header.update(patch)
+        path.write_bytes(
+            MAGIC + json.dumps(header).encode() + b"\n" + body[nl + 1:]
+        )
+
+    def test_future_format_version_rejected(self, fig2, tmp_path):
+        _b, path = self.make_snap(fig2, tmp_path)
+        self._tamper_header(path, format_version=FORMAT_VERSION + 1)
+        with pytest.raises(SnapshotError, match="newer than this reader"):
+            load_snapshot(path)
+
+    def test_wrong_grammar_rejected(self, fig2, tmp_path):
+        b, path = self.make_snap(fig2, tmp_path)
+        with pytest.raises(SnapshotError, match="grammars is unsound"):
+            load_snapshot(path, expect_grammar="taint")
+        # ...and through the session API, which always pins its grammar
+        taint = IncrementalAnalysis(b.pag, EngineConfig(grammar="taint"))
+        with pytest.raises(SnapshotError):
+            taint.warm_from_snapshot(path)
+
+    def test_stale_fingerprint_rejected(self, fig2, tmp_path):
+        b, path = self.make_snap(fig2, tmp_path)
+        v = b.pag.add_local("late@Main.main")
+        o = b.pag.add_obj("o_late")
+        b.pag.add_new_edge(v, o)  # the program changed since the save
+        with pytest.raises(SnapshotError, match="stale snapshot"):
+            load_snapshot(path, expect_pag=b.pag)
+
+    def test_truncated_payload_rejected(self, fig2, tmp_path):
+        _b, path = self.make_snap(fig2, tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - len(data) // 3])
+        with pytest.raises(SnapshotError, match="corrupt snapshot payload"):
+            load_snapshot(path)
+
+    def test_entry_count_mismatch_rejected(self, fig2, tmp_path):
+        _b, path = self.make_snap(fig2, tmp_path)
+        self._tamper_header(path, n_entries=999)
+        with pytest.raises(SnapshotError, match="header promises"):
+            load_snapshot(path)
+
+    def test_payload_fingerprint_must_match_header(self, fig2, tmp_path):
+        # A header transplanted onto a different payload is caught even
+        # when the caller passes no expect_pag.
+        b, path = self.make_snap(fig2, tmp_path)
+        other = PAG()
+        other.add_local("x")
+        blob = pickle.dumps(
+            {"pag": other.freeze(), "log": [], "footprints": None},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        self._tamper_header(path, n_entries=0)
+        data = path.read_bytes()
+        body = data[len(MAGIC):]
+        nl = body.find(b"\n")
+        path.write_bytes(MAGIC + body[: nl + 1] + blob)
+        with pytest.raises(SnapshotError, match="does not match its header"):
+            load_snapshot(path)
+
+    def test_snapshot_error_is_input_error(self):
+        # CLI contract: validation failures exit 2 like unreadable input.
+        assert issubclass(SnapshotError, InputError)
+
+
+class TestFingerprint:
+    def test_deterministic_and_freeze_invariant(self, fig2):
+        b, _n = fig2
+        fp1 = pag_fingerprint(b.pag)
+        assert fp1 == pag_fingerprint(b.pag)
+        assert fp1 == pag_fingerprint(b.pag.freeze())
+
+    def test_sensitive_to_edges(self, fig2):
+        b, n = fig2
+        before = pag_fingerprint(b.pag)
+        b.pag.add_assign_edge(n["s2"], n["s1"])
+        assert pag_fingerprint(b.pag) != before
+
+    def test_distinct_programs_differ(self, fig2):
+        b, _n = fig2
+        other = PAG()
+        v = other.add_local("a")
+        o = other.add_obj("o")
+        other.add_new_edge(v, o)
+        assert pag_fingerprint(other) != pag_fingerprint(b.pag)
+
+
+class TestFootprintPersistence:
+    def test_warmed_session_stays_selective(self, tmp_path):
+        # Two disjoint islands, each with heap traffic so finished
+        # entries are published.  After a snapshot round-trip the warmed
+        # session must invalidate only the edited island.
+        pag = PAG()
+        nodes = {}
+        for tag in ("a", "b"):
+            p = pag.add_local(f"p_{tag}@M.m")
+            v = pag.add_local(f"v_{tag}@M.m")
+            x = pag.add_local(f"x_{tag}@M.m")
+            op = pag.add_obj(f"o_base_{tag}")
+            ov = pag.add_obj(f"o_val_{tag}")
+            pag.add_new_edge(p, op)
+            pag.add_new_edge(v, ov)
+            pag.add_store_edge(p, f"f_{tag}", v)
+            pag.add_load_edge(x, p, f"f_{tag}")
+            nodes[tag] = (p, v, x, ov)
+        inc = IncrementalAnalysis(pag, EngineConfig(tau_f=0, tau_u=0))
+        for tag in ("a", "b"):
+            inc.points_to(nodes[tag][2])
+        path = tmp_path / "islands.snap"
+        inc.save_snapshot(path)
+
+        fresh = IncrementalAnalysis(pag, EngineConfig(tau_f=0, tau_u=0))
+        fresh.warm_from_snapshot(path)
+        fin_before = fresh.jumps.n_finished_edges
+        assert fin_before > 0
+        # edit island b only: island a's warmed entries must survive
+        extra = fresh.add_local("extra@M.m")
+        o_new = fresh.add_obj("o_extra")
+        fresh.add_new_edge(extra, o_new)
+        fresh.add_store_edge(nodes["b"][0], "f_b", extra)
+        assert fresh.last_edit_survived > 0
+        assert fresh.jumps.n_finished_edges < fin_before
+        # and both islands still answer exactly
+        scratch = CFLEngine(pag, EngineConfig())
+        for tag in ("a", "b"):
+            x = nodes[tag][2]
+            assert fresh.points_to(x).points_to == \
+                scratch.points_to(x).points_to
+
+    def test_warm_without_footprints_is_conservative(self, tmp_path):
+        # A log saved without footprints (e.g. exported by a parallel
+        # coordinator) still warms, but the first edge edit drops the
+        # unindexed entries — sound, just less selective.
+        pag = PAG()
+        p = pag.add_local("p@M.m")
+        v = pag.add_local("v@M.m")
+        x = pag.add_local("x@M.m")
+        pag.add_new_edge(p, pag.add_obj("o_base"))
+        pag.add_new_edge(v, pag.add_obj("o_val"))
+        pag.add_store_edge(p, "f", v)
+        pag.add_load_edge(x, p, "f")
+        inc = IncrementalAnalysis(pag, EngineConfig(tau_f=0, tau_u=0))
+        inc.points_to(x)
+        path = tmp_path / "bare.snap"
+        save_snapshot(
+            path, pag, inc.jumps.export_log(),
+            grammar="flowsto", footprints=None,
+        )
+        fresh = IncrementalAnalysis(pag, EngineConfig(tau_f=0, tau_u=0))
+        fresh.warm_from_snapshot(path)
+        assert fresh.jumps.n_finished_edges > 0
+        island = fresh.add_local("iso@M.m")
+        iso_obj = fresh.add_obj("o_iso")
+        fresh.add_new_edge(island, iso_obj)  # touches nothing warmed
+        assert fresh.jumps.n_finished_edges == 0  # conservative drop

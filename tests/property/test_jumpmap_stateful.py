@@ -71,8 +71,27 @@ class JumpMapMachine(RuleBasedStateMachine):
     @rule()
     def clear_finished(self):
         dropped = self.map.clear_finished()
-        assert dropped == len(self.fin)
+        # dropped counts *entries* (summed jmp edges), not keys
+        assert dropped == sum(len(v) for v in self.fin.values())
         self.fin.clear()
+
+    @rule(ks=st.lists(keys, max_size=4))
+    def invalidate_keys(self, ks):
+        dropped = self.map.invalidate_keys(ks)
+        expect = sum(len(self.fin[k]) for k in set(ks) if k in self.fin)
+        assert dropped == expect
+        for k in ks:
+            self.fin.pop(k, None)
+
+    @rule()
+    def export_replays_identically(self):
+        clone = JumpMap()
+        accepted = clone.warm_from(self.map.export_log())
+        assert accepted == len(self.fin) + len(self.unf)
+        assert dict(clone.finished_items()) == self.fin
+        assert dict(clone.unfinished_items()) == self.unf
+        # replaying into the original is a no-op (first-writer-wins)
+        assert self.map.warm_from(clone.export_log()) == 0
 
     @invariant()
     def counts_match(self):

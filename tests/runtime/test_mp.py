@@ -132,3 +132,34 @@ class TestDeltaProtocol:
         # a duplicate from a second worker loses the race — no log growth
         assert ex._merge_delta([("fin", key, edges)]) == 0
         assert ex.epoch == 1
+
+
+class TestWarmStart:
+    def test_warm_executor_reuses_prior_session(self, fig2):
+        # First session fills the coordinator's map; a brand-new
+        # executor warmed from its exported log must answer the same
+        # batch byte-identically and with shortcut hits from unit one.
+        b, _ = fig2
+        queries = [Query(v) for v in b.pag.app_locals()] * 2
+        cfg = EngineConfig(tau_f=0, tau_u=0)
+        first = MPExecutor(
+            b.pag, n_workers=2, engine_config=cfg, sharing=True, chunk_size=1,
+        )
+        cold = first.run(queries)
+        log = first.export_log()
+        assert log
+
+        warm_ex = MPExecutor(
+            b.pag, n_workers=2, engine_config=cfg, sharing=True, chunk_size=1,
+        )
+        assert warm_ex.warm_from(log) == len(log)
+        assert warm_ex.epoch == len(log)  # warm entries are the epoch-0 delta
+        warm = warm_ex.run(queries)
+        assert warm.points_to_map() == cold.points_to_map()
+        assert sum(e.result.costs.jmp_taken for e in warm.executions) > 0
+
+    def test_warm_from_requires_sharing(self, fig2):
+        b, _ = fig2
+        ex = MPExecutor(b.pag, n_workers=1, sharing=False)
+        with pytest.raises(RuntimeConfigError, match="sharing"):
+            ex.warm_from([("unf", (1, (), False), 40)])

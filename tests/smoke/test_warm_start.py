@@ -1,0 +1,29 @@
+"""Tier-2 warm-start sweep: snapshot round-trip byte-identity on all
+20 benchmark suites.
+
+Per suite: a cold sequential run fills a jump map, the map goes
+through a full on-disk snapshot round-trip (save → validate → load),
+a **fresh** engine warms from it and re-answers the whole workload.
+Asserts byte-identity against the cold answers, nonzero entries
+loaded and nonzero shortcut hits — a warm start that reuses nothing
+would pass a bare identity check while silently rebuilding from
+epoch 0.  Excluded from tier-1 via the ``smoke`` marker::
+
+    PYTHONPATH=src python -m pytest tests/smoke/test_warm_start.py -m smoke -q
+"""
+
+import pytest
+
+from repro.benchgen.suites import suite_names
+from repro.harness.wallclock import warm_bench
+
+pytestmark = pytest.mark.smoke
+
+
+@pytest.mark.parametrize("name", suite_names())
+def test_suite_warm_start_identical(name):
+    w = warm_bench(name)
+    assert w["identical"], f"{name}: warm answers diverged from cold"
+    assert w["entries_loaded"] > 0, f"{name}: snapshot replayed nothing"
+    assert w["warm_jmp_taken"] > 0, f"{name}: warm run took no shortcuts"
+    assert w["ok"]

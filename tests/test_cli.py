@@ -313,3 +313,77 @@ class TestBenchHistoryAndGate:
         )
         assert code == 2
         assert "not found" in capsys.readouterr().err
+
+
+class TestSnapshotCommand:
+    def _save(self, java_file, tmp_path, *extra):
+        snap = tmp_path / "prog.snap"
+        code = main(["snapshot", "save", str(java_file),
+                     "--out", str(snap), *extra])
+        return code, snap
+
+    def test_save_then_load(self, java_file, tmp_path, capsys):
+        code, snap = self._save(java_file, tmp_path)
+        assert code == 0
+        assert snap.exists()
+        assert "[snapshot" in capsys.readouterr().out
+        code = main(["snapshot", "load", str(snap)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "format v1" in out
+        assert "grammar flowsto" in out
+
+    def test_load_verifies_against_program(self, java_file, tmp_path, capsys):
+        _, snap = self._save(java_file, tmp_path)
+        capsys.readouterr()
+        code = main(["snapshot", "load", str(snap),
+                     "--file", str(java_file), "--verify"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "matches program" in out
+        assert "[verify ok" in out
+        assert "0 divergent answers" in out
+
+    def test_stale_snapshot_exits_two(self, java_file, tmp_path, capsys):
+        _, snap = self._save(java_file, tmp_path)
+        other = tmp_path / "other.mj"
+        other.write_text(JAVA_SRC.replace("x = b.get()",
+                                          "x = b.get()\n    b.set(x)"))
+        code = main(["snapshot", "load", str(snap), "--file", str(other)])
+        assert code == 2
+        assert "stale snapshot" in capsys.readouterr().err
+
+    def test_corrupt_snapshot_exits_two(self, tmp_path, capsys):
+        junk = tmp_path / "junk.snap"
+        junk.write_bytes(b"not a snapshot at all")
+        code = main(["snapshot", "load", str(junk)])
+        assert code == 2
+        assert "bad magic" in capsys.readouterr().err
+
+    def test_verify_without_file_is_an_error(self, java_file, tmp_path):
+        _, snap = self._save(java_file, tmp_path)
+        code = main(["snapshot", "load", str(snap), "--verify"])
+        assert code == 1
+
+    def test_default_out_is_snap_suffix(self, java_file, capsys):
+        code = main(["snapshot", "save", str(java_file)])
+        assert code == 0
+        assert java_file.with_suffix(".snap").exists()
+
+
+class TestBenchWarm:
+    def test_warm_axis_gates_and_renders(self, tmp_path, capsys):
+        out = tmp_path / "out.json"
+        code = main([
+            "bench", "--smoke", "--suite", "_200_check", "--workers", "1",
+            "--no-verify", "--warm", "--no-history", "--out", str(out),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "WARM START" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["warm_ok"] is True
+        (axis,) = payload["warm_axis"]
+        assert axis["identical"] is True
+        assert axis["entries_loaded"] > 0
+        assert axis["warm_jmp_taken"] > 0

@@ -20,6 +20,8 @@ RUFF_TARGETS = [
     "src/repro/core/grammar.py",
     "src/repro/core/conformance.py",
     "src/repro/core/matrix.py",
+    "src/repro/core/snapshot.py",
+    "src/repro/core/incremental.py",
     "src/repro/analyses/taint.py",
     "src/repro/analyses/escape.py",
     "src/repro/runtime/matrix.py",
@@ -28,6 +30,8 @@ RUFF_TARGETS = [
 MYPY_STRICT_TARGETS = [
     "src/repro/core/cfl.py",
     "src/repro/core/matrix.py",
+    "src/repro/core/snapshot.py",
+    "src/repro/core/incremental.py",
     "src/repro/analyses/taint.py",
     "src/repro/analyses/escape.py",
     "src/repro/runtime/matrix.py",
