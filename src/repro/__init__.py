@@ -4,25 +4,29 @@ Reproduction of Su, Ye & Xue, *Parallel Pointer Analysis with
 CFL-Reachability*, ICPP 2014.  See README.md for a tour and DESIGN.md
 for the paper-to-module map.
 
+The supported public surface is :mod:`repro.api` — one resident
+:class:`Session` facade fronting queries, batches, checkers and
+snapshots — and this package re-exports it.
+
 Quick start::
 
-    from repro import parse_program, build_pag, CFLEngine
+    from repro import Session
 
-    program = parse_program(SRC)
-    build = build_pag(program)
-    engine = CFLEngine(build.pag)
-    result = engine.points_to(build.var("x", "Main.main"))
-    print(result.objects)
+    session = Session.open("examples/box_clean.mj")
+    result = session.points_to("b@Main.main")
+    print(sorted(session.name(o) for o in result.objects))
 
 Batch-parallel (simulated multicore)::
 
-    from repro import ParallelCFL
+    batch = session.batch(mode="DQ", n_threads=16)
 
-    batch = ParallelCFL(build, mode="DQ", n_threads=16).run()
+The underlying pieces (``CFLEngine``, ``ParallelCFL``, ``build_pag``,
+...) remain importable here for share-nothing baselines and tests.
 """
 
 from repro._version import __version__
 from repro.analyses import CheckReport, Checker, Finding, Severity, run_checkers
+from repro.api import DEFAULT_BUDGET, Session
 from repro.andersen import AndersenResult, AndersenSolver, MustNotAlias, SteensgaardSolver
 from repro.core import (
     CFLEngine,
@@ -57,12 +61,16 @@ from repro.runtime import (
     BatchResult,
     CostModel,
     ParallelCFL,
+    RuntimeConfig,
     SimulatedExecutor,
     ThreadedExecutor,
 )
 
 __all__ = [
     "__version__",
+    # the supported facade (repro.api)
+    "Session",
+    "DEFAULT_BUDGET",
     # front-end
     "Program",
     "ProgramBuilder",
@@ -87,6 +95,7 @@ __all__ = [
     # runtime
     "BatchResult",
     "CostModel",
+    "RuntimeConfig",
     "ParallelCFL",
     "SimulatedExecutor",
     "ThreadedExecutor",

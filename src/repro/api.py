@@ -1,0 +1,677 @@
+"""repro.api — the supported public surface of the reproduction.
+
+One blessed entry point, :class:`Session`, fronts every analysis
+capability the package ships: demand points-to/flows-to queries,
+may-alias, certified witnesses, batch-parallel runs on any backend,
+the client checkers, warm-start snapshots, and incremental edits.  The
+CLI (:mod:`repro.cli`), the serving daemon (:mod:`repro.serve`) and the
+harness (:mod:`repro.harness`) all build on this module and nothing
+deeper — a rule enforced by ``tests/test_api_surface.py``.
+
+Quick start::
+
+    from repro.api import Session
+
+    session = Session.open("examples/box_clean.mj")
+    result = session.points_to("b@Main.main")
+    print(sorted(session.name(o) for o in result.objects))
+
+    batch = session.batch()                # all application locals
+    report = session.check(["null-deref"])
+    session.snapshot("box.snap")           # compacted warm-start state
+
+A session loads (or adopts) a program **once** and keeps every
+expensive artifact resident: the PAG, the sequential engine with its
+footprint-indexed jump map, and — through persistent
+:class:`~repro.runtime.executor.ParallelCFL` runners — one executor
+per backend whose committed jump map warms successive batches.  That
+residency is what the ``repro serve`` daemon multiplexes client
+traffic onto.
+
+Everything listed in ``__all__`` (configs, result records, error
+types, renderers, benchmark loaders, recorders) is re-exported here so
+downstream code never reaches into internal module paths; the
+top-level ``repro`` package re-exports the same names.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro._version import __version__
+from repro.andersen import AndersenSolver
+from repro.analyses import (
+    Checker,
+    CheckReport,
+    Finding,
+    Severity,
+    checker_ids,
+    render_json,
+    render_sarif,
+    render_text,
+    run_checkers,
+)
+from repro.benchgen.suites import (
+    BenchmarkSpec,
+    load_benchmark,
+    spec_of,
+    suite_names,
+)
+from repro.core import (
+    EMPTY_CTX,
+    CFLEngine,
+    EngineConfig,
+    FIELD_MODES,
+    IncrementalAnalysis,
+    JumpMap,
+    JumpMapLifecycle,
+    LayeredJumpMap,
+    Query,
+    QueryGroup,
+    QueryResult,
+    ScheduleConfig,
+    Snapshot,
+    SnapshotHeader,
+    TracingEngine,
+    Witness,
+    dedupe_queries,
+    load_snapshot,
+    save_snapshot,
+    schedule_queries,
+)
+from repro.core.context import Context
+from repro.core.jumpmap import DeltaEntry
+from repro.errors import (
+    AnalysisError,
+    BudgetExhausted,
+    InputError,
+    ReproError,
+    RuntimeConfigError,
+    SnapshotError,
+)
+from repro.ir import parse_program
+from repro.obs import (
+    COUNTER_DOCS,
+    MetricsRecorder,
+    NullRecorder,
+    Recorder,
+    SpanRecorder,
+    TimelineRecorder,
+    hot_queries,
+    metrics_to_json,
+    render_hot_queries,
+    render_metrics_table,
+)
+from repro.pag import PAG, build_pag
+from repro.pag.build import BuildResult
+from repro.runtime import (
+    BACKENDS,
+    MODES,
+    BatchResult,
+    CostModel,
+    FaultPlan,
+    ParallelCFL,
+    RuntimeConfig,
+)
+
+__all__ = [
+    "__version__",
+    # the facade
+    "Session",
+    "DEFAULT_BUDGET",
+    # configuration
+    "EngineConfig",
+    "RuntimeConfig",
+    "ScheduleConfig",
+    "CostModel",
+    "FaultPlan",
+    "MODES",
+    "BACKENDS",
+    "FIELD_MODES",
+    # queries and results
+    "Query",
+    "QueryResult",
+    "QueryGroup",
+    "BatchResult",
+    "Context",
+    "EMPTY_CTX",
+    "dedupe_queries",
+    "schedule_queries",
+    # engines (for share-nothing baselines and witness tracing)
+    "CFLEngine",
+    "TracingEngine",
+    "Witness",
+    "IncrementalAnalysis",
+    "ParallelCFL",
+    "AndersenSolver",
+    # jump-map lifecycle and snapshots
+    "JumpMap",
+    "LayeredJumpMap",
+    "JumpMapLifecycle",
+    "Snapshot",
+    "SnapshotHeader",
+    "load_snapshot",
+    "save_snapshot",
+    # front ends
+    "parse_program",
+    "build_pag",
+    "BuildResult",
+    "PAG",
+    # checkers
+    "Checker",
+    "CheckReport",
+    "Finding",
+    "Severity",
+    "checker_ids",
+    "run_checkers",
+    "render_text",
+    "render_json",
+    "render_sarif",
+    # benchmark suite
+    "BenchmarkSpec",
+    "load_benchmark",
+    "spec_of",
+    "suite_names",
+    # observability
+    "Recorder",
+    "NullRecorder",
+    "MetricsRecorder",
+    "SpanRecorder",
+    "TimelineRecorder",
+    "COUNTER_DOCS",
+    "hot_queries",
+    "metrics_to_json",
+    "render_hot_queries",
+    "render_metrics_table",
+    # errors
+    "ReproError",
+    "InputError",
+    "SnapshotError",
+    "AnalysisError",
+    "BudgetExhausted",
+    "RuntimeConfigError",
+]
+
+#: The paper's per-query step budget (Section IV-A) — the default the
+#: CLI and the serving daemon resolve unset budgets to.
+DEFAULT_BUDGET = 75_000
+
+
+def _read_source(path: Path) -> str:
+    """Read a program file, mapping every I/O failure onto
+    :class:`InputError` (CLI exit code 2) instead of a raw traceback."""
+    try:
+        return path.read_text()
+    except FileNotFoundError:
+        raise InputError(f"input file not found: {path}") from None
+    except IsADirectoryError:
+        raise InputError(
+            f"input path is a directory, not a file: {path}"
+        ) from None
+    except UnicodeDecodeError:
+        raise InputError(f"input file is not valid text: {path}") from None
+    except OSError as exc:
+        raise InputError(
+            f"cannot read input file {path}: {exc.strerror or exc}"
+        ) from None
+
+
+class Session:
+    """A resident analysis session over one program.
+
+    Construct through the classmethods — :meth:`open` (parse a ``.mj``
+    or ``.c`` file), :meth:`from_source`, :meth:`from_build`,
+    :meth:`from_pag`, or :meth:`from_snapshot` (warm boot).  The
+    program is parsed and lowered **once**; every subsequent query,
+    batch, check or snapshot reuses the resident PAG and jump maps.
+
+    Single queries run on a sequential
+    :class:`~repro.core.incremental.IncrementalAnalysis` (answers
+    cached, footprints indexed for selective invalidation); batches run
+    on persistent :class:`ParallelCFL` runners keyed by
+    ``(mode, n_threads, backend)`` whose committed jump maps survive
+    across :meth:`batch` calls.  :meth:`snapshot` folds *all* resident
+    jump state into a single compacted epoch-0 delta on disk, and
+    :meth:`warm_from_snapshot` replays one into every resident store.
+    """
+
+    def __init__(
+        self,
+        build: Optional[BuildResult],
+        pag: PAG,
+        *,
+        kind: str = "java",
+        runtime: Optional[RuntimeConfig] = None,
+        engine: Optional[EngineConfig] = None,
+        schedule: Optional[ScheduleConfig] = None,
+        recorder: Optional[Any] = None,
+        source: str = "<session>",
+    ) -> None:
+        self.build = build
+        self.pag = pag
+        self.kind = kind
+        self.runtime = runtime or RuntimeConfig()
+        self.engine_config = engine or EngineConfig()
+        self.schedule_config = schedule
+        self.recorder = recorder
+        #: Where the program came from (a path or a synthetic label) —
+        #: surfaced by ``repro serve``'s /healthz and check reports.
+        self.source = source
+        self._seq: Optional[IncrementalAnalysis] = None
+        self._tracer: Optional[TracingEngine] = None
+        #: (mode, n_threads, backend) -> persistent ParallelCFL runner.
+        self._runners: Dict[Tuple[str, int, str], ParallelCFL] = {}
+        #: Warm-boot log replayed into every runner created later.
+        self._warm_log: List[DeltaEntry] = []
+        if recorder:
+            recorder.count("api.sessions")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        path: Union[str, Path],
+        *,
+        language: Optional[str] = None,
+        **kw: Any,
+    ) -> "Session":
+        """Parse and lower a program file (``.mj`` mini-Java by
+        default, ``.c`` mini-C by suffix or ``language=``)."""
+        path = Path(path)
+        text = _read_source(path)
+        lang = language or ("c" if path.suffix == ".c" else "java")
+        return cls.from_source(text, language=lang, source=str(path), **kw)
+
+    @classmethod
+    def from_source(
+        cls,
+        text: str,
+        *,
+        language: str = "java",
+        source: str = "<source>",
+        **kw: Any,
+    ) -> "Session":
+        """Parse and lower program text held in memory."""
+        recorder = kw.get("recorder")
+        if language == "c":
+            from repro.cfront import lower_c, parse_c
+
+            build = lower_c(parse_c(text))
+            kind = "c"
+        else:
+            build = build_pag(parse_program(text))
+            kind = "java"
+        if recorder:
+            # The acceptance counter behind `repro serve`: a resident
+            # session builds its PAG exactly once, however many
+            # requests it answers afterwards.
+            recorder.count("api.pag_builds")
+        return cls(build, build.pag, kind=kind, source=source, **kw)
+
+    @classmethod
+    def from_build(
+        cls, build: BuildResult, *, kind: str = "java", **kw: Any
+    ) -> "Session":
+        """Adopt an already-lowered :class:`BuildResult` (the harness
+        path: benchgen suites arrive pre-built)."""
+        return cls(build, build.pag, kind=kind, **kw)
+
+    @classmethod
+    def from_pag(cls, pag: PAG, **kw: Any) -> "Session":
+        """Adopt a bare PAG.  Name-based query resolution and the
+        checkers (which walk program statements) are unavailable."""
+        return cls(None, pag, **kw)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot_path: Union[str, Path],
+        program_path: Union[str, Path],
+        *,
+        language: Optional[str] = None,
+        **kw: Any,
+    ) -> "Session":
+        """Warm boot: open ``program_path`` and replay the snapshot
+        into the resident stores.  A stale, corrupt or mismatched
+        snapshot raises :class:`SnapshotError` before any state is
+        seeded."""
+        session = cls.open(program_path, language=language, **kw)
+        session.warm_from_snapshot(snapshot_path)
+        return session
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+    def _require_build(self, what: str) -> BuildResult:
+        if self.build is None:
+            raise InputError(
+                f"{what} needs the front-end build tables; this session "
+                "was constructed from a bare PAG (Session.from_pag)"
+            )
+        return self.build
+
+    def resolve(self, spec: str) -> int:
+        """``var@Class.method`` (or a bare global name) -> node id."""
+        build = self._require_build("query resolution by name")
+        name, _, scope = spec.partition("@")
+        if self.kind == "c":
+            return build.value_node(name, scope or None)
+        return build.var(name, scope or None)
+
+    def resolve_obj(self, label: str) -> int:
+        """Allocation-site label -> object node id."""
+        return self._require_build("object resolution by label").obj(label)
+
+    def name(self, node: int) -> str:
+        """Display name of a PAG node."""
+        return self.pag.name(node)
+
+    def rep(self, node: int) -> int:
+        """Cycle-collapsed representative of a node (batch answers are
+        keyed on representatives)."""
+        return self.pag.rep(node)
+
+    def app_locals(self) -> List[int]:
+        """The paper's default workload: every application-code local."""
+        return list(self.pag.app_locals())
+
+    def queries(
+        self,
+        targets: Optional[Sequence[Union[int, str]]] = None,
+        ctx: Context = EMPTY_CTX,
+    ) -> List[Query]:
+        """Build a query list from node ids and/or ``var@scope`` specs
+        (default: all application locals)."""
+        if targets is None:
+            return [Query(v, ctx) for v in self.app_locals()]
+        return [self._query(t, ctx) for t in targets]
+
+    def _query(self, target: Union[int, str], ctx: Context) -> Query:
+        node = self.resolve(target) if isinstance(target, str) else target
+        return Query(node, ctx)
+
+    # ------------------------------------------------------------------
+    # single queries (resident sequential session)
+    # ------------------------------------------------------------------
+    @property
+    def seq(self) -> IncrementalAnalysis:
+        """The resident sequential sub-session (lazily created): cached
+        answers, footprint-indexed jump map, add-only PAG edits."""
+        if self._seq is None:
+            self._seq = IncrementalAnalysis(
+                self.pag, self.engine_config, recorder=self.recorder
+            )
+        return self._seq
+
+    def points_to(
+        self, target: Union[int, str], ctx: Context = EMPTY_CTX
+    ) -> QueryResult:
+        """Demand points-to query (node id or ``var@scope`` spec)."""
+        q = self._query(target, ctx)
+        return self.seq.points_to(q.var, q.ctx)
+
+    def flows_to(
+        self, target: Union[int, str], ctx: Context = EMPTY_CTX
+    ) -> QueryResult:
+        """Demand flows-to query from an object node (id or
+        allocation-site label)."""
+        node = (
+            self.resolve_obj(target) if isinstance(target, str) else target
+        )
+        return self.seq.flows_to(node, ctx)
+
+    def may_alias(
+        self,
+        a: Union[int, str],
+        b: Union[int, str],
+        ctx: Context = EMPTY_CTX,
+    ) -> bool:
+        """May variables ``a`` and ``b`` alias under ``ctx``?"""
+        qa = self._query(a, ctx)
+        qb = self._query(b, ctx)
+        return self.seq.may_alias(qa.var, qb.var, ctx)
+
+    def trace_points_to(
+        self, target: Union[int, str], ctx: Context = EMPTY_CTX
+    ) -> Tuple[QueryResult, List[Witness]]:
+        """Points-to with certified flowsTo witnesses, one per
+        ``(object, ctx)`` pair (sorted), via a resident share-nothing
+        :class:`TracingEngine`.  Exhausted answers carry no witnesses —
+        a partial traversal cannot certify its paths."""
+        if self._tracer is None:
+            self._tracer = TracingEngine(self.pag, self.engine_config)
+        q = self._query(target, ctx)
+        result = self._tracer.points_to(q.var, q.ctx)
+        witnesses: List[Witness] = []
+        if not result.exhausted:
+            rep = self.pag.rep(q.var)
+            for obj, obj_ctx in sorted(result.points_to):
+                witnesses.append(
+                    self._tracer.explain(rep, q.ctx, obj, obj_ctx)
+                )
+        return result, witnesses
+
+    # ------------------------------------------------------------------
+    # batches (persistent parallel runners)
+    # ------------------------------------------------------------------
+    def runner(
+        self,
+        *,
+        mode: Optional[str] = None,
+        n_threads: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> ParallelCFL:
+        """The persistent :class:`ParallelCFL` for a configuration
+        (created on first use, jump map warmed from any warm-boot log,
+        resident afterwards)."""
+        rt = self.runtime
+        key = (
+            mode or rt.mode,
+            n_threads if n_threads is not None else rt.n_threads,
+            backend or rt.backend,
+        )
+        runner = self._runners.get(key)
+        if runner is None:
+            runner = ParallelCFL.from_config(
+                self.build if self.build is not None else self.pag,
+                runtime=rt.with_(
+                    mode=key[0], n_threads=key[1], backend=key[2]
+                ),
+                engine=self.engine_config,
+                schedule=self.schedule_config,
+                recorder=self.recorder,
+                persistent=True,
+            )
+            if self._warm_log and runner.sharing and key[2] not in (
+                "matrix", "hybrid"
+            ):
+                runner.warm_from(self._warm_log)
+            self._runners[key] = runner
+        return runner
+
+    def batch(
+        self,
+        queries: Optional[Sequence[Query]] = None,
+        *,
+        mode: Optional[str] = None,
+        n_threads: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> BatchResult:
+        """Run a query batch (default: all application locals) on the
+        resident runner for this configuration."""
+        return self.runner(
+            mode=mode, n_threads=n_threads, backend=backend
+        ).run(queries)
+
+    def resident_jumps(
+        self,
+        *,
+        mode: Optional[str] = None,
+        n_threads: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> Optional[JumpMapLifecycle]:
+        """The committed jump map of a configuration's resident
+        executor (``None`` before its first batch, for share-nothing
+        modes, and for the stateless matrix kernel)."""
+        rt = self.runtime
+        key = (
+            mode or rt.mode,
+            n_threads if n_threads is not None else rt.n_threads,
+            backend or rt.backend,
+        )
+        runner = self._runners.get(key)
+        if runner is None:
+            return None
+        return runner.resident_jumps()
+
+    def n_jump_entries(self) -> int:
+        """Total jump entries resident across the session: the
+        sequential map plus every runner's committed map."""
+        total = 0
+        if self._seq is not None:
+            total += self._seq.jumps.n_finished_edges
+            total += self._seq.jumps.n_unfinished_edges
+        for runner in self._runners.values():
+            jumps = runner.resident_jumps()
+            if jumps is not None:
+                total += jumps.n_finished_edges + jumps.n_unfinished_edges
+        return total
+
+    # ------------------------------------------------------------------
+    # checkers
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        checkers: Optional[Sequence[str]] = None,
+        *,
+        mode: Optional[str] = None,
+        n_threads: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> CheckReport:
+        """Run the client checkers (default: all registered), all
+        demanded queries dispatched in one scheduled batch."""
+        build = self._require_build("the checkers (they walk program "
+                                    "statements)")
+        if self.kind != "java":
+            raise InputError(
+                "the checkers require the mini-Java front-end; the C "
+                "front-end has no class/statement structure to walk"
+            )
+        rt = self.runtime
+        return run_checkers(
+            build,
+            list(checkers) if checkers else None,
+            file=self.source,
+            mode=mode or rt.mode,
+            n_threads=n_threads if n_threads is not None else rt.n_threads,
+            backend=backend or rt.backend,
+            engine_config=self.engine_config,
+            schedule_config=self.schedule_config,
+            recorder=self.recorder,
+        )
+
+    # ------------------------------------------------------------------
+    # snapshots (compacted warm-start state)
+    # ------------------------------------------------------------------
+    def export_log(self) -> List[DeltaEntry]:
+        """The session's entire resident jump state as one compacted
+        epoch-0 delta: the sequential map's log merged with every
+        resident runner's, deduplicated first-writer-wins onto one
+        entry per key.  Resident mp coordinators are compacted in
+        place as a side effect (their logs never grow unbounded in a
+        long-lived daemon)."""
+        merged = JumpMap(self.engine_config.grammar)
+        raw = 0
+        if self._seq is not None:
+            log = self._seq.jumps.export_log()
+            raw += len(log)
+            merged.warm_from(log)
+        for runner in self._runners.values():
+            runner.compact_resident_logs()
+            for log in runner.export_resident_logs():
+                raw += len(log)
+                merged.warm_from(log)
+        compacted = merged.export_log()
+        if self.recorder and raw > len(compacted):
+            self.recorder.count(
+                "snapshot.log_compacted", raw - len(compacted)
+            )
+        return compacted
+
+    def snapshot(self, path: Union[str, Path]) -> SnapshotHeader:
+        """Persist the session's warm state (FrozenPAG fingerprint +
+        compacted commit log + the sequential session's invalidation
+        footprints) for :meth:`from_snapshot` /
+        ``repro serve --snapshot`` warm boots."""
+        footprints = (
+            self._seq._index.export_footprints()
+            if self._seq is not None
+            else None
+        )
+        return save_snapshot(
+            path,
+            self.pag,
+            self.export_log(),
+            grammar=self.engine_config.grammar,
+            footprints=footprints,
+            recorder=self.recorder,
+        )
+
+    def warm_from_snapshot(self, path: Union[str, Path]) -> int:
+        """Validate and replay a snapshot into the resident stores: the
+        sequential session immediately, and every runner created later
+        (existing sharing runners are seeded too).  Returns entries
+        accepted by the sequential store."""
+        snap = load_snapshot(
+            path,
+            expect_pag=self.pag,
+            expect_grammar=self.engine_config.grammar,
+            recorder=self.recorder,
+        )
+        accepted = self.seq.warm_from(snap.log, snap.footprints)
+        self._warm_log = list(snap.log)
+        for runner in self._runners.values():
+            if runner.sharing and runner.backend not in ("matrix", "hybrid"):
+                runner.warm_from(self._warm_log)
+        return accepted
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def to_dot(self) -> str:
+        """The PAG in Graphviz DOT form."""
+        from repro.pag.dot import to_dot
+
+        return to_dot(self.pag)
+
+    def stats(self) -> Dict[str, Any]:
+        """Resident-state summary (the backing of ``/healthz``)."""
+        return {
+            "source": self.source,
+            "kind": self.kind,
+            "n_nodes": self.pag.n_nodes,
+            "n_edges": self.pag.n_edges,
+            "mode": self.runtime.mode,
+            "backend": self.runtime.backend,
+            "n_threads": self.runtime.n_threads,
+            "budget": self.engine_config.budget,
+            "grammar": self.engine_config.grammar,
+            "n_runners": len(self._runners),
+            "n_jump_entries": self.n_jump_entries(),
+            "n_cached_queries": (
+                self._seq.n_cached_queries if self._seq is not None else 0
+            ),
+        }
+
+    def close(self) -> None:
+        """Release resident state.  Executors hold no OS resources
+        between batches (mp workers live only inside ``run_units``), so
+        this just drops the caches; the session must not be used
+        afterwards."""
+        self._runners.clear()
+        self._seq = None
+        self._tracer = None
+        self._warm_log = []

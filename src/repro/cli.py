@@ -1,5 +1,10 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Every command is a thin shell over :mod:`repro.api` — the CLI parses
+flags, opens a :class:`repro.api.Session`, and renders what the facade
+returns.  (``tests/test_api_surface.py`` enforces that this module
+imports nothing below the facade.)
+
 Commands
 --------
 
@@ -40,6 +45,21 @@ Commands
     * ``--severity note|warning|error`` — exit nonzero only when a
       finding at or above this level exists (default: warning).
     * ``--mode`` / ``--threads`` / ``--backend`` — batch configuration.
+
+``serve FILE``
+    Boot the analysis daemon (:mod:`repro.serve`): load the program
+    once, keep the PAG + jump maps + executors resident, and answer
+    points-to / flows-to / alias / check requests over HTTP with
+    admission control and graceful drain on SIGTERM.
+
+    * ``--host`` / ``--port`` — bind address (port 0 = ephemeral).
+    * ``--snapshot SNAP`` — warm-boot the resident state from a
+      ``repro snapshot save`` file before serving.
+    * ``--max-pending N`` — admission queue bound (429 beyond it).
+    * ``--batch-window N`` — max client jobs multiplexed per batch.
+    * ``--client-budget N`` — per-client cumulative step budget
+      (429 once exhausted; default unlimited).
+    * ``--drain-grace SECS`` — max wait for in-flight jobs on drain.
 
 ``graph FILE``
     Emit the program's PAG in Graphviz DOT form.
@@ -90,8 +110,8 @@ Commands
       it instead forwards to ``python -m repro.harness``.
 
 The run-configuration flags (``--mode``, ``--threads``, ``--backend``,
-``--budget``) are shared by ``batch``/``check``/``bench`` through one
-parent parser; each command only sets its own defaults.
+``--budget``) are shared by ``batch``/``check``/``serve``/``bench``
+through one parent parser; each command only sets its own defaults.
 
 Exit codes: 0 success (for ``check``: no finding at/above the
 threshold), 1 analysis error or findings at/above the threshold, 2 the
@@ -106,44 +126,23 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Tuple
 
+from repro.api import DEFAULT_BUDGET
 from repro.errors import InputError, ReproError
 
 __all__ = ["main"]
 
-DEFAULT_BUDGET = 75_000
 
+def _open_session(args, *, engine=None, runtime=None, recorder=None):
+    """Open the :class:`repro.api.Session` for a command's file/flags."""
+    from repro.api import Session
 
-def _load(path: Path, language: Optional[str]):
-    """Parse+lower a program file; returns (build, kind) where kind is
-    'java' or 'c'.  Unreadable input raises :class:`InputError` (exit
-    code 2), never a raw traceback."""
-    try:
-        text = path.read_text()
-    except FileNotFoundError:
-        raise InputError(f"input file not found: {path}") from None
-    except IsADirectoryError:
-        raise InputError(f"input path is a directory, not a file: {path}") from None
-    except UnicodeDecodeError:
-        raise InputError(f"input file is not valid text: {path}") from None
-    except OSError as exc:
-        raise InputError(f"cannot read input file {path}: {exc.strerror or exc}") from None
-    lang = language or ("c" if path.suffix == ".c" else "java")
-    if lang == "c":
-        from repro.cfront import lower_c, parse_c
-
-        return lower_c(parse_c(text)), "c"
-    from repro.ir import parse_program
-    from repro.pag import build_pag
-
-    return build_pag(parse_program(text)), "java"
-
-
-def _resolve_query(build, kind: str, spec: str) -> int:
-    """``var@Class.method`` (or bare global name) -> node id."""
-    name, _, scope = spec.partition("@")
-    if kind == "c":
-        return build.value_node(name, scope or None)
-    return build.var(name, scope or None)
+    return Session.open(
+        args.file,
+        language=args.language,
+        engine=engine,
+        runtime=runtime,
+        recorder=recorder,
+    )
 
 
 def _parse_ctx(text: Optional[str]) -> Tuple[int, ...]:
@@ -156,42 +155,39 @@ def _parse_ctx(text: Optional[str]) -> Tuple[int, ...]:
 
 
 def _cmd_analyze(args) -> int:
-    from repro.core import CFLEngine, EngineConfig
-    from repro.core.tracing import TracingEngine
+    from repro.api import EngineConfig
 
-    build, kind = _load(args.file, args.language)
-    pag = build.pag
-    cfg = EngineConfig(
-        budget=args.budget,
-        context_sensitive=not args.context_insensitive,
-        field_mode="match" if args.field_based else "sensitive",
+    session = _open_session(
+        args,
+        engine=EngineConfig(
+            budget=args.budget,
+            context_sensitive=not args.context_insensitive,
+            field_mode="match" if args.field_based else "sensitive",
+        ),
     )
     ctx = _parse_ctx(args.ctx)
 
     if args.alias:
-        engine = CFLEngine(pag, cfg)
-        a = _resolve_query(build, kind, args.alias[0])
-        b = _resolve_query(build, kind, args.alias[1])
-        verdict = engine.may_alias(a, b, ctx)
+        verdict = session.may_alias(args.alias[0], args.alias[1], ctx)
         print(f"may_alias({args.alias[0]}, {args.alias[1]}) = {verdict}")
         return 0
 
-    engine = TracingEngine(pag, cfg) if args.explain else CFLEngine(pag, cfg)
     if args.query:
-        targets = [(spec, _resolve_query(build, kind, spec)) for spec in args.query]
+        targets = [(spec, session.resolve(spec)) for spec in args.query]
     else:
-        targets = [(pag.name(v), v) for v in pag.app_locals()]
+        targets = [(session.name(v), v) for v in session.app_locals()]
 
     for label, node in targets:
-        result = engine.points_to(node, ctx)
-        objs = sorted(pag.name(o) for o in result.objects)
+        if args.explain:
+            result, witnesses = session.trace_points_to(node, ctx)
+        else:
+            result, witnesses = session.points_to(node, ctx), ()
+        objs = sorted(session.name(o) for o in result.objects)
         flag = "  [budget exhausted]" if result.exhausted else ""
         print(f"pts({label}) = {objs}{flag}")
-        if args.explain and not result.exhausted:
-            for obj, obj_ctx in sorted(result.points_to):
-                witness = engine.explain(pag.rep(node), ctx, obj, obj_ctx)
-                certified = "certified" if witness.certify() else "NOT CERTIFIED"
-                print(f"    {witness.pretty()}   [{certified}]")
+        for witness in witnesses:
+            certified = "certified" if witness.certify() else "NOT CERTIFIED"
+            print(f"    {witness.pretty()}   [{certified}]")
     return 0
 
 
@@ -208,18 +204,18 @@ def _make_recorder(args, want_metrics: bool, want_spans: bool = False):
     events = getattr(args, "events", None)
     progress = getattr(args, "progress", False)
     if events or progress:
-        from repro.obs import TimelineRecorder
+        from repro.api import TimelineRecorder
 
         return TimelineRecorder(
             events_path=events,
             progress_stream=sys.stderr if progress else None,
         )
     if want_spans:
-        from repro.obs import SpanRecorder
+        from repro.api import SpanRecorder
 
         return SpanRecorder()
     if want_metrics:
-        from repro.obs import MetricsRecorder
+        from repro.api import MetricsRecorder
 
         return MetricsRecorder()
     return None
@@ -232,33 +228,29 @@ def _close_recorder(recorder) -> None:
 
 
 def _cmd_batch(args) -> int:
-    from repro.core import EngineConfig
-    from repro.obs import (
-        MetricsRecorder,
+    from repro.api import (
+        EngineConfig,
         metrics_to_json,
         render_hot_queries,
         render_metrics_table,
     )
-    from repro.runtime import ParallelCFL, RuntimeConfig
 
-    build, _kind = _load(args.file, args.language)
     # The run-config flags come from the shared parent parser with None
     # defaults; each command resolves its own here (set_defaults would
     # mutate the parent's shared actions and leak across subcommands).
     n_threads = args.threads if args.threads is not None else 16
     budget = args.budget if args.budget is not None else DEFAULT_BUDGET
-    cfg = EngineConfig(budget=budget)
     backend = args.backend or "sim"
     recorder = _make_recorder(args, args.metrics or args.metrics_json)
+    session = _open_session(
+        args, engine=EngineConfig(budget=budget), recorder=recorder
+    )
 
     def run_mode(mode: str, threads: int):
-        runtime = RuntimeConfig(mode=mode, n_threads=threads, backend=backend)
-        return ParallelCFL.from_config(
-            build.pag, runtime=runtime, engine=cfg, recorder=recorder
-        ).run()
+        return session.batch(mode=mode, n_threads=threads, backend=backend)
 
     seq = run_mode("seq", 1)
-    print(f"{build.pag}: {seq.n_queries} queries (backend {backend})")
+    print(f"{session.pag}: {seq.n_queries} queries (backend {backend})")
     print(f"{'config':12s} {'speedup':>8s} {'work':>10s} {'jumps':>7s} {'ETs':>5s}")
     print(f"{'SeqCFL':12s} {'1.0x':>8s} {seq.total_work:10d} {0:7d} {0:5d}")
     ladder = ("naive", "D", "DQ") if args.mode is None else (
@@ -277,7 +269,7 @@ def _cmd_batch(args) -> int:
         print()
         print(render_metrics_table(recorder.snapshot()))
         print()
-        print(render_hot_queries(last, pag=build.pag))
+        print(render_hot_queries(last, pag=session.pag))
     if args.metrics_json:
         print(metrics_to_json(recorder.snapshot()))
     if recorder is not None:
@@ -288,24 +280,32 @@ def _cmd_batch(args) -> int:
 
 
 def _cmd_check(args) -> int:
-    from repro.analyses import (
+    from repro.api import (
+        EngineConfig,
+        RuntimeConfig,
         Severity,
-        checker_ids,
         render_json,
         render_sarif,
         render_text,
-        run_checkers,
     )
-    from repro.core import EngineConfig
 
-    build, kind = _load(args.file, args.language)
-    if kind != "java":
+    threshold = Severity.parse(args.severity)
+    budget = args.budget if args.budget is not None else DEFAULT_BUDGET
+    session = _open_session(
+        args,
+        engine=EngineConfig(budget=budget),
+        runtime=RuntimeConfig(
+            mode=args.mode or "DQ",
+            n_threads=args.threads if args.threads is not None else 8,
+            backend=args.backend or "sim",
+        ),
+    )
+    if session.kind != "java":
+        # Exit 1 (analysis error), not 2: the file itself was readable.
         raise ReproError(
             "check requires the mini-Java front-end; the C front-end has "
             "no class/statement structure for the checkers to walk"
         )
-    threshold = Severity.parse(args.severity)
-    budget = args.budget if args.budget is not None else DEFAULT_BUDGET
     # --checker accepts both repeated flags and comma-separated lists
     # (``--checker taint,escape``).
     selected = [
@@ -313,18 +313,16 @@ def _cmd_check(args) -> int:
         for cid in (part.strip() for part in raw.split(","))
         if cid
     ]
-    report = run_checkers(
-        build,
-        selected or None,
-        file=str(args.file),
-        mode=args.mode or "DQ",
-        n_threads=args.threads if args.threads is not None else 8,
-        backend=args.backend or "sim",
-        engine_config=EngineConfig(budget=budget),
-    )
+    report = session.check(selected or None)
     renderer = {"text": render_text, "json": render_json, "sarif": render_sarif}
     print(renderer[args.format](report))
     return 1 if report.count_at_or_above(threshold) else 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import serve_command
+
+    return serve_command(args)
 
 
 def _cmd_bench(args) -> int:
@@ -433,32 +431,26 @@ def _parse_workers(text: str) -> Tuple[int, ...]:
 
 
 def _cmd_graph(args) -> int:
-    from repro.pag.dot import to_dot
-
-    build, _kind = _load(args.file, args.language)
-    print(to_dot(build.pag))
+    print(_open_session(args).to_dot())
     return 0
 
 
-def _warm_session(build, budget: int):
-    """An IncrementalAnalysis at the publish-everything thresholds —
-    the configuration both snapshot subcommands warm and verify with."""
-    from repro.core import EngineConfig
-    from repro.core.incremental import IncrementalAnalysis
+def _warm_engine_config(budget: int):
+    """The publish-everything configuration both snapshot subcommands
+    warm and verify with (τ_F = τ_U = 0: every completed round
+    publishes)."""
+    from repro.api import EngineConfig
 
-    return IncrementalAnalysis(
-        build.pag, EngineConfig(budget=budget, tau_f=0, tau_u=0)
-    )
+    return EngineConfig(budget=budget, tau_f=0, tau_u=0)
 
 
 def _cmd_snapshot_save(args) -> int:
-    build, _kind = _load(args.file, args.language)
     budget = args.budget if args.budget is not None else DEFAULT_BUDGET
-    inc = _warm_session(build, budget)
-    for var in build.pag.app_locals():
-        inc.points_to(var)
+    session = _open_session(args, engine=_warm_engine_config(budget))
+    for var in session.app_locals():
+        session.points_to(var)
     out = args.out or args.file.with_suffix(".snap")
-    header = inc.save_snapshot(out)
+    header = session.snapshot(out)
     print(
         f"[snapshot {out}: {header.n_entries} entries, "
         f"{header.n_nodes} nodes / {header.n_edges} edges, "
@@ -469,14 +461,14 @@ def _cmd_snapshot_save(args) -> int:
 
 
 def _cmd_snapshot_load(args) -> int:
-    from repro.core.snapshot import load_snapshot
+    from repro.api import CFLEngine, EngineConfig, load_snapshot
 
-    build = None
+    session = None
     if args.file is not None:
-        build, _kind = _load(args.file, args.language)
+        session = _open_session(args)
     snap = load_snapshot(
         args.snapshot,
-        expect_pag=build.pag if build is not None else None,
+        expect_pag=session.pag if session is not None else None,
     )
     h = snap.header
     print(
@@ -484,33 +476,32 @@ def _cmd_snapshot_load(args) -> int:
         f"grammar {h.grammar}, {h.n_entries} entries, "
         f"{h.n_nodes} nodes / {h.n_edges} edges, "
         f"fingerprint {h.pag_fingerprint[:12]}"
-        + (", matches program" if build is not None else "")
+        + (", matches program" if session is not None else "")
         + "]"
     )
     if not args.verify:
         return 0
-    if build is None:
+    if session is None:
         raise ReproError("snapshot load --verify needs --file PROGRAM "
                          "to run the warm-vs-cold comparison against")
     # Verify at the exhaustive budget (as `bench --backend matrix`
     # does) so byte-identity is the determinism contract: finished
     # entries are exact per-round results and unfinished markers can
     # never fire, whatever budget the snapshot was saved under.
-    from repro.core import CFLEngine, EngineConfig
     from repro.harness.wallclock import MATRIX_EXACT_BUDGET
 
     budget = args.budget if args.budget is not None else MATRIX_EXACT_BUDGET
-    inc = _warm_session(build, budget)
-    loaded = inc.warm_from(snap.log, snap.footprints)
-    cold = CFLEngine(build.pag, EngineConfig(budget=budget))
+    warm = _open_session(args, engine=_warm_engine_config(budget))
+    loaded = warm.warm_from_snapshot(args.snapshot)
+    cold = CFLEngine(session.pag, EngineConfig(budget=budget))
     diverged = 0
     hits = 0
-    for var in build.pag.app_locals():
-        warm_result = inc.points_to(var)
+    for var in warm.app_locals():
+        warm_result = warm.points_to(var)
         hits += warm_result.costs.jmp_taken
         if warm_result.points_to != cold.points_to(var).points_to:
             diverged += 1
-            print(f"verify: DIVERGED on {build.pag.name(var)}",
+            print(f"verify: DIVERGED on {warm.name(var)}",
                   file=sys.stderr)
     verdict = "ok" if diverged == 0 else "FAILED"
     print(f"[verify {verdict}: {loaded} entries warmed, {hits} shortcut "
@@ -519,7 +510,7 @@ def _cmd_snapshot_load(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    from repro.runtime.config import BACKENDS, MODES
+    from repro.api import BACKENDS, MODES
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -528,9 +519,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     # Shared parents: the file/front-end arguments, and the run
-    # configuration repeated across batch/check/bench.  Defaults are
-    # None here; each command sets its own via set_defaults, so adding
-    # a flag in one place surfaces it uniformly.
+    # configuration repeated across batch/check/serve/bench.  Defaults
+    # are None here; each command sets its own via set_defaults, so
+    # adding a flag in one place surfaces it uniformly.
     common_file = argparse.ArgumentParser(add_help=False)
     common_file.add_argument("file", type=Path,
                              help="program source (.mj or .c)")
@@ -603,6 +594,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="exit nonzero when a finding at/above this level exists",
     )
     check.set_defaults(func=_cmd_check)
+
+    serve = sub.add_parser(
+        "serve", parents=[common_file, common_run],
+        help="boot the resident analysis daemon (HTTP, repro.serve)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8177,
+                       help="bind port (0 = ephemeral, printed at boot)")
+    serve.add_argument("--snapshot", type=Path, default=None, metavar="SNAP",
+                       help="warm-boot the resident state from a "
+                            "`repro snapshot save` file")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       dest="max_pending", metavar="N",
+                       help="admission queue bound; 429 beyond it")
+    serve.add_argument("--batch-window", type=int, default=32,
+                       dest="batch_window", metavar="N",
+                       help="max client jobs multiplexed into one batch")
+    serve.add_argument("--client-budget", type=int, default=None,
+                       dest="client_budget", metavar="STEPS",
+                       help="per-client cumulative step budget; 429 once "
+                            "exhausted (default: unlimited)")
+    serve.add_argument("--drain-grace", type=float, default=30.0,
+                       dest="drain_grace", metavar="SECS",
+                       help="max wait for in-flight jobs on drain")
+    serve.set_defaults(func=_cmd_serve)
 
     graph = sub.add_parser("graph", parents=[common_file],
                            help="emit the PAG as Graphviz DOT")

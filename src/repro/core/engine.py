@@ -32,8 +32,7 @@ exact-answer guarantees (documented in DESIGN.md §4):
 from __future__ import annotations
 
 import sys
-import warnings
-from dataclasses import InitVar, dataclass
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.context import Context, EMPTY_CTX
@@ -73,19 +72,15 @@ class EngineConfig:
     store of field f matches every load of f without an alias test —
     the sound, cheap over-approximation that refinement-based schemes
     [18] start from), or ``"none"`` (field-insensitive).  The historic
-    ``field_sensitive`` boolean and the runtime-layer ``faults`` plan
-    are accepted as deprecated constructor arguments only — they warn
-    and map onto ``field_mode`` / the runtime config respectively.
+    ``field_sensitive`` boolean and runtime-layer ``faults`` shims were
+    removed with the ``repro.api`` consolidation — fault plans live on
+    :class:`repro.runtime.config.RuntimeConfig`.
     """
 
     budget: int = 75_000
     context_sensitive: bool = True
-    #: Deprecated alias for ``field_mode``: ``True`` -> ``"sensitive"``,
-    #: ``False`` -> ``"none"``.  An explicit ``field_mode`` wins.
-    field_sensitive: InitVar[Optional[bool]] = None
-    #: Heap-matching precision; ``None`` resolves to ``"sensitive"``
-    #: (or the deprecated ``field_sensitive`` mapping when given).
-    field_mode: Optional[str] = None
+    #: Heap-matching precision (one of :data:`FIELD_MODES`).
+    field_mode: str = "sensitive"
     #: Honour unfinished-jump early termination (Algorithm 2 line 3).
     early_termination: bool = True
     #: Minimum round cost for publishing finished jmp edges (τ_F).
@@ -103,24 +98,8 @@ class EngineConfig:
     #: not different sweeps; the engine refuses grammars whose declared
     #: ``traversal`` it has no compiled sweeps for.
     grammar: str = DEFAULT_GRAMMAR
-    #: Deprecated core->runtime layering leak: the fault plan belongs to
-    #: :class:`repro.runtime.config.RuntimeConfig`.  Still accepted (and
-    #: readable via the ``faults`` property) so old callers keep
-    #: working, but construction warns.
-    faults: InitVar[Optional[object]] = None
 
-    def __post_init__(self, field_sensitive, faults) -> None:
-        if field_sensitive is not None:
-            warnings.warn(
-                "EngineConfig(field_sensitive=...) is deprecated; pass "
-                "field_mode='sensitive'/'match'/'none' instead",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            if self.field_mode is None:
-                self.field_mode = "sensitive" if field_sensitive else "none"
-        if self.field_mode is None:
-            self.field_mode = "sensitive"
+    def __post_init__(self) -> None:
         if self.field_mode not in FIELD_MODES:
             raise AnalysisError(
                 f"field_mode must be sensitive/match/none, got {self.field_mode!r}"
@@ -128,60 +107,12 @@ class EngineConfig:
         # Validate eagerly: a typo'd grammar id should fail at config
         # construction, not at first query.
         get_grammar(self.grammar)
-        if faults is not None:
-            warnings.warn(
-                "EngineConfig(faults=...) is deprecated; fault plans are a "
-                "runtime concern — pass RuntimeConfig(faults=...) (or the "
-                "executor's faults argument) instead",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-        self._faults = faults
-
-    @property
-    def effective_field_mode(self) -> str:
-        """Backward-compatible alias: ``field_mode`` is now always a
-        validated concrete value."""
-        return self.field_mode
 
     def with_(self, **changes) -> "EngineConfig":
-        """A copy with ``changes`` applied and re-validated.
-
-        Use this instead of :func:`dataclasses.replace`: ``replace``
-        re-feeds the deprecated ``field_sensitive``/``faults`` InitVars
-        (reading them through the warning properties), so it cannot be
-        called without tripping the shims.
-        """
+        """A copy with ``changes`` applied and re-validated."""
         import dataclasses
 
-        base = {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
-        base.update(changes)
-        fresh = EngineConfig(**base)
-        fresh._faults = self._faults
-        return fresh
-
-
-def _engine_config_field_sensitive(self) -> bool:
-    warnings.warn(
-        "EngineConfig.field_sensitive is deprecated; read field_mode instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return self.field_mode == "sensitive"
-
-
-def _engine_config_faults(self):
-    # Read access stays silent: the mp backend's legacy fallback probes
-    # this on every construction, and the warning already fired when the
-    # plan was (deprecatedly) attached here.
-    return getattr(self, "_faults", None)
-
-
-# The deprecated names are InitVar annotations in the class body, so the
-# alias properties must be attached after the dataclass is built (a
-# property *in* the body would become the InitVar's default value).
-EngineConfig.field_sensitive = property(_engine_config_field_sensitive)
-EngineConfig.faults = property(_engine_config_faults)
+        return dataclasses.replace(self, **changes)
 
 
 class CFLEngine:

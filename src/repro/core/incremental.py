@@ -314,6 +314,19 @@ class IncrementalAnalysis:
     def flows_to(self, obj: int, ctx: Context = EMPTY_CTX) -> QueryResult:
         return self._run(FLOWS_TO, obj, ctx, self._engine.flows_to)
 
+    def may_alias(self, a: int, b: int, ctx: Context = EMPTY_CTX) -> bool:
+        """Points-to overlap of two variables under one context.
+
+        Runs both sides through the session (so answers are cached and
+        footprint-indexed like any other query) and intersects the
+        object sets, mirroring :meth:`CFLEngine.may_alias` — an
+        exhausted side conservatively answers True."""
+        pa = self._run(POINTS_TO, a, ctx, self._engine.points_to)
+        pb = self._run(POINTS_TO, b, ctx, self._engine.points_to)
+        if pa.exhausted or pb.exhausted:
+            return True
+        return bool(pa.objects & pb.objects)
+
     def _run(
         self,
         direction: bool,

@@ -15,11 +15,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.benchgen.suites import load_benchmark, spec_of, suite_names
-from repro.core.jumpmap import JumpMap
+from repro.api import (
+    JumpMap,
+    RuntimeConfig,
+    Session,
+    load_benchmark,
+    spec_of,
+    suite_names,
+)
 from repro.harness.report import ascii_histogram
 from repro.harness.runner import DEFAULT_THREADS
-from repro.runtime.executor import ParallelCFL
 
 __all__ = ["Fig7Result", "run", "render", "N_BUCKETS"]
 
@@ -69,26 +74,26 @@ def run(
         spec = spec_of(name)
         build = load_benchmark(name)
         queries = spec.workload()
-        seq = ParallelCFL(
-            build, mode="seq", engine_config=spec.engine_config()
-        ).run(queries)
+        seq = Session.from_build(
+            build,
+            engine=spec.engine_config(),
+            runtime=RuntimeConfig(mode="seq", n_threads=1),
+        ).batch(queries)
         for tag, cfg in (
             ("", spec.engine_config(tau_f=0, tau_u=0)),
             ("_opt", spec.engine_config()),
         ):
-            # Run through SimulatedExecutor directly so the committed
-            # jump map stays accessible for the histogram.
-            from repro.runtime.simclock import SimulatedExecutor
-
-            runner = ParallelCFL(
-                build, mode="DQ", n_threads=n_threads, engine_config=cfg
+            # A resident session keeps the committed jump map reachable
+            # (Session.resident_jumps) for the histogram.
+            session = Session.from_build(
+                build,
+                engine=cfg,
+                runtime=RuntimeConfig(mode="DQ", n_threads=n_threads),
             )
-            ex = SimulatedExecutor(
-                build.pag, n_threads, engine_config=cfg, sharing=True, mode="DQ"
-            )
-            batch = ex.run_units(runner.work_units(queries))
-            assert ex.jumps is not None
-            hist = _collect(ex.jumps)
+            batch = session.batch(queries)
+            jumps = session.resident_jumps()
+            assert isinstance(jumps, JumpMap)
+            hist = _collect(jumps)
             totals[f"finished{tag}"] = [
                 a + b for a, b in zip(totals[f"finished{tag}"], hist["finished"])
             ]

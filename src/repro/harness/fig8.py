@@ -10,9 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.benchgen.suites import load_benchmark, spec_of, suite_names
+from repro.api import ParallelCFL, load_benchmark, spec_of, suite_names
 from repro.harness.report import ascii_table, to_csv
-from repro.runtime.executor import ParallelCFL
 
 __all__ = ["Fig8Row", "THREAD_COUNTS", "run", "render", "averages"]
 

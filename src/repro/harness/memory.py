@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.benchgen.suites import suite_names
+from repro.api import suite_names
 from repro.harness.report import ascii_table, to_csv
 from repro.harness.runner import DEFAULT_THREADS, run_benchmark_modes
 

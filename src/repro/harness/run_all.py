@@ -13,7 +13,7 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-from repro.benchgen.suites import suite_names
+from repro.api import suite_names
 
 __all__ = ["main"]
 

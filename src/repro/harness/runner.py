@@ -11,11 +11,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.benchgen.suites import BenchmarkSpec, load_benchmark, spec_of
-from repro.runtime.config import RuntimeConfig
-from repro.runtime.contention import CostModel
-from repro.runtime.executor import ParallelCFL
-from repro.runtime.results import BatchResult
+from repro.api import (
+    BatchResult,
+    BenchmarkSpec,
+    CostModel,
+    ParallelCFL,
+    RuntimeConfig,
+    load_benchmark,
+    spec_of,
+)
 
 __all__ = ["BenchmarkModes", "run_benchmark_modes", "DEFAULT_THREADS"]
 

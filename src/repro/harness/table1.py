@@ -19,8 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.benchgen.suites import load_benchmark, suite_names
-from repro.core.scheduling import schedule_queries
+from repro.api import load_benchmark, schedule_queries, suite_names
 from repro.harness.report import ascii_table, to_csv
 from repro.harness.runner import DEFAULT_THREADS, run_benchmark_modes
 

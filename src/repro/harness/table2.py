@@ -18,11 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.andersen import AndersenSolver
-from repro.core import CFLEngine, EngineConfig
+from repro.api import (
+    AndersenSolver,
+    CFLEngine,
+    EngineConfig,
+    build_pag,
+    parse_program,
+)
 from repro.harness.report import ascii_table, to_csv
-from repro.ir import parse_program
-from repro.pag import build_pag
 
 __all__ = ["Table2Row", "run", "render", "HEADERS"]
 

@@ -52,12 +52,19 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.benchgen.suites import load_benchmark, spec_of, suite_names
-from repro.core.engine import CFLEngine
-from repro.runtime.config import RuntimeConfig
-from repro.runtime.executor import ParallelCFL
-from repro.runtime.faults import FaultPlan
-from repro.runtime.mp import MPExecutor
+from repro.api import (
+    CFLEngine,
+    FaultPlan,
+    JumpMap,
+    ParallelCFL,
+    RuntimeConfig,
+    hot_queries,
+    load_benchmark,
+    load_snapshot,
+    save_snapshot,
+    spec_of,
+    suite_names,
+)
 
 __all__ = [
     "SuiteBench",
@@ -243,8 +250,6 @@ def bench_suite(
             row.n_jumps = batch.n_jumps
             row.early_terminations = batch.n_early_terminations
             if recorder:
-                from repro.obs.report import hot_queries
-
                 row.metrics = dict(batch.metrics)
                 row.hot_queries = hot_queries(batch, pag=build.pag, top=5)
     return row
@@ -269,11 +274,16 @@ def fault_drill(name: str, workers: int = FAULT_DRILL_WORKERS) -> dict:
     }
 
     plan = FaultPlan.single("kill", worker=0, after_units=1)
-    ex = MPExecutor(
-        build.pag, n_workers=workers, engine_config=cfg, sharing=False,
-        faults=plan, max_respawns=1,
-    )
-    batch = ex.run(queries)
+    # mode="naive" is the share-nothing one-query-per-fetch
+    # configuration the drill's loss accounting assumes.
+    batch = ParallelCFL.from_config(
+        build,
+        runtime=RuntimeConfig(
+            mode="naive", backend="mp", n_threads=workers,
+            faults=plan, max_respawns=1,
+        ),
+        engine=cfg,
+    ).run(queries)
 
     lost = len(queries) - batch.n_queries
     identical = lost == 0 and all(
@@ -316,9 +326,6 @@ def warm_bench(
     reported in ``identical`` is the determinism contract, not luck.
     """
     import tempfile
-
-    from repro.core.jumpmap import JumpMap
-    from repro.core.snapshot import load_snapshot, save_snapshot
 
     spec = spec_of(name)
     build = load_benchmark(name)

@@ -84,9 +84,22 @@ COUNTER_DOCS: Dict[str, str] = {
     "mp.respawns": "worker slots respawned",
     "mp.quarantined_chunks": "chunks executed inline by the coordinator",
     "mp.warm_entries": "commit-log entries seeded by a warm start",
+    "mp.log_compacted": "commit-log entries dropped by epoch-0 compaction",
     "snapshot.bytes": "snapshot bytes written plus bytes read back",
     "snapshot.entries_saved": "jump-map log entries persisted to snapshots",
     "snapshot.entries_loaded": "jump-map log entries read from snapshots",
+    "snapshot.log_compacted": "stale/duplicate entries folded out of exported logs",
+    "api.sessions": "Session facades constructed",
+    "api.pag_builds": "programs parsed and lowered to a PAG",
+    "serve.requests": "HTTP requests accepted by the daemon",
+    "serve.jobs": "analysis jobs admitted to the dispatch queue",
+    "serve.queries": "client queries answered by the daemon",
+    "serve.batches": "multiplexed batches dispatched by the daemon",
+    "serve.multiplexed": "jobs coalesced into an already-open batch",
+    "serve.rejected_budget": "jobs refused: client step budget exhausted (429)",
+    "serve.rejected_queue": "jobs refused: admission queue full (429)",
+    "serve.rejected_draining": "jobs refused: daemon draining (503)",
+    "serve.drained_jobs": "jobs completed during graceful drain",
     "inc.edits": "incremental session edits applied",
     "inc.entries_invalidated": "finished jmp edges dropped by selective invalidation",
     "inc.entries_survived": "finished jmp edges surviving each edit (summed)",

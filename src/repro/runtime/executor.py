@@ -18,10 +18,17 @@ Execution knobs are consolidated in
     batch = ParallelCFL.from_config(build, runtime=runtime).run()
 
 ``mode`` and ``n_threads`` stay available as direct conveniences (they
-override the runtime config's values); the historic backend keywords
-(``backend``, ``chunk_size``, ``cost_model``, ``faults``,
-``unit_timeout``) are accepted through a deprecation shim that warns
-and maps them onto the config.
+override the runtime config's values).  The historic backend keyword
+shim (``backend=``, ``chunk_size=``, ``cost_model=``, ``faults=``,
+``unit_timeout=`` directly on the constructor) was removed with the
+``repro.api`` consolidation — pass a :class:`RuntimeConfig`.
+
+``persistent=True`` keeps one executor per backend resident across
+:meth:`run` calls, so the committed jump map (and the mp coordinator's
+commit log) warm successive batches instead of being rebuilt — the
+substrate :class:`repro.api.Session` and the ``repro serve`` daemon
+run on.  The default (``False``) constructs a fresh executor per run,
+the historic one-shot behaviour.
 
 Pass ``recorder=`` (:mod:`repro.obs`) to collect counters and spans;
 the batch's share lands in ``BatchResult.metrics``.
@@ -29,11 +36,11 @@ the batch's share lands in ``BatchResult.metrics``.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import replace
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.engine import EngineConfig
+from repro.core.jumpmap import DeltaEntry, JumpMapLifecycle
 from repro.core.query import Query
 from repro.core.scheduling import ScheduleConfig, prefer_bulk, schedule_queries
 from repro.ir.types import TypeTable
@@ -47,16 +54,6 @@ from repro.runtime.simclock import SimulatedExecutor
 from repro.runtime.threaded import ThreadedExecutor
 
 __all__ = ["ParallelCFL", "MODES", "BACKENDS"]
-
-#: The historic keyword surface now owned by RuntimeConfig, in the
-#: order the old signature declared them (kept for the shim's mapping).
-_LEGACY_RUNTIME_KWARGS = (
-    "cost_model",
-    "backend",
-    "chunk_size",
-    "faults",
-    "unit_timeout",
-)
 
 
 class ParallelCFL:
@@ -72,27 +69,10 @@ class ParallelCFL:
         schedule_config: Optional[ScheduleConfig] = None,
         types: Optional[TypeTable] = None,
         recorder=None,
-        **legacy,
+        persistent: bool = False,
     ) -> None:
-        unknown = set(legacy) - set(_LEGACY_RUNTIME_KWARGS)
-        if unknown:
-            raise TypeError(
-                f"ParallelCFL() got unexpected keyword arguments: "
-                f"{sorted(unknown)}"
-            )
-        if legacy:
-            passed = [k for k in _LEGACY_RUNTIME_KWARGS if k in legacy]
-            warnings.warn(
-                f"ParallelCFL({', '.join(passed)}=...) is deprecated; pass "
-                f"RuntimeConfig({', '.join(passed)}=...) via the runtime "
-                f"argument instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
         runtime = runtime or RuntimeConfig()
-        overrides = {
-            k: v for k, v in legacy.items() if v is not None
-        }
+        overrides = {}
         if mode is not None:
             overrides["mode"] = mode
         if n_threads is not None:
@@ -111,6 +91,10 @@ class ParallelCFL:
         self.schedule_config = schedule_config
         self.types = types
         self.recorder = recorder
+        #: Keep one executor per backend resident across runs (the
+        #: committed jump map warms successive batches).
+        self.persistent = persistent
+        self._executors: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -123,6 +107,7 @@ class ParallelCFL:
         *,
         types: Optional[TypeTable] = None,
         recorder=None,
+        persistent: bool = False,
     ) -> "ParallelCFL":
         """The config-first constructor: every runtime decision in one
         :class:`RuntimeConfig`, every analysis decision in one
@@ -134,6 +119,7 @@ class ParallelCFL:
             schedule_config=schedule,
             types=types,
             recorder=recorder,
+            persistent=persistent,
         )
 
     # ------------------------------------------------------------------
@@ -189,6 +175,134 @@ class ParallelCFL:
         # seq / naive / D: one query per fetch, in issue order.
         return [[q] for q in queries]
 
+    # ------------------------------------------------------------------
+    # executor construction / residency
+    # ------------------------------------------------------------------
+    def _make_executor(self, backend: str):
+        rt = self.runtime
+        if backend == "matrix":
+            return MatrixExecutor(
+                self.pag,
+                self.n_threads,
+                engine_config=self.engine_config,
+                sharing=self.sharing,
+                mode=self.mode,
+                recorder=self.recorder,
+            )
+        if backend == "mp":
+            return MPExecutor(
+                self.pag,
+                self.n_threads,
+                engine_config=self.engine_config,
+                sharing=self.sharing,
+                mode=self.mode,
+                chunk_size=rt.chunk_size,
+                start_method=rt.start_method,
+                max_chunk_retries=rt.max_chunk_retries,
+                max_respawns=rt.max_respawns,
+                unit_timeout=rt.unit_timeout,
+                respawn_backoff=rt.respawn_backoff,
+                faults=rt.faults,
+                recorder=self.recorder,
+            )
+        if backend == "threads":
+            return ThreadedExecutor(
+                self.pag,
+                self.n_threads,
+                engine_config=self.engine_config,
+                sharing=self.sharing,
+                mode=self.mode,
+                recorder=self.recorder,
+            )
+        return SimulatedExecutor(
+            self.pag,
+            self.n_threads,
+            engine_config=self.engine_config,
+            cost_model=rt.cost_model,
+            sharing=self.sharing,
+            mode=self.mode,
+            recorder=self.recorder,
+        )
+
+    def executor(self, backend: Optional[str] = None):
+        """The executor a run on ``backend`` would use.
+
+        Persistent runners hand back the same instance per backend (its
+        committed jump map survives across batches); one-shot runners
+        construct a fresh executor every time, the historic behaviour.
+        ``hybrid`` has no executor of its own — resolve it through
+        :meth:`run` (or ask for ``matrix``/``threads`` directly).
+        """
+        backend = backend or self.runtime.backend
+        if backend == "hybrid":
+            raise ValueError(
+                "hybrid is a router, not an executor; ask for 'matrix' "
+                "or 'threads' (the backends it routes between)"
+            )
+        if not self.persistent:
+            return self._make_executor(backend)
+        ex = self._executors.get(backend)
+        if ex is None:
+            ex = self._executors[backend] = self._make_executor(backend)
+        return ex
+
+    def resident_jumps(
+        self, backend: Optional[str] = None
+    ) -> Optional[JumpMapLifecycle]:
+        """The resident executor's committed jump map (``None`` for
+        share-nothing modes and the stateless matrix kernel).  Only
+        meaningful on a persistent runner."""
+        ex = self._executors.get(backend or self.runtime.backend)
+        if ex is None:
+            return None
+        return getattr(ex, "jumps", None)
+
+    def warm_from(self, log: Sequence[DeltaEntry]) -> int:
+        """Seed the resident executor's jump map from an exported
+        commit log (:mod:`repro.core.snapshot` wire format).
+
+        Requires ``persistent=True`` and a sharing mode; returns the
+        number of accepted entries (first-writer-wins, idempotent).
+        """
+        if not self.persistent:
+            raise ValueError("warm_from requires a persistent runner")
+        if not self.sharing or self.runtime.backend in ("matrix", "hybrid"):
+            return 0
+        ex = self.executor()
+        if isinstance(ex, MPExecutor):
+            # Seeds the coordinator map *and* the commit log, so the
+            # warmed entries ship to workers as the epoch-0 delta.
+            return ex.warm_from(log)
+        jumps = getattr(ex, "jumps", None)
+        if jumps is None:
+            return 0
+        return jumps.warm_from(log)
+
+    def export_resident_logs(self) -> List[List[DeltaEntry]]:
+        """Every resident executor's commit log, one list per backend —
+        the mp coordinator's authoritative log where there is one, the
+        committed map's export elsewhere.  Empty for one-shot runners."""
+        out: List[List[DeltaEntry]] = []
+        for ex in self._executors.values():
+            if isinstance(ex, MPExecutor):
+                out.append(ex.export_log())
+                continue
+            jumps = getattr(ex, "jumps", None)
+            if jumps is not None:
+                out.append(list(jumps.export_log()))
+        return out
+
+    def compact_resident_logs(self) -> int:
+        """Fold every resident mp coordinator's commit log into its
+        single epoch-0 delta (see :meth:`MPExecutor.compact_log`);
+        returns the total entries dropped."""
+        dropped = 0
+        for ex in self._executors.values():
+            if isinstance(ex, MPExecutor):
+                dropped += ex.compact_log()
+        return dropped
+
+    # ------------------------------------------------------------------
     def run(self, queries: Optional[Sequence[Query]] = None) -> BatchResult:
         """Execute the batch; returns a :class:`BatchResult`.
 
@@ -225,54 +339,7 @@ class ParallelCFL:
                 n_workers=self.n_threads, total_queries=len(queries),
                 n_units=len(units),
             )
-        if backend == "matrix":
-            xexec = MatrixExecutor(
-                self.pag,
-                self.n_threads,
-                engine_config=self.engine_config,
-                sharing=self.sharing,
-                mode=self.mode,
-                recorder=rec,
-            )
-            batch = xexec.run_units(units)
-        elif backend == "mp":
-            mexec = MPExecutor(
-                self.pag,
-                self.n_threads,
-                engine_config=self.engine_config,
-                sharing=self.sharing,
-                mode=self.mode,
-                chunk_size=rt.chunk_size,
-                start_method=rt.start_method,
-                max_chunk_retries=rt.max_chunk_retries,
-                max_respawns=rt.max_respawns,
-                unit_timeout=rt.unit_timeout,
-                respawn_backoff=rt.respawn_backoff,
-                faults=rt.faults,
-                recorder=rec,
-            )
-            batch = mexec.run_units(units)
-        elif backend == "threads":
-            texec = ThreadedExecutor(
-                self.pag,
-                self.n_threads,
-                engine_config=self.engine_config,
-                sharing=self.sharing,
-                mode=self.mode,
-                recorder=rec,
-            )
-            batch = texec.run_units(units)
-        else:
-            sexec = SimulatedExecutor(
-                self.pag,
-                self.n_threads,
-                engine_config=self.engine_config,
-                cost_model=rt.cost_model,
-                sharing=self.sharing,
-                mode=self.mode,
-                recorder=rec,
-            )
-            batch = sexec.run_units(units)
+        batch = self.executor(backend).run_units(units)
         if rec:
             batch.metrics = rec.since(mark)
             rec.event(

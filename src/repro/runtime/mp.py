@@ -254,8 +254,8 @@ class MPExecutor:
         ``None`` (the default) disables the deadline.
     ``faults``
         A :class:`~repro.runtime.faults.FaultPlan` shipped to workers
-        for fault-injection runs; defaults to
-        ``engine_config.faults``, then the ``REPRO_FAULTS`` env var.
+        for fault-injection runs; defaults to the ``REPRO_FAULTS``
+        env var.
     """
 
     def __init__(
@@ -308,8 +308,6 @@ class MPExecutor:
         self.unit_timeout = unit_timeout
         self.respawn_backoff = respawn_backoff
         if faults is None:
-            faults = getattr(self.engine_config, "faults", None)
-        if faults is None:
             faults = FaultPlan.from_env()
         self.faults = faults
         #: Optional :class:`repro.obs.Recorder`.  When set, workers run
@@ -353,6 +351,28 @@ class MPExecutor:
         """A copy of the authoritative commit log — the artifact
         :mod:`repro.core.snapshot` persists and warm starts replay."""
         return list(self._log)
+
+    def compact_log(self) -> int:
+        """Fold the commit log into a single epoch-0 delta: one entry
+        per key still live in the authoritative map.
+
+        A long-lived coordinator accumulates log entries forever (and
+        ``invalidate_keys`` drops entries from the *map* but not the
+        *log*, so a stale log can even ship entries the map no longer
+        holds).  Compaction is safe between batches because ``spawn()``
+        resets every worker's ``sent_epoch`` to 0 — the next dispatch
+        ships the full (now compacted) log, never a suffix of the old
+        numbering.  Returns the number of entries dropped.
+        """
+        if self.jumps is None:
+            return 0
+        before = len(self._log)
+        self._log = list(self.jumps.export_log())
+        dropped = before - len(self._log)
+        rec = self.recorder
+        if rec and dropped:
+            rec.count("mp.log_compacted", dropped)
+        return dropped
 
     def warm_from(self, log: Sequence[DeltaEntry]) -> int:
         """Seed the coordinator map *and* the commit log from a prior

@@ -1,0 +1,816 @@
+"""repro.serve — analysis-as-a-service on a resident :class:`Session`.
+
+``repro serve FILE`` boots a long-lived daemon that parses and lowers
+the program **once**, then answers pointer-analysis queries over HTTP
+(stdlib :mod:`http.server`, JSON bodies — no new dependencies).  All
+analysis state stays resident between requests: the PAG, the warm jump
+maps, and the persistent per-backend executors of one
+:class:`repro.api.Session`.
+
+Architecture — request intake is decoupled from analysis dispatch:
+
+* **Handler threads** (``ThreadingHTTPServer``) parse requests and
+  practise admission control: a bounded job queue (429 when full),
+  per-client cumulative step budgets (429 when exhausted), and a
+  draining flag (503 once shutdown has begun).
+* **One dispatcher thread** owns the session.  It drains the queue
+  greedily, coalescing many small client jobs into one deduplicated
+  batch per wake-up (up to ``batch_window`` jobs), and pushes the
+  merged query list through the ordinary ``schedule_queries`` →
+  executor pipeline via :meth:`Session.batch`.  Answers are fanned
+  back out to each waiting job keyed on the executed representative
+  query, so concurrent clients share the scheduler's locality wins and
+  every answer is byte-identical to a one-shot CLI run.
+* **Graceful drain** on SIGTERM/SIGINT: new work is refused, every
+  admitted job completes, the HTTP server stops, exit code 0.
+
+Endpoints::
+
+    GET  /healthz          resident-state summary (JSON)
+    GET  /metricz          counter snapshot (repro.obs metrics JSON)
+    GET  /v1/targets       the default workload: application locals
+    POST /v1/points_to     {"targets": [spec|node, ...], "ctx": [...]}
+    POST /v1/flows_to      {"objects": [label|node, ...], "ctx": [...]}
+    POST /v1/alias         {"a": spec, "b": spec, "ctx": [...]}
+    POST /v1/check         {"checkers": [id, ...]}
+    POST /admin/drain      begin graceful drain, then stop
+
+Clients identify themselves with an ``X-Repro-Client`` header (or a
+``"client"`` JSON field); budgets are accounted per client id.
+:class:`ServeClient` wraps the wire protocol for tests and scripts.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from http.client import HTTPConnection
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro._version import __version__
+from repro.api import (
+    DEFAULT_BUDGET,
+    EMPTY_CTX,
+    Context,
+    EngineConfig,
+    MetricsRecorder,
+    Query,
+    QueryResult,
+    ReproError,
+    RuntimeConfig,
+    Session,
+    dedupe_queries,
+    metrics_to_json,
+)
+
+__all__ = [
+    "ServeConfig",
+    "ServeRejected",
+    "AnalysisService",
+    "ServeClient",
+    "serve",
+    "serve_command",
+]
+
+
+class ServeRejected(ReproError):
+    """A request the daemon refused to admit (admission control) or
+    could not answer; carries the HTTP status the wire layer emits."""
+
+    def __init__(self, status: int, reason: str) -> None:
+        super().__init__(reason)
+        self.status = status
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Daemon tuning knobs (all defaults are serve-smoke friendly)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8177
+    mode: str = "DQ"
+    backend: str = "threads"
+    n_threads: int = 8
+    budget: int = DEFAULT_BUDGET
+    #: Admission queue bound: jobs beyond this are refused with 429.
+    max_pending: int = 64
+    #: Max jobs coalesced into one multiplexed batch per dispatch.
+    batch_window: int = 32
+    #: Cumulative engine steps a single client may consume before its
+    #: jobs are refused with 429.  ``None`` disables the ledger.
+    client_step_budget: Optional[int] = None
+    #: Seconds the drain waits for admitted jobs before giving up.
+    drain_grace: float = 30.0
+
+
+_STOP = object()  # queue sentinel: begin draining
+
+
+@dataclass
+class _Job:
+    """One admitted unit of work, owned by the dispatcher thread."""
+
+    kind: str  # "queries" (multiplexable) or "call" (run alone)
+    client: str
+    queries: List[Query] = field(default_factory=list)
+    call: Optional[Any] = None  # thunk for kind="call"
+    done: threading.Event = field(default_factory=threading.Event)
+    results: Optional[List[QueryResult]] = None
+    value: Any = None
+    error: Optional[BaseException] = None
+
+    def finish(self) -> None:
+        self.done.set()
+
+
+class AnalysisService:
+    """The dispatcher core: admission control in callers' threads, all
+    analysis on one thread that owns the :class:`Session`."""
+
+    def __init__(
+        self,
+        session: Session,
+        config: Optional[ServeConfig] = None,
+        recorder: Optional[MetricsRecorder] = None,
+    ) -> None:
+        self.session = session
+        self.config = config or ServeConfig()
+        self.recorder = recorder if recorder is not None else session.recorder
+        self._queue: "queue.Queue[Any]" = queue.Queue(
+            maxsize=self.config.max_pending
+        )
+        self._spent: Dict[str, int] = {}
+        self._ledger_lock = threading.Lock()
+        self._draining = threading.Event()
+        self._started = time.time()
+        self.n_jobs_done = 0
+        self.n_batches = 0
+        self._dispatcher = threading.Thread(
+            target=self._loop, name="repro-serve-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # admission (handler threads)
+    # ------------------------------------------------------------------
+    def _admit(self, job: _Job) -> None:
+        if self._draining.is_set():
+            self._count("serve.rejected_draining")
+            raise ServeRejected(503, "daemon is draining")
+        budget = self.config.client_step_budget
+        if budget is not None:
+            with self._ledger_lock:
+                spent = self._spent.get(job.client, 0)
+            if spent >= budget:
+                self._count("serve.rejected_budget")
+                raise ServeRejected(
+                    429,
+                    f"client {job.client!r} exhausted its step budget "
+                    f"({spent} >= {budget})",
+                )
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            self._count("serve.rejected_queue")
+            raise ServeRejected(
+                429,
+                f"admission queue full ({self.config.max_pending} pending)",
+            ) from None
+        self._count("serve.jobs")
+
+    def _await(self, job: _Job) -> _Job:
+        job.done.wait()
+        if job.error is not None:
+            err = job.error
+            if isinstance(err, ServeRejected):
+                raise err
+            if isinstance(err, ReproError):
+                raise ServeRejected(400, str(err))
+            raise ServeRejected(500, f"{type(err).__name__}: {err}")
+        return job
+
+    def submit_queries(
+        self, client: str, queries: Sequence[Query]
+    ) -> List[QueryResult]:
+        """Admit a points-to job; blocks until the dispatcher has
+        folded it through a (possibly shared) batch.  Returns one
+        result per requested query, in request order."""
+        job = _Job(kind="queries", client=client, queries=list(queries))
+        self._admit(job)
+        self._await(job)
+        assert job.results is not None
+        self._charge(client, sum(r.costs.steps for r in job.results))
+        self._count("serve.queries", len(job.results))
+        return job.results
+
+    def submit_call(self, client: str, thunk) -> Any:
+        """Admit a non-multiplexable job (flows-to, checkers) run alone
+        on the dispatcher thread."""
+        job = _Job(kind="call", client=client, call=thunk)
+        self._admit(job)
+        self._await(job)
+        return job.value
+
+    def _charge(self, client: str, steps: int) -> None:
+        if self.config.client_step_budget is None or steps <= 0:
+            return
+        with self._ledger_lock:
+            self._spent[client] = self._spent.get(client, 0) + steps
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        rec = self.recorder
+        if rec:
+            rec.count(name, delta)
+
+    # ------------------------------------------------------------------
+    # dispatch (the one thread that owns the session)
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        stopping = False
+        while True:
+            if stopping:
+                # Draining: finish everything already admitted, then
+                # exit.  Nothing new gets past _admit.
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+            else:
+                item = self._queue.get()
+            if item is _STOP:
+                stopping = True
+                self._queue.task_done()
+                continue
+            jobs = [item]
+            # Greedy multiplex: coalesce whatever else is already
+            # queued (up to the window) into this dispatch round.
+            while len(jobs) < self.config.batch_window:
+                try:
+                    nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is _STOP:
+                    stopping = True
+                    self._queue.task_done()
+                    break
+                jobs.append(nxt)
+            self._dispatch(jobs, stopping)
+            for _ in jobs:
+                self._queue.task_done()
+
+    def _dispatch(self, jobs: List[_Job], draining: bool) -> None:
+        qjobs = [j for j in jobs if j.kind == "queries"]
+        if len(qjobs) > 1:
+            self._count("serve.multiplexed", len(qjobs) - 1)
+        if qjobs:
+            self._run_batch(qjobs)
+        for job in jobs:
+            if job.kind != "call":
+                continue
+            try:
+                job.value = job.call()
+            except BaseException as exc:  # delivered to the caller
+                job.error = exc
+            job.finish()
+        self.n_jobs_done += len(jobs)
+        if draining:
+            self._count("serve.drained_jobs", len(jobs))
+
+    def _run_batch(self, qjobs: List[_Job]) -> None:
+        pag = self.session.pag
+        merged: List[Query] = []
+        for job in qjobs:
+            merged.extend(job.queries)
+        try:
+            unique = dedupe_queries(pag, merged)
+            batch = self.session.batch(unique)
+            by_query = batch.results_by_query()
+            for job in qjobs:
+                job.results = [
+                    by_query[(pag.rep(q.var), q.ctx)] for q in job.queries
+                ]
+        except BaseException as exc:
+            for job in qjobs:
+                job.error = exc
+        finally:
+            self._count("serve.batches")
+            for job in qjobs:
+                job.finish()
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Refuse new work, let every admitted job finish, stop the
+        dispatcher.  Returns True when the queue drained fully within
+        ``timeout``; idempotent."""
+        already = self._draining.is_set()
+        self._draining.set()
+        if not already:
+            self._queue.put(_STOP)
+        self._dispatcher.join(
+            timeout if timeout is not None else self.config.drain_grace
+        )
+        return not self._dispatcher.is_alive()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def stats(self) -> Dict[str, Any]:
+        out = self.session.stats()
+        out.update(
+            status="draining" if self.draining else "serving",
+            uptime_s=round(time.time() - self._started, 3),
+            pending_jobs=self._queue.qsize(),
+            max_pending=self.config.max_pending,
+            batch_window=self.config.batch_window,
+            client_step_budget=self.config.client_step_budget,
+            jobs_done=self.n_jobs_done,
+            version=__version__,
+        )
+        rec = self.recorder
+        if rec is not None and hasattr(rec, "snapshot"):
+            metrics = rec.snapshot()
+            for key in ("api.pag_builds", "serve.queries", "serve.batches",
+                        "serve.multiplexed", "jumps.hits", "jumps.lookups"):
+                out[key] = metrics.get(key, 0)
+        return out
+
+
+# ----------------------------------------------------------------------
+# wire layer
+# ----------------------------------------------------------------------
+def _parse_ctx(raw: Any) -> Context:
+    if raw in (None, (), []):
+        return EMPTY_CTX
+    if not isinstance(raw, list) or not all(
+        isinstance(x, int) for x in raw
+    ):
+        raise ServeRejected(400, "ctx must be a list of call-site ids")
+    return tuple(raw)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP onto the service.  Analysis never runs here — only
+    parsing, admission, and response encoding."""
+
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # The default handler logs every request to stderr; the daemon's
+    # stdout/stderr contract is one ready-line plus errors.
+    def log_message(self, format: str, *args: Any) -> None:
+        pass
+
+    @property
+    def service(self) -> AnalysisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing ------------------------------------------------------
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status == 429:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; the daemon keeps serving
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        try:
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except json.JSONDecodeError as exc:
+            raise ServeRejected(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ServeRejected(400, "JSON body must be an object")
+        return payload
+
+    def _client_id(self, payload: Dict[str, Any]) -> str:
+        cid = payload.get("client") or self.headers.get("X-Repro-Client")
+        return str(cid) if cid else f"{self.client_address[0]}"
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        svc = self.service
+        svc._count("serve.requests")
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, svc.stats())
+            elif self.path == "/metricz":
+                rec = svc.recorder
+                metrics = (
+                    rec.snapshot()
+                    if rec is not None and hasattr(rec, "snapshot")
+                    else {}
+                )
+                body = json.loads(metrics_to_json(metrics))
+                self._send_json(200, body)
+            elif self.path == "/v1/targets":
+                self._targets()
+            else:
+                self._send_json(404, {"error": f"no route {self.path}"})
+        except ServeRejected as exc:
+            self._send_json(exc.status, {"error": exc.reason})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        svc = self.service
+        svc._count("serve.requests")
+        try:
+            payload = self._read_body()
+            if self.path == "/v1/points_to":
+                self._points_to(payload)
+            elif self.path == "/v1/flows_to":
+                self._flows_to(payload)
+            elif self.path == "/v1/alias":
+                self._alias(payload)
+            elif self.path == "/v1/check":
+                self._check(payload)
+            elif self.path == "/v1/targets":
+                self._targets()
+            elif self.path == "/admin/drain":
+                self._drain()
+            else:
+                self._send_json(404, {"error": f"no route {self.path}"})
+        except ServeRejected as exc:
+            self._send_json(exc.status, {"error": exc.reason})
+        except ReproError as exc:
+            self._send_json(400, {"error": str(exc)})
+
+    def _targets(self) -> None:
+        session = self.service.session
+        nodes = session.app_locals()
+        self._send_json(
+            200,
+            {
+                "targets": [
+                    {"node": v, "name": session.name(v)} for v in nodes
+                ]
+            },
+        )
+
+    def _resolve_targets(
+        self, session: Session, raw: Any
+    ) -> List[Tuple[str, int]]:
+        if not isinstance(raw, list) or not raw:
+            raise ServeRejected(
+                400, "targets must be a non-empty list of specs/node ids"
+            )
+        out: List[Tuple[str, int]] = []
+        for item in raw:
+            if isinstance(item, int):
+                out.append((session.name(item), item))
+            elif isinstance(item, str):
+                out.append((item, session.resolve(item)))
+            else:
+                raise ServeRejected(
+                    400, f"bad target {item!r}: expected spec or node id"
+                )
+        return out
+
+    def _points_to(self, payload: Dict[str, Any]) -> None:
+        svc = self.service
+        session = svc.session
+        ctx = _parse_ctx(payload.get("ctx"))
+        targets = self._resolve_targets(session, payload.get("targets"))
+        client = self._client_id(payload)
+        results = svc.submit_queries(
+            client, [Query(node, ctx) for _label, node in targets]
+        )
+        body = {
+            "results": [
+                {
+                    "query": label,
+                    "node": node,
+                    "objects": sorted(
+                        session.name(o) for o in res.objects
+                    ),
+                    "exhausted": res.exhausted,
+                    "steps": res.costs.steps,
+                }
+                for (label, node), res in zip(targets, results)
+            ]
+        }
+        self._send_json(200, body)
+
+    def _flows_to(self, payload: Dict[str, Any]) -> None:
+        svc = self.service
+        session = svc.session
+        ctx = _parse_ctx(payload.get("ctx"))
+        raw = payload.get("objects")
+        if not isinstance(raw, list) or not raw:
+            raise ServeRejected(
+                400, "objects must be a non-empty list of labels/node ids"
+            )
+        client = self._client_id(payload)
+
+        def run() -> List[Dict[str, Any]]:
+            out = []
+            for item in raw:
+                label = item if isinstance(item, str) else session.name(item)
+                res = session.flows_to(item, ctx)
+                out.append(
+                    {
+                        "object": label,
+                        "variables": sorted(
+                            session.name(v) for v in res.objects
+                        ),
+                        "exhausted": res.exhausted,
+                    }
+                )
+            return out
+        self._send_json(200, {"results": svc.submit_call(client, run)})
+
+    def _alias(self, payload: Dict[str, Any]) -> None:
+        svc = self.service
+        session = svc.session
+        ctx = _parse_ctx(payload.get("ctx"))
+        a, b = payload.get("a"), payload.get("b")
+        if a is None or b is None:
+            raise ServeRejected(400, "alias needs 'a' and 'b' targets")
+        (la, na), (lb, nb) = self._resolve_targets(session, [a, b])
+        client = self._client_id(payload)
+        ra, rb = svc.submit_queries(
+            client, [Query(na, ctx), Query(nb, ctx)]
+        )
+        # The engine's may-alias rule: an exhausted side is conservative
+        # truth; otherwise alias iff the object sets overlap.
+        verdict = bool(
+            ra.exhausted or rb.exhausted or (ra.objects & rb.objects)
+        )
+        self._send_json(
+            200, {"a": la, "b": lb, "may_alias": verdict}
+        )
+
+    def _check(self, payload: Dict[str, Any]) -> None:
+        svc = self.service
+        session = svc.session
+        checkers = payload.get("checkers")
+        if checkers is not None and not (
+            isinstance(checkers, list)
+            and all(isinstance(c, str) for c in checkers)
+        ):
+            raise ServeRejected(400, "checkers must be a list of ids")
+        client = self._client_id(payload)
+
+        def run() -> Dict[str, Any]:
+            report = session.check(checkers)
+            return {
+                "findings": [
+                    {
+                        "checker": f.checker,
+                        "severity": f.severity.name.lower(),
+                        "message": f.message,
+                        "method": f.method,
+                    }
+                    for f in report.findings
+                ],
+                "n_queries": report.n_queries,
+            }
+        self._send_json(200, svc.submit_call(client, run))
+
+    def _drain(self) -> None:
+        server = self.server
+        self._send_json(202, {"status": "draining"})
+        # Drain off-thread: this handler must finish its response (and
+        # serve_forever must keep polling) while the queue empties.
+        threading.Thread(
+            target=server.initiate_shutdown,  # type: ignore[attr-defined]
+            name="repro-serve-drain",
+            daemon=True,
+        ).start()
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = False  # finish in-flight responses on shutdown
+    #: Close the listening socket promptly on restart cycles.
+    allow_reuse_address = True
+
+    def __init__(self, addr, service: AnalysisService) -> None:
+        super().__init__(addr, _Handler)
+        self.service = service
+        self._shutdown_once = threading.Lock()
+        self._shutdown_started = False
+
+    def initiate_shutdown(self) -> None:
+        """Graceful stop, callable from any thread and idempotent:
+        drain the service, then break ``serve_forever``."""
+        with self._shutdown_once:
+            if self._shutdown_started:
+                return
+            self._shutdown_started = True
+        self.service.drain()
+        self.shutdown()
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def serve(
+    session: Session,
+    config: Optional[ServeConfig] = None,
+    *,
+    ready: Optional[Any] = None,
+) -> _Server:
+    """Bind a daemon for ``session`` and return the (not yet serving)
+    server; the caller runs ``serve_forever()``.  ``ready`` is an
+    optional callable invoked with the bound ``(host, port)`` —
+    in-process tests use it to learn an ephemeral port."""
+    config = config or ServeConfig()
+    service = AnalysisService(session, config)
+    server = _Server((config.host, config.port), service)
+    if ready is not None:
+        ready(server.server_address[:2])
+    return server
+
+
+def serve_command(args) -> int:
+    """``repro serve`` — boot the daemon and run until drained."""
+    recorder = MetricsRecorder()
+    runtime = RuntimeConfig(
+        mode=args.mode or "DQ",
+        n_threads=args.threads if args.threads is not None else 8,
+        backend=args.backend or "threads",
+    )
+    engine = EngineConfig(
+        budget=args.budget if args.budget is not None else DEFAULT_BUDGET
+    )
+    session = Session.open(
+        args.file,
+        language=args.language,
+        runtime=runtime,
+        engine=engine,
+        recorder=recorder,
+    )
+    if getattr(args, "snapshot", None):
+        accepted = session.warm_from_snapshot(args.snapshot)
+        print(f"warm boot: {accepted} entries from {args.snapshot}")
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        mode=runtime.mode,
+        backend=runtime.backend,
+        n_threads=runtime.n_threads,
+        budget=engine.budget,
+        max_pending=args.max_pending,
+        batch_window=args.batch_window,
+        client_step_budget=args.client_budget,
+        drain_grace=args.drain_grace,
+    )
+    server = serve(session, config)
+    host, port = server.server_address[:2]
+    print(
+        f"repro-serve {__version__}: serving {args.file} "
+        f"on http://{host}:{port} "
+        f"(mode {runtime.mode}, backend {runtime.backend} "
+        f"x{runtime.n_threads})",
+        flush=True,
+    )
+
+    def on_signal(signum, frame) -> None:
+        threading.Thread(
+            target=server.initiate_shutdown,
+            name="repro-serve-signal",
+            daemon=True,
+        ).start()
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()
+    drained = server.service.drain(0.0)
+    print(
+        "repro-serve: drained "
+        f"({server.service.n_jobs_done} jobs served), bye",
+        flush=True,
+    )
+    return 0 if drained else 1
+
+
+# ----------------------------------------------------------------------
+# client
+# ----------------------------------------------------------------------
+class ServeClient:
+    """Minimal wire client for the daemon (tests, scripts, CI smoke).
+
+    Each call opens a fresh connection, so one client instance may be
+    shared across threads.  Refusals (429/503) raise
+    :class:`ServeRejected` with the daemon's reason."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        client_id: str = "client",
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {"X-Repro-Client": self.client_id}
+            if payload is not None:
+                body = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            try:
+                data = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                data = {"error": raw.decode(errors="replace")}
+            if resp.status >= 400:
+                raise ServeRejected(
+                    resp.status, data.get("error", f"HTTP {resp.status}")
+                )
+            return data
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            if isinstance(exc, ServeRejected):
+                raise
+            raise ServeRejected(
+                503, f"daemon unreachable at {self.host}:{self.port}: {exc}"
+            ) from None
+        finally:
+            conn.close()
+
+    # -- API -----------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metricz(self) -> Dict[str, int]:
+        return self._request("GET", "/metricz")
+
+    def targets(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/targets")["targets"]
+
+    def points_to(
+        self,
+        targets: Sequence[Union[int, str]],
+        ctx: Sequence[int] = (),
+    ) -> List[Dict[str, Any]]:
+        return self._request(
+            "POST",
+            "/v1/points_to",
+            {"targets": list(targets), "ctx": list(ctx)},
+        )["results"]
+
+    def flows_to(
+        self,
+        objects: Sequence[Union[int, str]],
+        ctx: Sequence[int] = (),
+    ) -> List[Dict[str, Any]]:
+        return self._request(
+            "POST",
+            "/v1/flows_to",
+            {"objects": list(objects), "ctx": list(ctx)},
+        )["results"]
+
+    def alias(
+        self,
+        a: Union[int, str],
+        b: Union[int, str],
+        ctx: Sequence[int] = (),
+    ) -> bool:
+        return self._request(
+            "POST", "/v1/alias", {"a": a, "b": b, "ctx": list(ctx)}
+        )["may_alias"]
+
+    def check(
+        self, checkers: Optional[Sequence[str]] = None
+    ) -> Dict[str, Any]:
+        return self._request(
+            "POST",
+            "/v1/check",
+            {"checkers": list(checkers)} if checkers else {},
+        )
+
+    def drain(self) -> Dict[str, Any]:
+        return self._request("POST", "/admin/drain")

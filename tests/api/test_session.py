@@ -1,0 +1,277 @@
+"""Tests for :class:`repro.api.Session` — the one blessed entry point.
+
+The facade's contract: a program is parsed and lowered **once**, every
+expensive artifact stays resident (PAG, sequential jump map, persistent
+per-backend executors), and its answers are identical to the
+lower-level engines it fronts.  Constructors, name resolution, single
+queries, batches, checkers, and the compacted snapshot round-trip are
+all covered here; the serving daemon built on top is covered in
+``tests/serve``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    CFLEngine,
+    EngineConfig,
+    InputError,
+    JumpMapLifecycle,
+    MetricsRecorder,
+    Query,
+    RuntimeConfig,
+    Session,
+)
+
+EXAMPLE = Path(__file__).resolve().parents[2] / "examples" / "box_clean.mj"
+
+
+@pytest.fixture()
+def box():
+    return Session.open(EXAMPLE)
+
+
+class TestConstructors:
+    def test_open_reads_and_lowers_once(self, box):
+        assert box.kind == "java"
+        assert box.source == str(EXAMPLE)
+        assert box.pag.n_nodes > 0
+
+    def test_open_missing_file_is_input_error(self, tmp_path):
+        with pytest.raises(InputError, match="not found"):
+            Session.open(tmp_path / "nope.mj")
+
+    def test_open_directory_is_input_error(self, tmp_path):
+        with pytest.raises(InputError, match="directory"):
+            Session.open(tmp_path)
+
+    def test_from_source(self):
+        session = Session.from_source(
+            "class M { static method main() { var a: Object\n"
+            "a = new Object } }"
+        )
+        res = session.points_to("a@M.main")
+        assert len(res.objects) == 1
+
+    def test_from_build_adopts_the_harness_path(self, fig2):
+        b, n = fig2
+        session = Session.from_build(b)
+        assert session.points_to(n["s1"]).objects == {n["o_n1"]}
+
+    def test_from_pag_has_no_name_resolution(self, fig2):
+        b, _ = fig2
+        session = Session.from_pag(b.pag)
+        with pytest.raises(InputError, match="bare PAG"):
+            session.resolve("s1@Main.main")
+        with pytest.raises(InputError):
+            session.check()
+        # node-id queries still work against the bare graph
+        assert session.batch([Query(v) for v in session.app_locals()[:3]])
+
+    def test_recorder_counts_sessions_and_builds(self):
+        rec = MetricsRecorder()
+        Session.open(EXAMPLE, recorder=rec)
+        snap = rec.snapshot()
+        assert snap["api.sessions"] == 1
+        assert snap["api.pag_builds"] == 1
+
+
+class TestResolutionAndQueries:
+    def test_resolve_spec(self, box):
+        node = box.resolve("b@Main.main")
+        assert box.name(node) == "b@Main.main"
+
+    def test_queries_default_to_app_locals(self, box):
+        qs = box.queries()
+        assert [q.var for q in qs] == box.app_locals()
+
+    def test_points_to_accepts_spec_or_node(self, box):
+        by_spec = box.points_to("b@Main.main")
+        by_node = box.points_to(box.resolve("b@Main.main"))
+        assert by_spec.objects == by_node.objects
+        assert sorted(box.name(o) for o in by_spec.objects) == [
+            "o:Main.main:0"
+        ]
+
+    def test_flows_to_by_label(self, box):
+        res = box.flows_to("o:Main.main:0")
+        names = {box.name(v) for v in res.objects}
+        assert "b@Main.main" in names
+        assert "same@Main.main" in names
+
+    def test_may_alias(self, box):
+        assert box.may_alias("b@Main.main", "same@Main.main")
+        assert not box.may_alias("b@Main.main", "v@Main.main")
+
+    def test_answers_match_the_share_nothing_engine(self, fig2):
+        b, _ = fig2
+        session = Session.from_build(b)
+        seq = CFLEngine(b.pag)
+        for var in b.pag.app_locals():
+            assert session.points_to(var).objects == seq.points_to(var).objects
+
+    def test_trace_points_to_certifies_each_object(self, box):
+        result, witnesses = box.trace_points_to("got@Main.main")
+        assert not result.exhausted
+        assert len(witnesses) == len(result.points_to)
+        for w in witnesses:
+            assert w.certify()
+
+    def test_trace_exhausted_has_no_witnesses(self, fig2):
+        b, n = fig2
+        session = Session.from_build(b, engine=EngineConfig(budget=3))
+        result, witnesses = session.trace_points_to(n["s1"])
+        assert result.exhausted
+        assert witnesses == []
+
+
+class TestBatchesAndResidency:
+    def test_batch_defaults_to_app_locals(self, box):
+        batch = box.batch()
+        assert batch.n_queries == len(box.app_locals())
+
+    def test_runner_is_persistent_per_key(self, box):
+        r1 = box.runner(mode="DQ", n_threads=2, backend="threads")
+        r2 = box.runner(mode="DQ", n_threads=2, backend="threads")
+        r3 = box.runner(mode="DQ", n_threads=4, backend="threads")
+        assert r1 is r2
+        assert r1 is not r3
+
+    def test_resident_jumps_survive_batches(self, fig2):
+        b, _ = fig2
+        session = Session.from_build(
+            b,
+            runtime=RuntimeConfig(mode="DQ", n_threads=2, backend="threads"),
+            engine=EngineConfig(tau_f=0, tau_u=0),
+        )
+        assert session.resident_jumps() is None  # no batch yet
+        session.batch()
+        jumps = session.resident_jumps()
+        assert isinstance(jumps, JumpMapLifecycle)
+        n_first = jumps.n_finished_edges + jumps.n_unfinished_edges
+        assert n_first > 0
+        session.batch()
+        assert session.resident_jumps() is jumps  # same resident store
+        assert session.n_jump_entries() >= n_first
+
+    def test_batch_answers_match_seq(self, fig2):
+        b, _ = fig2
+        session = Session.from_build(
+            b, runtime=RuntimeConfig(mode="DQ", n_threads=2,
+                                     backend="threads")
+        )
+        batch = session.batch()
+        seq = CFLEngine(b.pag)
+        for e in batch.executions:
+            assert e.result.objects == seq.run_query(e.result.query).objects
+
+    def test_close_drops_residency(self, box):
+        box.batch()
+        box.points_to("b@Main.main")
+        box.close()
+        assert box.stats()["n_runners"] == 0
+        assert box.stats()["n_jump_entries"] == 0
+
+
+class TestCheckers:
+    def test_clean_fixture_has_no_findings(self, box):
+        report = box.check(["null-deref", "downcast"])
+        assert report.findings == []
+        assert report.n_queries > 0
+
+    def test_non_java_kind_is_rejected(self, fig2):
+        b, _ = fig2
+        session = Session.from_build(b, kind="c")
+        with pytest.raises(InputError, match="mini-Java"):
+            session.check()
+
+
+class TestSnapshotRoundTrip:
+    def test_export_log_is_compacted_to_one_entry_per_key(self, fig2):
+        b, _ = fig2
+        rec = MetricsRecorder()
+        session = Session.from_build(
+            b,
+            runtime=RuntimeConfig(mode="DQ", n_threads=2, backend="threads"),
+            engine=EngineConfig(tau_f=0, tau_u=0),
+            recorder=rec,
+        )
+        # Populate both resident stores: the sequential map and a
+        # persistent runner's committed map (overlapping keys).
+        for var in b.pag.app_locals():
+            session.points_to(var)
+        session.batch()
+        runner = session.runner()
+        raw_logs = [session.seq.jumps.export_log()]
+        raw_logs.extend(runner.export_resident_logs())
+        raw = sum(len(log) for log in raw_logs)
+        unique = {(kind, key) for log in raw_logs for kind, key, _ in log}
+
+        log = session.export_log()
+        keys = [(kind, key) for kind, key, _payload in log]
+        assert len(keys) == len(set(keys)), "duplicate keys in epoch-0 log"
+        assert set(keys) == unique
+        assert 0 < len(log) <= raw
+        if len(log) < raw:
+            assert rec.snapshot()["snapshot.log_compacted"] == raw - len(log)
+
+    def test_snapshot_warm_boot_round_trip(self, tmp_path):
+        snap = tmp_path / "box.snap"
+        cold = Session.open(EXAMPLE, engine=EngineConfig(tau_f=0, tau_u=0))
+        expected = {
+            spec: cold.points_to(spec).objects
+            for spec in ("b@Main.main", "v@Main.main", "got@Main.main")
+        }
+        cold.snapshot(snap)
+
+        warm = Session.from_snapshot(
+            snap, EXAMPLE, engine=EngineConfig(tau_f=0, tau_u=0)
+        )
+        assert warm.n_jump_entries() > 0  # seeded before any query
+        for spec, objects in expected.items():
+            assert warm.points_to(spec).objects == objects
+
+    def test_warm_from_snapshot_returns_accepted_entries(self, tmp_path):
+        snap = tmp_path / "box.snap"
+        cold = Session.open(EXAMPLE, engine=EngineConfig(tau_f=0, tau_u=0))
+        for spec in ("b@Main.main", "got@Main.main"):
+            cold.points_to(spec)
+        cold.snapshot(snap)
+
+        warm = Session.open(EXAMPLE, engine=EngineConfig(tau_f=0, tau_u=0))
+        accepted = warm.warm_from_snapshot(snap)
+        assert accepted > 0
+
+    def test_warm_log_seeds_later_runners(self, tmp_path):
+        snap = tmp_path / "box.snap"
+        cold = Session.open(EXAMPLE, engine=EngineConfig(tau_f=0, tau_u=0))
+        cold.batch(mode="DQ", n_threads=2, backend="threads")
+        for spec in ("b@Main.main", "got@Main.main"):
+            cold.points_to(spec)
+        cold.snapshot(snap)
+
+        warm = Session.open(
+            EXAMPLE,
+            runtime=RuntimeConfig(mode="DQ", n_threads=2, backend="threads"),
+            engine=EngineConfig(tau_f=0, tau_u=0),
+        )
+        warm.warm_from_snapshot(snap)
+        runner = warm.runner()  # created after the warm boot
+        jumps = runner.resident_jumps()
+        assert jumps is not None
+        assert jumps.n_finished_edges + jumps.n_unfinished_edges > 0
+
+
+class TestStats:
+    def test_stats_reports_resident_state(self, box):
+        stats = box.stats()
+        for key in ("source", "kind", "n_nodes", "n_edges", "mode",
+                    "backend", "n_threads", "budget", "grammar",
+                    "n_runners", "n_jump_entries", "n_cached_queries"):
+            assert key in stats
+        box.points_to("b@Main.main")
+        box.batch()
+        after = box.stats()
+        assert after["n_runners"] == 1
+        assert after["n_cached_queries"] > 0

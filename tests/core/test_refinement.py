@@ -39,16 +39,10 @@ class TestFieldMode:
             <= precise.points_to(n["s1"]).costs.work
         )
 
-    def test_mode_none_equals_field_insensitive_flag(self, fig2):
-        b, n = fig2
-        with pytest.warns(DeprecationWarning, match="field_sensitive"):
-            flag_cfg = EngineConfig(field_sensitive=False)
-        by_flag = CFLEngine(b.pag, flag_cfg)
-        by_mode = CFLEngine(b.pag, EngineConfig(field_mode="none"))
-        for var in b.pag.app_locals():
-            assert (
-                by_flag.points_to(var).points_to == by_mode.points_to(var).points_to
-            )
+    def test_retired_field_sensitive_flag_is_a_type_error(self, fig2):
+        # The PR-4 boolean shim is gone; field_mode is the only spelling.
+        with pytest.raises(TypeError, match="field_sensitive"):
+            EngineConfig(field_sensitive=False)
 
     def test_match_over_approximates_generated(self):
         from repro.benchgen import SynthesisParams, synthesize_program

@@ -1,10 +1,13 @@
-"""Tests for the consolidated configuration API and its deprecation
-shims: :class:`repro.runtime.config.RuntimeConfig`,
-``ParallelCFL.from_config``, and the legacy keyword surfaces of
-``ParallelCFL`` and ``EngineConfig``.
+"""Tests for the consolidated configuration API:
+:class:`repro.runtime.config.RuntimeConfig`,
+``ParallelCFL.from_config``, and the post-shim constructor contracts of
+``ParallelCFL`` and ``EngineConfig`` (the PR-4 deprecation shims were
+retired with the ``repro.api`` consolidation — legacy keywords are now
+plain ``TypeError``s).
 """
 
 import pickle
+import warnings
 
 import pytest
 
@@ -81,11 +84,9 @@ class TestParallelCFLConfigAPI:
         assert batch.n_queries == len(b.pag.app_locals())
 
     def test_mode_and_threads_conveniences_do_not_warn(self, fig2):
-        import warnings as w
-
         b, _ = fig2
-        with w.catch_warnings():
-            w.simplefilter("error", DeprecationWarning)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
             runner = ParallelCFL(b, mode="naive", n_threads=2)
         assert runner.mode == "naive" and runner.n_threads == 2
 
@@ -107,37 +108,38 @@ class TestParallelCFLConfigAPI:
             {"unit_timeout": 1.5},
         ],
     )
-    def test_legacy_kwargs_warn_and_map(self, fig2, kwargs):
+    def test_retired_legacy_kwargs_are_type_errors(self, fig2, kwargs):
+        # The PR-4 shims (backend=/chunk_size=/cost_model=/faults=/
+        # unit_timeout= directly on the constructor) are gone; the
+        # knobs live on RuntimeConfig only.
         b, _ = fig2
-        (name, value), = kwargs.items()
-        with pytest.warns(DeprecationWarning, match=name):
-            runner = ParallelCFL(b, **kwargs)
-        assert getattr(runner.runtime, name) == value
-        # ...and the historic attribute surface still serves it.
-        assert getattr(runner, name) == value
+        (name, _value), = kwargs.items()
+        with pytest.raises(TypeError, match=name):
+            ParallelCFL(b, **kwargs)
 
-    def test_legacy_kwargs_validated_through_runtime(self, fig2):
+    def test_runtime_config_carries_the_retired_kwargs(self, fig2):
+        # ...and the supported spelling still reaches the attribute
+        # surface the legacy kwargs used to feed.
         b, _ = fig2
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(RuntimeConfigError):
-                ParallelCFL(b, chunk_size=0)
+        plan = FaultPlan.parse("exc@0")
+        runner = ParallelCFL.from_config(
+            b,
+            runtime=RuntimeConfig(
+                backend="mp", chunk_size=2, faults=plan, unit_timeout=1.5
+            ),
+        )
+        assert runner.backend == "mp"
+        assert runner.chunk_size == 2
+        assert runner.faults is plan
+        assert runner.unit_timeout == 1.5
 
     def test_unknown_kwarg_is_a_type_error(self, fig2):
         b, _ = fig2
         with pytest.raises(TypeError, match="warp_drive"):
             ParallelCFL(b, warp_drive=9)
 
-    def test_legacy_acceptance_signature_still_works(self, fig2):
-        # The ISSUE's acceptance line: old call sites keep working.
-        b, _ = fig2
-        plan = FaultPlan.parse("exc@0")
-        with pytest.warns(DeprecationWarning):
-            runner = ParallelCFL(b, faults=plan, unit_timeout=2.0)
-        assert runner.faults is plan
-        assert runner.unit_timeout == 2.0
 
-
-class TestEngineConfigShims:
+class TestEngineConfigPostShims:
     def test_field_mode_is_validated(self):
         for mode in FIELD_MODES:
             assert EngineConfig(field_mode=mode).field_mode == mode
@@ -147,48 +149,33 @@ class TestEngineConfigShims:
     def test_default_resolves_to_sensitive(self):
         assert EngineConfig().field_mode == "sensitive"
 
-    @pytest.mark.parametrize(
-        "flag,expected", [(True, "sensitive"), (False, "none")]
-    )
-    def test_field_sensitive_ctor_warns_and_maps(self, flag, expected):
-        with pytest.warns(DeprecationWarning, match="field_sensitive"):
-            cfg = EngineConfig(field_sensitive=flag)
-        assert cfg.field_mode == expected
+    def test_field_sensitive_ctor_is_a_type_error(self):
+        with pytest.raises(TypeError, match="field_sensitive"):
+            EngineConfig(field_sensitive=True)
 
-    def test_explicit_field_mode_wins_over_flag(self):
-        with pytest.warns(DeprecationWarning):
-            cfg = EngineConfig(field_sensitive=True, field_mode="match")
-        assert cfg.field_mode == "match"
+    def test_faults_ctor_is_a_type_error(self):
+        with pytest.raises(TypeError, match="faults"):
+            EngineConfig(faults=FaultPlan.parse("exc@0"))
 
-    def test_field_sensitive_read_warns(self):
-        cfg = EngineConfig(field_mode="match")
-        with pytest.warns(DeprecationWarning, match="field_sensitive"):
-            assert cfg.field_sensitive is False
+    def test_field_sensitive_attribute_is_gone(self):
+        with pytest.raises(AttributeError):
+            EngineConfig().field_sensitive
 
-    def test_faults_ctor_warns_and_reads_back_silently(self):
-        import warnings as w
+    def test_plain_dataclass_round_trips(self):
+        cfg = EngineConfig(field_mode="match", budget=7)
+        assert pickle.loads(pickle.dumps(cfg)) == cfg
+        assert cfg.with_(budget=9).field_mode == "match"
 
-        plan = FaultPlan.parse("exc@0")
-        with pytest.warns(DeprecationWarning, match="faults"):
-            cfg = EngineConfig(faults=plan)
-        with w.catch_warnings():
-            w.simplefilter("error")
-            assert cfg.faults is plan
-            assert EngineConfig().faults is None
-
-    def test_shimmed_config_runs(self, fig2):
+    def test_config_runs(self, fig2):
         b, n = fig2
-        with pytest.warns(DeprecationWarning):
-            cfg = EngineConfig(field_sensitive=True)
-        eng = CFLEngine(b.pag, cfg)
+        eng = CFLEngine(b.pag, EngineConfig(field_mode="sensitive"))
         assert eng.points_to(n["s1"]).objects == {n["o_n1"]}
 
 
 class TestNoDeprecatedUsageInPackage:
     def test_src_tree_is_clean(self):
-        # The package itself must not construct configs through the
-        # deprecated surfaces (CLI, harness, analyses all migrated).
-        import warnings as w
+        # The retired shim spellings must not reappear anywhere in the
+        # package (or resurrect via copy-paste from old call sites).
         from pathlib import Path
         import repro
 
@@ -197,26 +184,24 @@ class TestNoDeprecatedUsageInPackage:
         for py in pkg.rglob("*.py"):
             text = py.read_text()
             for needle in ("EngineConfig(field_sensitive",
-                           "EngineConfig(faults"):
-                # engine.py itself names the shims in its warnings.
-                if needle in text and "InitVar" not in text:
+                           "EngineConfig(faults",
+                           "field_sensitive="):
+                if needle in text:
                     offenders.append((py.name, needle))
         assert not offenders
 
 
 class TestGrammarComposition:
-    """Grammar selection must compose with ``with_`` and the deprecation
-    shims without tripping ``error::DeprecationWarning`` (tier-1 runs
-    with that filter)."""
+    """Grammar selection must compose with ``with_`` (tier-1 runs with
+    ``error::DeprecationWarning``, so everything here must be
+    warning-free)."""
 
     def test_default_grammar(self):
         assert EngineConfig().grammar == "flowsto"
 
     def test_with_grammar_is_warning_free(self):
-        import warnings as w
-
-        with w.catch_warnings():
-            w.simplefilter("error")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
             cfg = EngineConfig().with_(grammar="taint")
         assert cfg.grammar == "taint"
         assert cfg.field_mode == "sensitive"
@@ -230,38 +215,12 @@ class TestGrammarComposition:
         with pytest.raises(AnalysisError, match="unknown grammar"):
             EngineConfig().with_(grammar="flowto")
 
-    def test_composes_with_legacy_field_sensitive(self):
-        import warnings as w
-
-        # The deprecated ctor kwarg warns exactly once; the follow-up
-        # with_(grammar=...) copy must not re-trip the shim.
-        with pytest.warns(DeprecationWarning, match="field_sensitive"):
-            legacy = EngineConfig(field_sensitive=False)
-        with w.catch_warnings():
-            w.simplefilter("error")
-            cfg = legacy.with_(grammar="taint")
-        assert cfg.grammar == "taint"
-        assert cfg.field_mode == "none"
-
-    def test_composes_with_legacy_faults(self):
-        import warnings as w
-
-        plan = FaultPlan.parse("exc@0")
-        with pytest.warns(DeprecationWarning, match="faults"):
-            legacy = EngineConfig(faults=plan)
-        with w.catch_warnings():
-            w.simplefilter("error")
-            cfg = legacy.with_(grammar="escape")
-            assert cfg.faults is plan
-        assert cfg.grammar == "escape"
-
     def test_grammar_survives_pickling(self):
         cfg = pickle.loads(pickle.dumps(EngineConfig(grammar="taint")))
         assert cfg.grammar == "taint"
 
-    def test_shimmed_grammar_config_runs(self, fig2):
+    def test_grammar_config_runs(self, fig2):
         b, n = fig2
-        with pytest.warns(DeprecationWarning):
-            cfg = EngineConfig(field_sensitive=True).with_(grammar="taint")
+        cfg = EngineConfig(field_mode="sensitive").with_(grammar="taint")
         eng = CFLEngine(b.pag, cfg)
         assert eng.points_to(n["s1"]).objects == {n["o_n1"]}

@@ -84,14 +84,15 @@ class TestFaultPlan:
         ex = MPExecutor(build.pag, 2, sharing=False)
         assert ex.faults == FaultPlan((FaultSpec("exc", worker=0),))
 
-    def test_engine_config_channel(self, bench):
-        # Legacy core->runtime channel: attaching the plan to the engine
-        # config warns but still reaches the executor.
+    def test_engine_config_channel_retired(self, bench):
+        # The legacy core->runtime channel (EngineConfig(faults=...)) is
+        # gone: the kwarg is a TypeError and the executor takes the plan
+        # directly (or via RuntimeConfig.faults at the facade).
         build, _, _ = bench
         plan = FaultPlan.single("garbage", worker=1)
-        with pytest.warns(DeprecationWarning, match="EngineConfig.faults"):
-            cfg = EngineConfig(faults=plan)
-        assert MPExecutor(build.pag, 2, engine_config=cfg).faults is plan
+        with pytest.raises(TypeError, match="faults"):
+            EngineConfig(faults=plan)
+        assert MPExecutor(build.pag, 2, faults=plan).faults is plan
 
     def test_injector_fires_once_per_incarnation(self):
         fired = []

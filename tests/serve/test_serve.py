@@ -1,0 +1,347 @@
+"""Tests for ``repro serve`` — the resident analysis daemon.
+
+Two layers are exercised:
+
+* :class:`AnalysisService` directly (admission control, budgets, the
+  bounded queue, graceful drain) with a blocked dispatcher where the
+  scenario needs deterministic queue occupancy; and
+* a real in-process :class:`ThreadingHTTPServer` on an ephemeral port,
+  driven through :class:`ServeClient` — answers must be byte-identical
+  to a one-shot :class:`Session` over the same file, the PAG must be
+  built exactly once however many requests arrive (the residency
+  acceptance criterion), and a concurrent client swarm must lose or
+  corrupt no answers.
+"""
+
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    EngineConfig,
+    MetricsRecorder,
+    Query,
+    RuntimeConfig,
+    Session,
+)
+from repro.serve import (
+    AnalysisService,
+    ServeClient,
+    ServeConfig,
+    ServeRejected,
+    serve,
+)
+from repro.serve import _Job
+
+EXAMPLE = Path(__file__).resolve().parents[2] / "examples" / "box_clean.mj"
+
+
+def make_session(**kw):
+    kw.setdefault(
+        "runtime", RuntimeConfig(mode="DQ", n_threads=2, backend="threads")
+    )
+    kw.setdefault("engine", EngineConfig(tau_f=0, tau_u=0))
+    return Session.open(EXAMPLE, **kw)
+
+
+# ----------------------------------------------------------------------
+# AnalysisService: admission control and drain (no HTTP involved)
+# ----------------------------------------------------------------------
+class TestAdmissionControl:
+    def test_submit_queries_answers_in_request_order(self):
+        session = make_session()
+        svc = AnalysisService(session, ServeConfig(port=0))
+        specs = ["b@Main.main", "v@Main.main", "b@Main.main"]
+        nodes = [session.resolve(s) for s in specs]
+        results = svc.submit_queries("t", [Query(n) for n in nodes])
+        assert len(results) == len(specs)
+        direct = Session.open(EXAMPLE)
+        for spec, res in zip(specs, results):
+            assert res.objects == direct.points_to(spec).objects
+        svc.drain()
+
+    def test_client_budget_exhaustion_is_429(self):
+        rec = MetricsRecorder()
+        session = make_session(recorder=rec)
+        svc = AnalysisService(
+            session, ServeConfig(port=0, client_step_budget=1)
+        )
+        node = session.resolve("b@Main.main")
+        # First job is admitted (nothing spent yet) and charges the
+        # ledger past the 1-step budget; the second is refused.
+        svc.submit_queries("greedy", [Query(node)])
+        with pytest.raises(ServeRejected) as exc:
+            svc.submit_queries("greedy", [Query(node)])
+        assert exc.value.status == 429
+        assert "budget" in exc.value.reason
+        # ...but only for that client: budgets are per client id.
+        assert svc.submit_queries("frugal", [Query(node)])
+        assert rec.snapshot()["serve.rejected_budget"] == 1
+        svc.drain()
+
+    def test_full_queue_is_429(self):
+        rec = MetricsRecorder()
+        session = make_session(recorder=rec)
+        svc = AnalysisService(session, ServeConfig(port=0, max_pending=1))
+        gate = threading.Event()
+        blocker = _Job(kind="call", client="t", call=gate.wait)
+        svc._admit(blocker)          # dispatcher picks this up and blocks
+        while svc._queue.qsize():    # wait until it is actually running
+            pass
+        filler = _Job(kind="queries", client="t",
+                      queries=[Query(session.resolve("b@Main.main"))])
+        svc._admit(filler)           # occupies the single queue slot
+        with pytest.raises(ServeRejected) as exc:
+            svc._admit(_Job(kind="queries", client="t",
+                            queries=[Query(session.resolve("v@Main.main"))]))
+        assert exc.value.status == 429
+        assert "queue full" in exc.value.reason
+        assert rec.snapshot()["serve.rejected_queue"] == 1
+        gate.set()
+        svc._await(filler)
+        assert filler.results is not None
+        svc.drain()
+
+    def test_draining_daemon_refuses_with_503(self):
+        rec = MetricsRecorder()
+        session = make_session(recorder=rec)
+        svc = AnalysisService(session, ServeConfig(port=0))
+        assert svc.drain()
+        with pytest.raises(ServeRejected) as exc:
+            svc.submit_queries(
+                "late", [Query(session.resolve("b@Main.main"))]
+            )
+        assert exc.value.status == 503
+        assert rec.snapshot()["serve.rejected_draining"] == 1
+
+    def test_analysis_errors_surface_as_400(self):
+        session = make_session()
+        svc = AnalysisService(session, ServeConfig(port=0))
+        with pytest.raises(ServeRejected) as exc:
+            svc.submit_call("t", lambda: session.resolve("zzz@No.where"))
+        assert exc.value.status == 400
+        svc.drain()
+
+
+class TestGracefulDrain:
+    def test_admitted_jobs_all_complete(self):
+        rec = MetricsRecorder()
+        session = make_session(recorder=rec)
+        svc = AnalysisService(session, ServeConfig(port=0, max_pending=16))
+        gate = threading.Event()
+        blocker = _Job(kind="call", client="t", call=gate.wait)
+        svc._admit(blocker)
+        while svc._queue.qsize():
+            pass
+        node = session.resolve("b@Main.main")
+        pending = [
+            _Job(kind="queries", client="t", queries=[Query(node)])
+            for _ in range(5)
+        ]
+        for job in pending:
+            svc._admit(job)
+        drained_flag = []
+        drainer = threading.Thread(
+            target=lambda: drained_flag.append(svc.drain(10.0))
+        )
+        drainer.start()
+        while not svc.draining:      # drain initiated; queue still full
+            pass
+        gate.set()                   # unblock the dispatcher
+        drainer.join(10.0)
+        assert drained_flag == [True]
+        for job in pending:          # every admitted job was answered
+            assert job.done.is_set()
+            assert job.error is None
+            assert job.results is not None
+        assert rec.snapshot()["serve.drained_jobs"] >= len(pending)
+
+    def test_drain_is_idempotent(self):
+        svc = AnalysisService(make_session(), ServeConfig(port=0))
+        assert svc.drain()
+        assert svc.drain()
+        assert svc.stats()["status"] == "draining"
+
+
+# ----------------------------------------------------------------------
+# the wire: a live in-process daemon on an ephemeral port
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def daemon():
+    rec = MetricsRecorder()
+    session = Session.open(
+        EXAMPLE,
+        runtime=RuntimeConfig(mode="DQ", n_threads=2, backend="threads"),
+        engine=EngineConfig(tau_f=0, tau_u=0),
+        recorder=rec,
+    )
+    server = serve(session, ServeConfig(port=0, n_threads=2))
+    host, port = server.server_address[:2]
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.05},
+        daemon=True,
+    )
+    thread.start()
+    yield ServeClient(host, port), session, rec
+    server.initiate_shutdown()
+    thread.join(10.0)
+    server.server_close()
+    assert not thread.is_alive()
+
+
+@pytest.fixture(scope="module")
+def oneshot():
+    """A fresh one-shot session over the same file — the answers the
+    daemon must match byte for byte."""
+    return Session.open(EXAMPLE, engine=EngineConfig(tau_f=0, tau_u=0))
+
+
+class TestEndpoints:
+    def test_healthz_reports_resident_state(self, daemon):
+        client, session, _rec = daemon
+        health = client.healthz()
+        assert health["status"] == "serving"
+        assert health["source"] == str(EXAMPLE)
+        assert health["n_nodes"] == session.pag.n_nodes
+        assert health["backend"] == "threads"
+        assert "api.pag_builds" in health
+        assert "jumps.hits" in health
+
+    def test_metricz_exposes_counters(self, daemon):
+        client, _session, _rec = daemon
+        client.targets()
+        metrics = client.metricz()
+        assert metrics["api.sessions"] == 1
+        assert metrics["serve.requests"] >= 1
+
+    def test_targets_lists_app_locals(self, daemon):
+        client, session, _rec = daemon
+        targets = client.targets()
+        assert [t["node"] for t in targets] == session.app_locals()
+        assert [t["name"] for t in targets] == [
+            session.name(v) for v in session.app_locals()
+        ]
+
+    def test_points_to_matches_oneshot(self, daemon, oneshot):
+        client, _session, _rec = daemon
+        specs = ["b@Main.main", "v@Main.main", "got@Main.main"]
+        results = client.points_to(specs)
+        for spec, res in zip(specs, results):
+            expected = oneshot.points_to(spec)
+            assert res["query"] == spec
+            assert res["objects"] == sorted(
+                oneshot.name(o) for o in expected.objects
+            )
+            assert res["exhausted"] == expected.exhausted
+
+    def test_alias_matches_oneshot(self, daemon, oneshot):
+        client, _session, _rec = daemon
+        for a, b in (("b@Main.main", "same@Main.main"),
+                     ("b@Main.main", "v@Main.main")):
+            assert client.alias(a, b) == oneshot.may_alias(a, b)
+
+    def test_flows_to_matches_oneshot(self, daemon, oneshot):
+        client, _session, _rec = daemon
+        (res,) = client.flows_to(["o:Main.main:0"])
+        expected = oneshot.flows_to("o:Main.main:0")
+        assert res["variables"] == sorted(
+            oneshot.name(v) for v in expected.objects
+        )
+
+    def test_check_runs_on_the_dispatcher(self, daemon):
+        client, _session, _rec = daemon
+        report = client.check(["null-deref", "downcast"])
+        assert report["findings"] == []
+        assert report["n_queries"] > 0
+
+    def test_bad_target_is_400(self, daemon):
+        client, _session, _rec = daemon
+        with pytest.raises(ServeRejected) as exc:
+            client.points_to(["zzz@No.where"])
+        assert exc.value.status == 400
+
+    def test_empty_targets_is_400(self, daemon):
+        client, _session, _rec = daemon
+        with pytest.raises(ServeRejected) as exc:
+            client.points_to([])
+        assert exc.value.status == 400
+
+    def test_unknown_route_is_404(self, daemon):
+        client, _session, _rec = daemon
+        with pytest.raises(ServeRejected) as exc:
+            client._request("GET", "/v2/psychic")
+        assert exc.value.status == 404
+
+    def test_unreachable_daemon_is_503(self):
+        client = ServeClient("127.0.0.1", 1, timeout=0.5)
+        with pytest.raises(ServeRejected) as exc:
+            client.healthz()
+        assert exc.value.status == 503
+
+
+class TestResidency:
+    def test_repeated_100_query_batches_build_the_pag_once(self, daemon):
+        # The acceptance criterion: a resident session answers repeated
+        # 100-query batches with zero PAG rebuilds after the first
+        # request, and the counters prove the jump maps are reused.
+        client, session, _rec = daemon
+        names = [session.name(v) for v in session.app_locals()]
+        batch = (names * (100 // len(names) + 1))[:100]
+        first = client.points_to(batch)
+        h1 = client.healthz()
+        for _ in range(3):
+            assert client.points_to(batch) == first  # stable answers
+        h2 = client.healthz()
+        assert h1["api.pag_builds"] == h2["api.pag_builds"] == 1
+        assert h2["serve.queries"] >= h1["serve.queries"] + 300
+        # jump-map reuse across rounds: lookups advanced and hits grew
+        assert h2["jumps.lookups"] > h1["jumps.lookups"]
+        assert h2["jumps.hits"] > h1["jumps.hits"]
+        assert h2["n_runners"] == 1
+
+
+class TestConcurrentClients:
+    def test_swarm_gets_complete_identical_answers(self, daemon, oneshot):
+        client, session, rec = daemon
+        specs = [session.name(v) for v in session.app_locals()]
+        expected = {
+            spec: sorted(
+                oneshot.name(o) for o in oneshot.points_to(spec).objects
+            )
+            for spec in specs
+        }
+        errors = []
+        answers = {}
+
+        def worker(wid: int) -> None:
+            own = ServeClient(
+                client.host, client.port, client_id=f"swarm-{wid}"
+            )
+            got = []
+            try:
+                for _ in range(4):
+                    for res in own.points_to(specs):
+                        got.append((res["query"], tuple(res["objects"])))
+                    assert own.alias("b@Main.main", "same@Main.main")
+            except BaseException as exc:  # surfaced after the join
+                errors.append((wid, exc))
+            answers[wid] = got
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60.0)
+        assert not errors
+        for wid, got in answers.items():
+            assert len(got) == 4 * len(specs), f"worker {wid} lost answers"
+            for spec, objects in got:
+                assert list(objects) == expected[spec], (wid, spec)
+        # the dispatcher multiplexed concurrent jobs into shared batches
+        metrics = rec.snapshot()
+        assert metrics["serve.batches"] >= 1
+        assert metrics.get("serve.multiplexed", 0) >= 0

@@ -1,0 +1,118 @@
+"""The ``repro.api`` surface contract.
+
+Two rules, both load-bearing for the analysis-as-a-service design:
+
+1. **One blessed entry point.**  The CLI, the serving daemon and the
+   harness may import from ``repro.api`` (plus the error hierarchy,
+   their own packages, and the version stamp) and nothing deeper.  An
+   import of ``repro.core``/``repro.runtime``/... from those modules is
+   a layering regression: it bypasses the facade the daemon keeps
+   resident and un-stabilises the supported surface.
+2. **``__all__`` is real.**  Every name ``repro.api`` advertises must
+   resolve, and the top-level package must re-export the facade, so
+   ``from repro import Session`` keeps working verbatim.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: The modules bound by rule 1 (the facade's downstream consumers).
+RESTRICTED = sorted(
+    [SRC / "cli.py", SRC / "serve.py", *(SRC / "harness").glob("*.py")]
+)
+
+#: The only repro-internal import prefixes those modules may use.
+ALLOWED_PREFIXES = (
+    "repro.api",
+    "repro.errors",
+    "repro.harness",
+    "repro.serve",
+    "repro._version",
+)
+
+
+def repro_imports(path: Path):
+    """Yield ``(lineno, module)`` for every repro-package import in a
+    file, resolving relative imports against the package layout."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    pkg_parts = ("repro",) + path.relative_to(SRC).parent.parts
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative: anchor at the containing package
+                base = pkg_parts[: len(pkg_parts) - node.level + 1]
+                module = ".".join(base + ((node.module,) if node.module else ()))
+            else:
+                module = node.module or ""
+            if module == "repro" or module.startswith("repro."):
+                yield node.lineno, module
+
+
+class TestImportSurface:
+    def test_restricted_modules_exist(self):
+        # the rule must actually be guarding something
+        names = {p.name for p in RESTRICTED}
+        assert {"cli.py", "serve.py", "runner.py", "wallclock.py"} <= names
+
+    @pytest.mark.parametrize(
+        "path", RESTRICTED, ids=lambda p: str(p.relative_to(SRC))
+    )
+    def test_only_blessed_imports(self, path):
+        offenders = [
+            f"{path.name}:{lineno}: {module}"
+            for lineno, module in repro_imports(path)
+            if not (
+                module in ("repro",)  # bare `import repro` resolves to api
+                or any(
+                    module == p or module.startswith(p + ".")
+                    for p in ALLOWED_PREFIXES
+                )
+            )
+        ]
+        assert not offenders, (
+            "imports bypass the repro.api facade:\n" + "\n".join(offenders)
+        )
+
+
+class TestAllIsReal:
+    def test_every_advertised_name_resolves(self):
+        import repro.api as api
+
+        missing = [n for n in api.__all__ if not hasattr(api, n)]
+        assert not missing
+
+    def test_no_duplicates(self):
+        import repro.api as api
+
+        assert len(api.__all__) == len(set(api.__all__))
+
+    def test_facade_names_are_advertised(self):
+        import repro.api as api
+
+        for name in ("Session", "DEFAULT_BUDGET", "EngineConfig",
+                     "RuntimeConfig", "Query", "ParallelCFL", "JumpMap",
+                     "load_snapshot", "save_snapshot", "run_checkers",
+                     "ReproError"):
+            assert name in api.__all__
+
+    def test_top_level_package_re_exports_the_facade(self):
+        import repro
+        import repro.api as api
+
+        assert repro.Session is api.Session
+        assert repro.DEFAULT_BUDGET is api.DEFAULT_BUDGET
+        assert "Session" in repro.__all__
+        assert "RuntimeConfig" in repro.__all__
+
+    def test_serve_exports(self):
+        import repro.serve as serve
+
+        for name in serve.__all__:
+            assert hasattr(serve, name)

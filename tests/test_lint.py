@@ -25,6 +25,8 @@ RUFF_TARGETS = [
     "src/repro/analyses/taint.py",
     "src/repro/analyses/escape.py",
     "src/repro/runtime/matrix.py",
+    "src/repro/api.py",
+    "src/repro/serve.py",
 ]
 
 MYPY_STRICT_TARGETS = [
